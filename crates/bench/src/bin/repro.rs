@@ -1,0 +1,80 @@
+//! Reproduces the paper's tables and figures.
+//!
+//! ```sh
+//! repro [--quick] [--out DIR] <experiment>...
+//! repro all                 # everything
+//! repro table1 fig12 fig17  # a subset
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use wfp_bench::experiments;
+use wfp_bench::{ReproOptions, Table};
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+    "fig20", "baseline",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--quick] [--out DIR] <experiment>...");
+    eprintln!("experiments: all {}", EXPERIMENTS.join(" "));
+    std::process::exit(2);
+}
+
+fn run_one(name: &str, opts: &ReproOptions) {
+    let started = Instant::now();
+    let table: Table = match name {
+        "table1" => experiments::table1(opts),
+        "table2" => experiments::table2(opts),
+        "fig12" => experiments::fig12(opts),
+        "fig13" => experiments::fig13(opts),
+        "fig14" => experiments::fig14(opts),
+        "fig15" => experiments::fig15(opts),
+        "fig16" => experiments::fig16(opts),
+        "fig17" => experiments::fig17(opts),
+        "fig18" => experiments::fig18(opts),
+        "fig19" => experiments::fig19(opts),
+        "fig20" => experiments::fig20(opts),
+        "baseline" => experiments::baseline(opts),
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            usage();
+        }
+    };
+    table.emit(&opts.out_dir, name);
+    eprintln!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+}
+
+fn main() {
+    let mut opts = ReproOptions::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => match args.next() {
+                Some(dir) => opts.out_dir = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            name if EXPERIMENTS.contains(&name) => selected.push(name.to_string()),
+            _ => usage(),
+        }
+    }
+    if selected.is_empty() {
+        usage();
+    }
+    selected.dedup();
+    eprintln!(
+        "running {} experiment(s), {} mode, results under {}\n",
+        selected.len(),
+        if opts.quick { "quick" } else { "full" },
+        opts.out_dir.display()
+    );
+    for name in &selected {
+        run_one(name, &opts);
+    }
+}

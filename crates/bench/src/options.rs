@@ -1,0 +1,86 @@
+//! Experiment sizing knobs shared by every reproduction target.
+
+use std::path::PathBuf;
+
+/// Options controlling experiment scale and output.
+#[derive(Clone, Debug)]
+pub struct ReproOptions {
+    /// Shrink the run-size ladder and sample counts (useful on laptops; the
+    /// paper's full ladder reaches 102.4K vertices and 10⁶ queries).
+    pub quick: bool,
+    /// Directory receiving one text file per experiment.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ReproOptions {
+    fn default() -> Self {
+        ReproOptions {
+            quick: false,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ReproOptions {
+    /// The paper's run-size ladder: 0.1K to 102.4K vertices, doubling
+    /// (quick mode stops at 12.8K).
+    pub fn ladder(&self) -> Vec<usize> {
+        let max = if self.quick { 12_800 } else { 102_400 };
+        let mut sizes = Vec::new();
+        let mut n = 100usize;
+        while n <= max {
+            sizes.push(n);
+            n *= 2;
+        }
+        sizes
+    }
+
+    /// Queries per data point (paper: 10⁶).
+    pub fn query_count(&self) -> usize {
+        if self.quick {
+            100_000
+        } else {
+            1_000_000
+        }
+    }
+
+    /// Sampled runs per label-length data point (the paper averages over
+    /// 10³ runs; label statistics concentrate tightly, so a handful
+    /// suffices for the reported digits).
+    pub fn runs_per_point(&self) -> usize {
+        if self.quick {
+            2
+        } else {
+            5
+        }
+    }
+
+    /// Repetitions per construction-time measurement.
+    pub fn time_reps(&self) -> usize {
+        if self.quick {
+            2
+        } else {
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_doubles_to_the_cap() {
+        let full = ReproOptions::default();
+        let sizes = full.ladder();
+        assert_eq!(sizes.first(), Some(&100));
+        assert_eq!(sizes.last(), Some(&102_400));
+        assert!(sizes.windows(2).all(|w| w[1] == 2 * w[0]));
+        let quick = ReproOptions {
+            quick: true,
+            ..Default::default()
+        };
+        assert_eq!(quick.ladder().last(), Some(&12_800));
+        assert_eq!(quick.query_count(), 100_000);
+    }
+}

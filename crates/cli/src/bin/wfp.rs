@@ -1,0 +1,145 @@
+//! The `wfp` command-line tool. See `wfp --help`.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use wfp_cli::*;
+use wfp_gen::SpecGenConfig;
+use wfp_speclabel::SchemeKind;
+
+const USAGE: &str = "\
+wfp — workflow provenance tools (skeleton-label reachability)
+
+usage:
+  wfp validate <spec.xml>
+  wfp inspect  <spec.xml>
+  wfp gen-spec -n MODULES -m EDGES -k HIERARCHY -d DEPTH [--seed S] -o OUT
+  wfp gen-run  <spec.xml> --target VERTICES [--seed S] -o OUT
+  wfp plan     <spec.xml> <run.xml>
+  wfp label    <spec.xml> <run.xml> [--scheme KIND] [-o OUT.wfpl]
+  wfp query    <spec.xml> <run.xml> <from> <to> [--scheme KIND]
+
+KIND: tcm | bfs | dfs | treecover | chain | 2hop   (default: tcm)
+vertex names use the paper's numbered form, e.g. b3 = third execution of b";
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        } else if let Some(name) = a.strip_prefix('-') {
+            if name.len() == 1 {
+                let value = it.next().ok_or_else(|| format!("-{name} needs a value"))?;
+                flags.insert(name.to_string(), value.clone());
+            } else {
+                return Err(format!("unknown flag {a}"));
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Args { positional, flags })
+}
+
+impl Args {
+    fn path(&self, i: usize) -> Result<PathBuf, String> {
+        self.positional
+            .get(i)
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("missing argument #{}", i + 1))
+    }
+
+    fn num<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        match self.flags.get(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad value for --{flag}: {v:?}")),
+        }
+    }
+
+    fn required_num<T: std::str::FromStr>(&self, flag: &str) -> Result<T, String> {
+        self.num(flag)?
+            .ok_or_else(|| format!("missing required flag -{flag}"))
+    }
+
+    fn scheme(&self) -> Result<SchemeKind, CliError> {
+        match self.flags.get("scheme") {
+            None => Ok(SchemeKind::Tcm),
+            Some(s) => parse_scheme(s),
+        }
+    }
+}
+
+fn run() -> Result<String, CliError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
+        return Err(USAGE.into());
+    };
+    let args = parse_args(&argv[1..])?;
+    match command.as_str() {
+        "validate" => cmd_validate(&args.path(0)?),
+        "inspect" => cmd_inspect(&args.path(0)?),
+        "gen-spec" => {
+            let cfg = SpecGenConfig {
+                modules: args.required_num("n")?,
+                edges: args.required_num("m")?,
+                hierarchy_size: args.required_num("k")?,
+                hierarchy_depth: args.required_num("d")?,
+                seed: args.num("seed")?.unwrap_or(0),
+            };
+            let out = args
+                .flags
+                .get("o")
+                .map(PathBuf::from)
+                .ok_or("missing -o OUT")?;
+            cmd_gen_spec(&cfg, &out)
+        }
+        "gen-run" => {
+            let out = args
+                .flags
+                .get("o")
+                .map(PathBuf::from)
+                .ok_or("missing -o OUT")?;
+            cmd_gen_run(
+                &args.path(0)?,
+                args.required_num("target")?,
+                args.num("seed")?.unwrap_or(0),
+                &out,
+            )
+        }
+        "plan" => cmd_plan(&args.path(0)?, &args.path(1)?),
+        "label" => cmd_label(
+            &args.path(0)?,
+            &args.path(1)?,
+            args.scheme()?,
+            args.flags.get("o").map(PathBuf::from).as_deref(),
+        ),
+        "query" => {
+            let from = args.positional.get(2).ok_or("missing <from> vertex")?;
+            let to = args.positional.get(3).ok_or("missing <to> vertex")?;
+            cmd_query(&args.path(0)?, &args.path(1)?, from, to, args.scheme()?)
+        }
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Implementation of the `wfp` command-line tool.
+//!
+//! Commands operate on the XML formats of `wfp-model::io` and the packed
+//! label files of `wfp-skl`:
+//!
+//! ```sh
+//! wfp validate spec.xml                 # validate a specification
+//! wfp inspect  spec.xml                 # characteristics + hierarchy
+//! wfp gen-spec -n 100 -m 200 -k 10 -d 4 --seed 1 -o spec.xml
+//! wfp gen-run  spec.xml --target 10000 --seed 2 -o run.xml
+//! wfp plan     spec.xml run.xml         # recovered execution-plan stats
+//! wfp label    spec.xml run.xml -o labels.wfpl [--scheme tcm]
+//! wfp query    spec.xml run.xml b3 h1   # reachability between executions
+//! ```
+//!
+//! All command logic lives in this library (returning strings/errors) so it
+//! is unit-testable; the binary is a thin wrapper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use wfp_gen::{generate_run_with_target, generate_spec, GeneratedRun, SpecGenConfig};
+use wfp_model::io::{run_from_xml, run_to_xml, spec_from_xml, spec_to_xml};
+use wfp_model::{Run, Specification};
+use wfp_skl::{construct_plan_with_stats, LabeledRun, QueryPath};
+use wfp_speclabel::{SchemeKind, SpecScheme};
+
+/// A CLI failure, printed to stderr with exit code 1.
+pub type CliError = Box<dyn std::error::Error>;
+
+fn load_spec(path: &Path) -> Result<Specification, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(spec_from_xml(&text)?)
+}
+
+fn load_run(path: &Path, spec: &Specification) -> Result<Run, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(run_from_xml(&text, spec)?)
+}
+
+/// Parses a scheme name (`tcm`, `bfs`, `dfs`, `treecover`, `chain`).
+pub fn parse_scheme(name: &str) -> Result<SchemeKind, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "tcm" => Ok(SchemeKind::Tcm),
+        "bfs" => Ok(SchemeKind::Bfs),
+        "dfs" => Ok(SchemeKind::Dfs),
+        "treecover" => Ok(SchemeKind::TreeCover),
+        "chain" => Ok(SchemeKind::Chain),
+        "2hop" | "hop2" => Ok(SchemeKind::Hop2),
+        other => Err(format!(
+            "unknown scheme {other:?} (expected tcm|bfs|dfs|treecover|chain|2hop)"
+        )
+        .into()),
+    }
+}
+
+/// `wfp validate <spec.xml>`
+pub fn cmd_validate(spec_path: &Path) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    Ok(format!(
+        "OK: {} modules, {} channels, {} forks, {} loops, |T_G| = {}, depth = {}",
+        spec.module_count(),
+        spec.channel_count(),
+        spec.forks().count(),
+        spec.loops().count(),
+        spec.hierarchy().size(),
+        spec.hierarchy().max_depth()
+    ))
+}
+
+/// `wfp inspect <spec.xml>`
+pub fn cmd_inspect(spec_path: &Path) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    let h = spec.hierarchy();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "specification: n_G = {}, m_G = {}, |T_G| = {}, [T_G] = {}",
+        spec.module_count(),
+        spec.channel_count(),
+        h.size(),
+        h.max_depth()
+    )?;
+    writeln!(out, "hierarchy:")?;
+    for level in 1..=h.max_depth() {
+        let row: Vec<String> = h
+            .level(level)
+            .iter()
+            .map(|&node| match h.subgraph_at(node) {
+                None => "G".to_string(),
+                Some(sg) => {
+                    let s = spec.subgraph(sg);
+                    format!(
+                        "{}[{}→{}; {} edges]",
+                        s.kind,
+                        spec.name(s.source),
+                        spec.name(s.sink),
+                        s.edges.len()
+                    )
+                }
+            })
+            .collect();
+        writeln!(out, "  level {level}: {}", row.join("  "))?;
+    }
+    Ok(out)
+}
+
+/// `wfp gen-spec -n N -m M -k SIZE -d DEPTH --seed S -o OUT`
+pub fn cmd_gen_spec(cfg: &SpecGenConfig, out: &Path) -> Result<String, CliError> {
+    let spec = generate_spec(cfg)?;
+    fs::write(out, spec_to_xml(&spec))?;
+    Ok(format!(
+        "wrote {} (n_G = {}, m_G = {})",
+        out.display(),
+        spec.module_count(),
+        spec.channel_count()
+    ))
+}
+
+/// `wfp gen-run <spec.xml> --target N --seed S -o OUT`
+pub fn cmd_gen_run(
+    spec_path: &Path,
+    target: usize,
+    seed: u64,
+    out: &Path,
+) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    let GeneratedRun { run, .. } = generate_run_with_target(&spec, seed, target);
+    fs::write(out, run_to_xml(&run))?;
+    Ok(format!(
+        "wrote {} (n_R = {}, m_R = {})",
+        out.display(),
+        run.vertex_count(),
+        run.edge_count()
+    ))
+}
+
+/// `wfp plan <spec.xml> <run.xml>`
+pub fn cmd_plan(spec_path: &Path, run_path: &Path) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    let run = load_run(run_path, &spec)?;
+    let (plan, stats) = construct_plan_with_stats(&spec, &run)?;
+    Ok(format!(
+        "run conforms: {} vertices, {} edges\n\
+         execution plan: {} nodes ({} copies, {} groups), {} nonempty + nodes\n\
+         contraction: {} special edges (Lemma 4.2 bound: {} ≤ {})",
+        run.vertex_count(),
+        run.edge_count(),
+        plan.node_count(),
+        stats.copies,
+        stats.groups,
+        plan.nonempty_plus_count(),
+        stats.special_edges,
+        plan.node_count(),
+        4 * run.edge_count()
+    ))
+}
+
+/// `wfp label <spec.xml> <run.xml> [-o OUT] [--scheme KIND]`
+pub fn cmd_label(
+    spec_path: &Path,
+    run_path: &Path,
+    scheme: SchemeKind,
+    out: Option<&Path>,
+) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    let run = load_run(run_path, &spec)?;
+    let labeled = LabeledRun::build(&spec, SpecScheme::build(scheme, spec.graph()), &run)?;
+    let encoded = labeled.encode();
+    let mut msg = format!(
+        "labeled {} vertices: {} bits/label (max), {:.1} bits average, n⁺ = {}",
+        labeled.vertex_count(),
+        labeled.fixed_label_bits(),
+        labeled.average_label_bits(),
+        labeled.nonempty_plus_count()
+    );
+    if let Some(out) = out {
+        let bytes = encoded.to_bytes();
+        fs::write(out, &bytes)?;
+        write!(msg, "\nwrote {} ({} bytes)", out.display(), bytes.len())?;
+    }
+    Ok(msg)
+}
+
+/// `wfp query <spec.xml> <run.xml> <from> <to> [--scheme KIND]`
+///
+/// Vertices are addressed by numbered name (`b3`) as printed by the paper.
+pub fn cmd_query(
+    spec_path: &Path,
+    run_path: &Path,
+    from: &str,
+    to: &str,
+    scheme: SchemeKind,
+) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    let run = load_run(run_path, &spec)?;
+    let names = run.numbered_names(&spec);
+    let find = |name: &str| {
+        names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| wfp_model::RunVertexId(i as u32))
+            .ok_or_else(|| format!("no vertex named {name:?} in the run"))
+    };
+    let u = find(from)?;
+    let v = find(to)?;
+    let labeled = LabeledRun::build(&spec, SpecScheme::build(scheme, spec.graph()), &run)?;
+    let (ans, path) = labeled.reaches_traced(u, v);
+    Ok(format!(
+        "{from} ⇝ {to}: {ans} (decided by {})",
+        match path {
+            QueryPath::ContextOnly => "context encodings alone",
+            QueryPath::Skeleton => "the skeleton labels",
+        }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfp_model::fixtures::{paper_run, paper_spec};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("wfp-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_paper_files() -> (std::path::PathBuf, std::path::PathBuf) {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let sp = tmp("paper-spec.xml");
+        let rp = tmp("paper-run.xml");
+        fs::write(&sp, spec_to_xml(&spec)).unwrap();
+        fs::write(&rp, run_to_xml(&run)).unwrap();
+        (sp, rp)
+    }
+
+    #[test]
+    fn validate_and_inspect() {
+        let (sp, _) = write_paper_files();
+        let v = cmd_validate(&sp).unwrap();
+        assert!(v.contains("8 modules"), "{v}");
+        assert!(v.contains("2 forks"), "{v}");
+        let i = cmd_inspect(&sp).unwrap();
+        assert!(i.contains("level 1: G"), "{i}");
+        assert!(i.contains("level 3"), "{i}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_files() {
+        // cyclic specification
+        let p = tmp("bad.xml");
+        fs::write(
+            &p,
+            "<specification>\
+             <module id=\"0\" name=\"a\"/><module id=\"1\" name=\"b\"/>\
+             <channel from=\"0\" to=\"1\"/><channel from=\"1\" to=\"0\"/>\
+             </specification>",
+        )
+        .unwrap();
+        assert!(cmd_validate(&p).is_err());
+        assert!(cmd_validate(Path::new("/nonexistent/x.xml")).is_err());
+        // a single-module spec is degenerate but legal (source == sink)
+        let p1 = tmp("one.xml");
+        fs::write(&p1, "<specification><module id=\"0\" name=\"a\"/></specification>").unwrap();
+        assert!(cmd_validate(&p1).is_ok());
+    }
+
+    #[test]
+    fn gen_roundtrip_plan_label_query() {
+        let sp = tmp("gen-spec.xml");
+        let cfg = SpecGenConfig {
+            modules: 40,
+            edges: 60,
+            hierarchy_size: 6,
+            hierarchy_depth: 3,
+            seed: 5,
+        };
+        let msg = cmd_gen_spec(&cfg, &sp).unwrap();
+        assert!(msg.contains("n_G = 40"), "{msg}");
+
+        let rp = tmp("gen-run.xml");
+        let msg = cmd_gen_run(&sp, 500, 3, &rp).unwrap();
+        assert!(msg.contains("n_R ="), "{msg}");
+
+        let msg = cmd_plan(&sp, &rp).unwrap();
+        assert!(msg.contains("run conforms"), "{msg}");
+
+        let lp = tmp("labels.wfpl");
+        let msg = cmd_label(&sp, &rp, SchemeKind::Tcm, Some(&lp)).unwrap();
+        assert!(msg.contains("bits/label"), "{msg}");
+        let bytes = fs::read(&lp).unwrap();
+        assert!(wfp_skl::EncodedLabels::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn query_paper_claims() {
+        let (sp, rp) = write_paper_files();
+        let ans = cmd_query(&sp, &rp, "b1", "c3", SchemeKind::Tcm).unwrap();
+        assert!(ans.contains("false"), "{ans}");
+        assert!(ans.contains("context encodings"), "{ans}");
+        let ans = cmd_query(&sp, &rp, "b1", "c1", SchemeKind::Bfs).unwrap();
+        assert!(ans.contains("true"), "{ans}");
+        assert!(cmd_query(&sp, &rp, "zz9", "c1", SchemeKind::Tcm).is_err());
+    }
+
+    #[test]
+    fn scheme_parsing() {
+        assert_eq!(parse_scheme("TCM").unwrap(), SchemeKind::Tcm);
+        assert_eq!(parse_scheme("treecover").unwrap(), SchemeKind::TreeCover);
+        assert!(parse_scheme("nope").is_err());
+    }
+}

@@ -1,0 +1,469 @@
+//! Run labels, the labeling function φr and the predicate πr
+//! (paper §4.4, Algorithms 2–3).
+//!
+//! A run label is the context's three-dimensional encoding `(q1, q2, q3)`
+//! plus the skeleton label of the vertex's origin. We store the origin id
+//! itself — exactly the paper's accounting, which charges `log n_G` bits
+//! for the *pointer* to the (shared, amortized) skeleton label regardless
+//! of that label's actual size (§7).
+
+use wfp_model::{ModuleId, Run, RunVertexId, Specification};
+use wfp_speclabel::SpecIndex;
+
+use crate::bits::{gamma_bits, BitReader, BitWriter};
+use crate::construct::{construct_plan_with_stats, ConstructError, ConstructStats};
+use crate::orders::{generate_three_orders, ContextEncoding};
+use wfp_model::plan::ExecutionPlan;
+
+/// The reachability label of one run vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunLabel {
+    /// Position of the vertex's context in the order `O1`.
+    pub q1: u32,
+    /// Position in `O2` (fork groups reversed).
+    pub q2: u32,
+    /// Position in `O3` (loop groups reversed).
+    pub q3: u32,
+    /// The origin module — the pointer to the skeleton label.
+    pub origin: ModuleId,
+}
+
+/// How a query was decided — used by the §8.2 analysis ("reachability
+/// queries on the run may frequently be answered using only the extended
+/// labels").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryPath {
+    /// Decided by the context encoding alone (an `F−`/`L−` LCA).
+    ContextOnly,
+    /// Delegated to the skeleton labels (a `+` LCA).
+    Skeleton,
+}
+
+/// The predicate πr (Algorithm 3): does the vertex labeled `a` reach the
+/// vertex labeled `b`?
+#[inline]
+pub fn predicate<S: SpecIndex>(a: &RunLabel, b: &RunLabel, skeleton: &S) -> bool {
+    predicate_traced(a, b, skeleton).0
+}
+
+/// πr plus which path decided it.
+#[inline]
+pub fn predicate_traced<S: SpecIndex>(
+    a: &RunLabel,
+    b: &RunLabel,
+    skeleton: &S,
+) -> (bool, QueryPath) {
+    let d2 = a.q2 as i64 - b.q2 as i64;
+    let d3 = a.q3 as i64 - b.q3 as i64;
+    if d2 * d3 < 0 {
+        // The LCA of the contexts is an F− or L− node (Lemma 4.5): the
+        // answer is decided without touching the skeleton labels.
+        (a.q1 < b.q1 && a.q3 > b.q3, QueryPath::ContextOnly)
+    } else {
+        (
+            skeleton.reaches(a.origin.raw(), b.origin.raw()),
+            QueryPath::Skeleton,
+        )
+    }
+}
+
+/// A fully labeled run: the output of the labeling function φr, owning the
+/// skeleton index it delegates to.
+pub struct LabeledRun<S> {
+    labels: Vec<RunLabel>,
+    skeleton: S,
+    n_plus: u32,
+    n_g: u32,
+}
+
+impl<S: SpecIndex> LabeledRun<S> {
+    /// Labels `run` end to end: constructs the execution plan and context
+    /// (§5), builds the three orders (§4.3) and assigns labels (Algorithm
+    /// 2). Linear time in the size of the run.
+    pub fn build(
+        spec: &Specification,
+        skeleton: S,
+        run: &Run,
+    ) -> Result<Self, ConstructError> {
+        Self::build_with_stats(spec, skeleton, run).map(|(l, _)| l)
+    }
+
+    /// [`LabeledRun::build`] plus plan-construction statistics.
+    pub fn build_with_stats(
+        spec: &Specification,
+        skeleton: S,
+        run: &Run,
+    ) -> Result<(Self, ConstructStats), ConstructError> {
+        let (plan, stats) = construct_plan_with_stats(spec, run)?;
+        Ok((Self::build_with_plan(spec, skeleton, run, &plan), stats))
+    }
+
+    /// Labels a run whose execution plan and context are already known —
+    /// the paper's second Figure 13 setting ("the run is given along with
+    /// its execution plan and context", e.g. extracted from a Taverna log).
+    pub fn build_with_plan(
+        spec: &Specification,
+        skeleton: S,
+        run: &Run,
+        plan: &ExecutionPlan,
+    ) -> Self {
+        let enc = generate_three_orders(plan, spec);
+        Self::assemble(spec, skeleton, run, plan, &enc)
+    }
+
+    fn assemble(
+        spec: &Specification,
+        skeleton: S,
+        run: &Run,
+        plan: &ExecutionPlan,
+        enc: &ContextEncoding,
+    ) -> Self {
+        let labels = run
+            .vertices()
+            .map(|v| {
+                let (q1, q2, q3) = enc.positions(plan.context(v));
+                debug_assert!(q1 >= 1, "contexts are nonempty + nodes");
+                RunLabel {
+                    q1,
+                    q2,
+                    q3,
+                    origin: run.origin(v),
+                }
+            })
+            .collect();
+        LabeledRun {
+            labels,
+            skeleton,
+            n_plus: enc.nonempty_plus_count(),
+            n_g: spec.module_count() as u32,
+        }
+    }
+
+    /// The label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: RunVertexId) -> &RunLabel {
+        &self.labels[v.index()]
+    }
+
+    /// All labels, indexed by run vertex.
+    pub fn labels(&self) -> &[RunLabel] {
+        &self.labels
+    }
+
+    /// Number of labeled vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The skeleton index queries delegate to.
+    pub fn skeleton(&self) -> &S {
+        &self.skeleton
+    }
+
+    /// Number of nonempty `+` nodes `n⁺_T` in the underlying plan.
+    pub fn nonempty_plus_count(&self) -> u32 {
+        self.n_plus
+    }
+
+    /// Whether `u ⇝ v` in the run (reflexive), in `O(1) + t_G`.
+    #[inline]
+    pub fn reaches(&self, u: RunVertexId, v: RunVertexId) -> bool {
+        predicate(self.label(u), self.label(v), &self.skeleton)
+    }
+
+    /// [`reaches`](Self::reaches) plus which path decided it.
+    #[inline]
+    pub fn reaches_traced(&self, u: RunVertexId, v: RunVertexId) -> (bool, QueryPath) {
+        predicate_traced(self.label(u), self.label(v), &self.skeleton)
+    }
+
+    // ---------------- label-length accounting (Figure 12) -------------
+
+    /// Bits per `q` coordinate under fixed-width packing.
+    fn q_width(&self) -> usize {
+        bits_for(self.n_plus as u64)
+    }
+
+    /// Bits for the skeleton pointer.
+    fn origin_width(&self) -> usize {
+        bits_for(self.n_g.saturating_sub(1).max(1) as u64)
+    }
+
+    /// Fixed-width label length in bits: `3⌈log₂(n⁺+1)⌉ + ⌈log₂ n_G⌉` —
+    /// the paper's *maximum* label length.
+    pub fn fixed_label_bits(&self) -> usize {
+        3 * self.q_width() + self.origin_width()
+    }
+
+    /// Variable-size length of one vertex's label: each `q` in minimal
+    /// binary (`⌊log₂ q⌋ + 1` bits) plus the skeleton pointer. This is the
+    /// Figure 12 "average label length" accounting — always at most the
+    /// fixed-width maximum. (For *self-delimiting* storage see
+    /// [`crate::bits::gamma_bits`], which costs ~2× per coordinate.)
+    pub fn variable_label_bits(&self, v: RunVertexId) -> usize {
+        let l = self.label(v);
+        let min_bits = |q: u32| 32 - q.max(1).leading_zeros() as usize;
+        min_bits(l.q1) + min_bits(l.q2) + min_bits(l.q3) + self.origin_width()
+    }
+
+    /// Self-delimiting (Elias-γ) size of one vertex's label.
+    pub fn gamma_label_bits(&self, v: RunVertexId) -> usize {
+        let l = self.label(v);
+        gamma_bits(l.q1 as u64) + gamma_bits(l.q2 as u64) + gamma_bits(l.q3 as u64)
+            + self.origin_width()
+    }
+
+    /// Mean variable-size label length in bits (Figure 12's "average").
+    pub fn average_label_bits(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        let total: usize = (0..self.labels.len())
+            .map(|i| self.variable_label_bits(RunVertexId(i as u32)))
+            .sum();
+        total as f64 / self.labels.len() as f64
+    }
+
+    // ---------------- serialization ------------------------------------
+
+    /// Packs all labels into a fixed-width bit stream.
+    pub fn encode(&self) -> EncodedLabels {
+        let qw = self.q_width();
+        let ow = self.origin_width();
+        let mut w = BitWriter::new();
+        for l in &self.labels {
+            w.write_bits(l.q1 as u64, qw);
+            w.write_bits(l.q2 as u64, qw);
+            w.write_bits(l.q3 as u64, qw);
+            w.write_bits(l.origin.raw() as u64, ow);
+        }
+        let (words, bit_len) = w.into_words();
+        EncodedLabels {
+            words,
+            bit_len,
+            count: self.labels.len() as u32,
+            n_plus: self.n_plus,
+            n_g: self.n_g,
+        }
+    }
+}
+
+/// Smallest width holding values `0..=max` (at least 1 bit).
+fn bits_for(max: u64) -> usize {
+    (64 - max.leading_zeros() as usize).max(1)
+}
+
+/// A packed label array, decodable without the original run.
+pub struct EncodedLabels {
+    words: Vec<u64>,
+    bit_len: usize,
+    count: u32,
+    n_plus: u32,
+    n_g: u32,
+}
+
+impl EncodedLabels {
+    /// Total size in bits (labels only, excluding the 3-word header).
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether no labels are stored.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Decodes all labels.
+    pub fn decode(&self) -> Vec<RunLabel> {
+        let qw = bits_for(self.n_plus as u64);
+        let ow = bits_for(self.n_g.saturating_sub(1).max(1) as u64);
+        let mut r = BitReader::new(&self.words, self.bit_len);
+        (0..self.count)
+            .map(|_| {
+                let q1 = r.read_bits(qw) as u32;
+                let q2 = r.read_bits(qw) as u32;
+                let q3 = r.read_bits(qw) as u32;
+                let origin = ModuleId(r.read_bits(ow) as u32);
+                RunLabel { q1, q2, q3, origin }
+            })
+            .collect()
+    }
+
+    /// Serializes header + packed labels to bytes (little-endian), suitable
+    /// for a label file on disk.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(26 + self.words.len() * 8);
+        out.extend_from_slice(b"WFPL\x01\x00");
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.n_plus.to_le_bytes());
+        out.extend_from_slice(&self.n_g.to_le_bytes());
+        out.extend_from_slice(&(self.bit_len as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the output of [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 26 || &bytes[..6] != b"WFPL\x01\x00" {
+            return Err("not a packed label file".into());
+        }
+        let word = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4 bytes"));
+        let count = word(&bytes[6..10]);
+        let n_plus = word(&bytes[10..14]);
+        let n_g = word(&bytes[14..18]);
+        let bit_len = u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes")) as usize;
+        let payload = &bytes[26..];
+        if !payload.len().is_multiple_of(8) || payload.len() * 8 < bit_len {
+            return Err("truncated label payload".into());
+        }
+        let words = payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        Ok(EncodedLabels {
+            words,
+            bit_len,
+            count,
+            n_plus,
+            n_g,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfp_graph::TransitiveClosure;
+    use wfp_model::fixtures::{paper_reachability_claims, paper_run, paper_spec, paper_vertex};
+    use wfp_speclabel::{SchemeKind, SpecScheme};
+
+    fn labeled_paper_run(kind: SchemeKind) -> (Specification, Run, LabeledRun<SpecScheme>) {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let scheme = SpecScheme::build(kind, spec.graph());
+        let labeled = LabeledRun::build(&spec, scheme, &run).unwrap();
+        (spec, run, labeled)
+    }
+
+    #[test]
+    fn paper_claims_hold_under_every_scheme() {
+        for &kind in &SchemeKind::ALL {
+            let (spec, run, labeled) = labeled_paper_run(kind);
+            for &(from, to, expected) in paper_reachability_claims() {
+                let u = paper_vertex(&spec, &run, from);
+                let v = paper_vertex(&spec, &run, to);
+                assert_eq!(
+                    labeled.reaches(u, v),
+                    expected,
+                    "{from} ⇝ {to} under {kind}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_differential_against_bfs_closure() {
+        let (_spec, run, labeled) = labeled_paper_run(SchemeKind::Tcm);
+        let oracle = TransitiveClosure::build(run.graph());
+        for u in run.vertices() {
+            for v in run.vertices() {
+                assert_eq!(
+                    labeled.reaches(u, v),
+                    oracle.reaches(u.raw(), v.raw()),
+                    "({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example_9_query_paths() {
+        // Example 9: c1 vs d1 falls through to the skeleton; b1 vs c3 (two
+        // parallel fork copies) is decided by contexts alone.
+        let (spec, run, labeled) = labeled_paper_run(SchemeKind::Tcm);
+        let c1 = paper_vertex(&spec, &run, "c1");
+        let d1 = paper_vertex(&spec, &run, "d1");
+        let (ans, path) = labeled.reaches_traced(c1, d1);
+        assert!(!ans);
+        assert_eq!(path, QueryPath::Skeleton);
+        let b1 = paper_vertex(&spec, &run, "b1");
+        let c3 = paper_vertex(&spec, &run, "c3");
+        let (ans, path) = labeled.reaches_traced(b1, c3);
+        assert!(!ans);
+        assert_eq!(path, QueryPath::ContextOnly);
+        // successive loop copies: context-only, positive
+        let b2 = paper_vertex(&spec, &run, "b2");
+        let (ans, path) = labeled.reaches_traced(c1, b2);
+        assert!(ans);
+        assert_eq!(path, QueryPath::ContextOnly);
+    }
+
+    #[test]
+    fn label_length_matches_the_bound() {
+        let (spec, run, labeled) = labeled_paper_run(SchemeKind::Tcm);
+        // n+ = 9, n_G = 8: 3*ceil(log2 10) + ceil(log2 8) = 3*4 + 3 = 15
+        assert_eq!(labeled.nonempty_plus_count(), 9);
+        assert_eq!(labeled.fixed_label_bits(), 15);
+        let bound = 3.0 * (run.vertex_count() as f64).log2()
+            + (spec.module_count() as f64).log2();
+        assert!((labeled.fixed_label_bits() as f64) <= bound + 4.0);
+        // average variable-size ≤ a couple of bits of the fixed size for
+        // this tiny run, and strictly positive
+        let avg = labeled.average_label_bits();
+        assert!(avg > 0.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let (_spec, run, labeled) = labeled_paper_run(SchemeKind::Bfs);
+        let enc = labeled.encode();
+        assert_eq!(enc.len(), run.vertex_count());
+        assert_eq!(enc.bit_len(), run.vertex_count() * labeled.fixed_label_bits());
+        let decoded = enc.decode();
+        assert_eq!(decoded, labeled.labels().to_vec());
+    }
+
+    #[test]
+    fn encoded_labels_byte_round_trip() {
+        let (_spec, _run, labeled) = labeled_paper_run(SchemeKind::Tcm);
+        let enc = labeled.encode();
+        let bytes = enc.to_bytes();
+        let back = EncodedLabels::from_bytes(&bytes).unwrap();
+        assert_eq!(back.decode(), labeled.labels().to_vec());
+        assert_eq!(back.len(), enc.len());
+        // corruption is detected
+        assert!(EncodedLabels::from_bytes(&bytes[..10]).is_err());
+        assert!(EncodedLabels::from_bytes(b"garbage___________________").is_err());
+    }
+
+    #[test]
+    fn reflexive_queries_answer_true() {
+        let (_spec, run, labeled) = labeled_paper_run(SchemeKind::Dfs);
+        for v in run.vertices() {
+            assert!(labeled.reaches(v, v));
+        }
+    }
+
+    #[test]
+    fn label_with_plan_matches_full_pipeline() {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let plan = crate::construct::construct_plan(&spec, &run).unwrap();
+        let a = LabeledRun::build(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()), &run)
+            .unwrap();
+        let b = LabeledRun::build_with_plan(
+            &spec,
+            SpecScheme::build(SchemeKind::Tcm, spec.graph()),
+            &run,
+            &plan,
+        );
+        assert_eq!(a.labels(), b.labels());
+    }
+}

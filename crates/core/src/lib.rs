@@ -1,0 +1,51 @@
+//! **wfp-skl** — the skeleton-based reachability labeling scheme for
+//! workflow runs: the core contribution of *"An Optimal Labeling Scheme for
+//! Workflow Provenance Using Skeleton Labels"* (Bao, Davidson, Khanna, Roy —
+//! SIGMOD 2010).
+//!
+//! Given a specification labeled by *any* reachability scheme (the
+//! *skeleton labels*, crate `wfp-speclabel`), a run conforming to that
+//! specification is labeled with:
+//!
+//! * logarithmic-length labels — `3·log n⁺ + log n_G` bits,
+//! * linear construction time — one bottom-up contraction sweep recovers
+//!   the execution plan and per-vertex contexts with no per-copy ids in the
+//!   input ([`construct_plan`], paper §5),
+//! * constant query time — three integer comparisons classify the context
+//!   LCA; only `+`-LCA queries consult the skeleton ([`predicate`],
+//!   Algorithm 3).
+//!
+//! ```
+//! use wfp_model::fixtures;
+//! use wfp_skl::LabeledRun;
+//! use wfp_speclabel::{SchemeKind, SpecScheme};
+//!
+//! let spec = fixtures::paper_spec();
+//! let run = fixtures::paper_run(&spec);
+//! let skeleton = SpecScheme::build(SchemeKind::Tcm, spec.graph());
+//! let labeled = LabeledRun::build(&spec, skeleton, &run).unwrap();
+//!
+//! let b1 = fixtures::paper_vertex(&spec, &run, "b1");
+//! let c3 = fixtures::paper_vertex(&spec, &run, "c3");
+//! assert!(!labeled.reaches(b1, c3)); // parallel fork copies
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod bits;
+pub mod construct;
+pub mod label;
+pub mod online;
+pub mod orders;
+pub mod origin;
+
+pub use batch::label_runs_parallel;
+pub use construct::{
+    construct_plan, construct_plan_with_stats, ConstructError, ConstructStats, Issue,
+};
+pub use label::{predicate, predicate_traced, EncodedLabels, LabeledRun, QueryPath, RunLabel};
+pub use online::{OnlineError, OnlineLabeler};
+pub use orders::{generate_three_orders, ContextEncoding};
+pub use origin::{compute_origins, compute_origins_numbered, OriginError};

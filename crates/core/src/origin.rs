@@ -1,0 +1,127 @@
+//! `ComputeOrigin` (paper §4.1, Definition 8; Algorithm 2, step 1).
+//!
+//! A run vertex's *origin* is the specification module with the same name.
+//! Inside this workspace runs store origin ids directly; this module is the
+//! boundary adapter for external run logs that carry module-name strings
+//! (optionally with the paper's occurrence subscripts, e.g. `b3`).
+
+use wfp_model::{ModuleId, Specification};
+
+/// Name-resolution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginError {
+    /// Index of the offending vertex in the input slice.
+    pub vertex: usize,
+    /// The name that resolved to no module.
+    pub name: String,
+}
+
+impl std::fmt::Display for OriginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "run vertex #{} executes unknown module {:?}",
+            self.vertex, self.name
+        )
+    }
+}
+
+impl std::error::Error for OriginError {}
+
+/// Resolves exact module names to origins. `O(n_R)` expected time.
+pub fn compute_origins(
+    spec: &Specification,
+    names: &[impl AsRef<str>],
+) -> Result<Vec<ModuleId>, OriginError> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            spec.module_by_name(n.as_ref()).ok_or_else(|| OriginError {
+                vertex: i,
+                name: n.as_ref().to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Resolves names that may carry a trailing numeric occurrence subscript
+/// (`b3` → module `b`), as in the paper's figures. An exact match wins over
+/// suffix stripping, so a module literally named `b3` still resolves.
+pub fn compute_origins_numbered(
+    spec: &Specification,
+    names: &[impl AsRef<str>],
+) -> Result<Vec<ModuleId>, OriginError> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let name = n.as_ref();
+            if let Some(m) = spec.module_by_name(name) {
+                return Ok(m);
+            }
+            let stripped = name.trim_end_matches(|c: char| c.is_ascii_digit());
+            if !stripped.is_empty() && stripped.len() < name.len() {
+                if let Some(m) = spec.module_by_name(stripped) {
+                    return Ok(m);
+                }
+            }
+            Err(OriginError {
+                vertex: i,
+                name: name.to_string(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfp_model::fixtures::paper_spec;
+
+    #[test]
+    fn exact_names_resolve() {
+        let spec = paper_spec();
+        let origins = compute_origins(&spec, &["a", "b", "b", "h"]).unwrap();
+        assert_eq!(origins.len(), 4);
+        assert_eq!(spec.name(origins[0]), "a");
+        assert_eq!(origins[1], origins[2]);
+    }
+
+    #[test]
+    fn unknown_names_error_with_position() {
+        let spec = paper_spec();
+        let err = compute_origins(&spec, &["a", "zz"]).unwrap_err();
+        assert_eq!(err.vertex, 1);
+        assert_eq!(err.name, "zz");
+        assert!(err.to_string().contains("zz"));
+    }
+
+    #[test]
+    fn numbered_names_strip_subscripts() {
+        let spec = paper_spec();
+        let origins = compute_origins_numbered(&spec, &["a1", "b3", "c12", "h1"]).unwrap();
+        let names: Vec<&str> = origins.iter().map(|&m| spec.name(m)).collect();
+        assert_eq!(names, vec!["a", "b", "c", "h"]);
+    }
+
+    #[test]
+    fn numbered_prefers_exact_match() {
+        let mut b = wfp_model::SpecBuilder::new();
+        let s = b.add_module("s").unwrap();
+        let b3 = b.add_module("b3").unwrap();
+        let t = b.add_module("t").unwrap();
+        b.add_edge(s, b3).unwrap();
+        b.add_edge(b3, t).unwrap();
+        let spec = b.build().unwrap();
+        let origins = compute_origins_numbered(&spec, &["b3"]).unwrap();
+        assert_eq!(origins[0], b3);
+    }
+
+    #[test]
+    fn numbered_rejects_pure_digits_and_unknown() {
+        let spec = paper_spec();
+        assert!(compute_origins_numbered(&spec, &["123"]).is_err());
+        assert!(compute_origins_numbered(&spec, &["zz9"]).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Query workload generation (paper §8: "each point for query time is an
+//! average over 10⁶ sample queries").
+
+use wfp_graph::rng::Xoshiro256;
+use wfp_model::{Run, RunVertexId};
+
+/// `count` uniform random (source, target) vertex pairs over `run`.
+/// Pairs may repeat and may be reflexive, matching uniform sampling.
+pub fn random_pairs(run: &Run, count: usize, seed: u64) -> Vec<(RunVertexId, RunVertexId)> {
+    let n = run.vertex_count() as u64;
+    assert!(n > 0, "cannot sample queries over an empty run");
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x8538_ecb5_bd45_6ea3);
+    (0..count)
+        .map(|_| {
+            (
+                RunVertexId(rng.gen_below(n) as u32),
+                RunVertexId(rng.gen_below(n) as u32),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfp_model::fixtures::{paper_run, paper_spec};
+
+    #[test]
+    fn pairs_are_in_range_and_deterministic() {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let a = random_pairs(&run, 1000, 5);
+        let b = random_pairs(&run, 1000, 5);
+        assert_eq!(a, b);
+        for &(u, v) in &a {
+            assert!(u.index() < run.vertex_count());
+            assert!(v.index() < run.vertex_count());
+        }
+        let c = random_pairs(&run, 1000, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn coverage_is_roughly_uniform() {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let pairs = random_pairs(&run, 16_000, 1);
+        let mut hits = vec![0usize; run.vertex_count()];
+        for (u, _) in pairs {
+            hits[u.index()] += 1;
+        }
+        let expect = 16_000 / run.vertex_count();
+        for (v, &h) in hits.iter().enumerate() {
+            assert!(
+                h > expect / 2 && h < expect * 2,
+                "vertex {v} sampled {h} times, expected ≈ {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Graph substrate for the workflow-provenance workspace.
+//!
+//! This crate contains every generic data structure the rest of the
+//! workspace is built on:
+//!
+//! * [`DiGraph`] — a compact static directed multigraph used for workflow
+//!   specifications and runs.
+//! * [`DynGraph`] — a dynamic directed multigraph with O(1) edge deletion,
+//!   backing the linear-time `ConstructPlan` algorithm (paper §5).
+//! * [`FixedBitSet`] and [`TransitiveClosure`] — bit-matrix reachability used
+//!   by the `TCM` skeleton scheme (paper §7) and by test oracles.
+//! * [`Tree`] — an arena tree with Euler-tour LCA, used for the fork/loop
+//!   hierarchy `T_G` and the execution plan `T_R` (paper §4).
+//! * [`traversal`] — reusable BFS/DFS machinery with epoch-stamped visit
+//!   maps (the `BFS`/`DFS` schemes of paper §7 and the differential oracle).
+//! * [`rng`] — deterministic SplitMix64 / xoshiro256★★ random number
+//!   generation for reproducible workloads (paper §8).
+//! * [`fxhash`] — the FxHash fast hash function; `ConstructPlan` relies on
+//!   hashing for its grouping steps (paper §5.3) and FxHash keeps that O(1)
+//!   per operation with a small constant.
+//!
+//! All vertex/edge identifiers at this layer are plain `u32` indices; the
+//! `wfp-model` crate wraps them in domain newtypes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitset;
+pub mod closure;
+pub mod digraph;
+pub mod dyngraph;
+pub mod fxhash;
+pub mod orderlist;
+pub mod rng;
+pub mod topo;
+pub mod traversal;
+pub mod tree;
+
+pub use bitset::FixedBitSet;
+pub use closure::TransitiveClosure;
+pub use digraph::{DiGraph, EdgeIdx, VertexIdx, NIL};
+pub use dyngraph::DynGraph;
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use orderlist::OrderList;
+pub use rng::Xoshiro256;
+pub use topo::{sinks, sources, topo_order, CycleError};
+pub use traversal::VisitMap;
+pub use tree::Tree;

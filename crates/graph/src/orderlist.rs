@@ -1,0 +1,259 @@
+//! Order-maintenance list: O(1) order comparison with dynamic insertion.
+//!
+//! The offline labeling scheme encodes each context as three *integer*
+//! preorder positions; those integers are only known once the run is
+//! complete. The online extension (paper §9's future work, implemented in
+//! `wfp-skl::online`) instead keeps each of the three orders in an
+//! [`OrderList`]: elements can be inserted anywhere at any time, and two
+//! elements compare in O(1).
+//!
+//! The implementation is the classic tag-relabeling scheme: every element
+//! carries a `u64` tag strictly increasing along the list; insertion
+//! bisects the neighbouring tags, and when a gap is exhausted the whole
+//! list is retagged with even spacing (amortized cheap: a rebuild buys at
+//! least `2^64 / (4·len)`-sized gaps).
+
+use crate::digraph::NIL;
+
+/// A list over handle ids with O(1) order comparison.
+pub struct OrderList {
+    key: Vec<u64>,
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    head: u32,
+    tail: u32,
+    rebuilds: usize,
+}
+
+impl Default for OrderList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OrderList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        OrderList {
+            key: Vec::new(),
+            next: Vec::new(),
+            prev: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            rebuilds: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.key.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.key.is_empty()
+    }
+
+    /// How many global retaggings have happened (exposed for tests).
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuilds
+    }
+
+    fn alloc(&mut self, key: u64, prev: u32, next: u32) -> u32 {
+        let id = self.key.len() as u32;
+        self.key.push(key);
+        self.prev.push(prev);
+        self.next.push(next);
+        if prev != NIL {
+            self.next[prev as usize] = id;
+        } else {
+            self.head = id;
+        }
+        if next != NIL {
+            self.prev[next as usize] = id;
+        } else {
+            self.tail = id;
+        }
+        id
+    }
+
+    /// Appends an element at the end; returns its handle.
+    pub fn push_back(&mut self) -> u32 {
+        let tail = self.tail;
+        if tail == NIL {
+            return self.alloc(u64::MAX / 2, NIL, NIL);
+        }
+        self.insert_after(tail)
+    }
+
+    /// Inserts a new element immediately after `at`.
+    pub fn insert_after(&mut self, at: u32) -> u32 {
+        let next = self.next[at as usize];
+        match self.key_between(self.key[at as usize], self.bound_after(next)) {
+            Some(key) => self.alloc(key, at, next),
+            None => {
+                self.rebuild();
+                let next = self.next[at as usize];
+                let key = self
+                    .key_between(self.key[at as usize], self.bound_after(next))
+                    .expect("rebuild guarantees a gap");
+                self.alloc(key, at, next)
+            }
+        }
+    }
+
+    /// Inserts a new element immediately before `at`.
+    pub fn insert_before(&mut self, at: u32) -> u32 {
+        let prev = self.prev[at as usize];
+        match self.key_between(self.bound_before(prev), self.key[at as usize]) {
+            Some(key) => self.alloc(key, prev, at),
+            None => {
+                self.rebuild();
+                let prev = self.prev[at as usize];
+                let key = self
+                    .key_between(self.bound_before(prev), self.key[at as usize])
+                    .expect("rebuild guarantees a gap");
+                self.alloc(key, prev, at)
+            }
+        }
+    }
+
+    #[inline]
+    fn bound_after(&self, next: u32) -> u64 {
+        if next == NIL {
+            u64::MAX
+        } else {
+            self.key[next as usize]
+        }
+    }
+
+    #[inline]
+    fn bound_before(&self, prev: u32) -> u64 {
+        if prev == NIL {
+            0
+        } else {
+            self.key[prev as usize]
+        }
+    }
+
+    /// A key strictly between `lo` and `hi`, if the gap admits one.
+    fn key_between(&self, lo: u64, hi: u64) -> Option<u64> {
+        if hi - lo >= 2 {
+            Some(lo + (hi - lo) / 2)
+        } else {
+            None
+        }
+    }
+
+    /// Retags the whole list with even spacing.
+    fn rebuild(&mut self) {
+        self.rebuilds += 1;
+        let n = self.len() as u64;
+        let gap = (u64::MAX / (n + 2)).max(2);
+        let mut cur = self.head;
+        let mut key = gap;
+        while cur != NIL {
+            self.key[cur as usize] = key;
+            key += gap;
+            cur = self.next[cur as usize];
+        }
+    }
+
+    /// Compares two elements by list order in O(1).
+    #[inline]
+    pub fn cmp(&self, a: u32, b: u32) -> std::cmp::Ordering {
+        self.key[a as usize].cmp(&self.key[b as usize])
+    }
+
+    /// Whether `a` precedes `b` (strictly).
+    #[inline]
+    pub fn before(&self, a: u32, b: u32) -> bool {
+        self.key[a as usize] < self.key[b as usize]
+    }
+
+    /// Iterates handles in list order.
+    pub fn iter_order(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let id = cur;
+                cur = self.next[cur as usize];
+                Some(id)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn push_back_preserves_order() {
+        let mut l = OrderList::new();
+        let ids: Vec<u32> = (0..100).map(|_| l.push_back()).collect();
+        for w in ids.windows(2) {
+            assert!(l.before(w[0], w[1]));
+        }
+        assert_eq!(l.iter_order().collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn insert_before_and_after() {
+        let mut l = OrderList::new();
+        let b = l.push_back();
+        let a = l.insert_before(b);
+        let c = l.insert_after(b);
+        let d = l.insert_after(a);
+        // order: a, d, b, c
+        assert_eq!(l.iter_order().collect::<Vec<_>>(), vec![a, d, b, c]);
+        assert!(l.before(a, d) && l.before(d, b) && l.before(b, c));
+        assert_eq!(l.cmp(a, a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn pathological_front_insertion_triggers_rebuilds_but_stays_ordered() {
+        let mut l = OrderList::new();
+        let first = l.push_back();
+        let mut front = first;
+        let mut ids = vec![first];
+        for _ in 0..10_000 {
+            front = l.insert_before(front);
+            ids.push(front);
+        }
+        ids.reverse(); // insertion order is back-to-front
+        assert_eq!(l.iter_order().collect::<Vec<_>>(), ids);
+        assert!(l.rebuild_count() > 0, "front insertion must exhaust gaps");
+        for w in ids.windows(2) {
+            assert!(l.before(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn random_insertions_match_a_vector_model() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mut l = OrderList::new();
+        let mut model: Vec<u32> = vec![l.push_back()];
+        for _ in 0..5000 {
+            let pos = rng.gen_usize(model.len());
+            let at = model[pos];
+            if rng.gen_bool(0.5) {
+                let id = l.insert_after(at);
+                model.insert(pos + 1, id);
+            } else {
+                let id = l.insert_before(at);
+                model.insert(pos, id);
+            }
+        }
+        assert_eq!(l.iter_order().collect::<Vec<_>>(), model);
+        // order comparisons agree with model positions for random samples
+        for _ in 0..2000 {
+            let i = rng.gen_usize(model.len());
+            let j = rng.gen_usize(model.len());
+            assert_eq!(l.before(model[i], model[j]), i < j, "({i},{j})");
+        }
+    }
+}

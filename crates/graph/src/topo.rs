@@ -1,0 +1,125 @@
+//! Topological ordering and terminal-vertex helpers for [`DiGraph`].
+
+use crate::digraph::{DiGraph, VertexIdx};
+
+/// Error returned when a graph contains a directed cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// Number of vertices that could not be ordered (they lie on or behind a
+    /// cycle).
+    pub stuck_vertices: usize,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph contains a directed cycle ({} vertices unorderable)",
+            self.stuck_vertices
+        )
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Kahn's algorithm. Returns the vertices in a topological order, or a
+/// [`CycleError`] if the graph is not a DAG. `O(n + m)`.
+pub fn topo_order(g: &DiGraph) -> Result<Vec<VertexIdx>, CycleError> {
+    let n = g.vertex_count();
+    let mut in_deg: Vec<u32> = (0..n as u32).map(|v| g.in_degree(v) as u32).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut frontier: Vec<VertexIdx> = (0..n as u32).filter(|&v| in_deg[v as usize] == 0).collect();
+    while let Some(v) = frontier.pop() {
+        order.push(v);
+        for w in g.successors(v) {
+            let d = &mut in_deg[w as usize];
+            *d -= 1;
+            if *d == 0 {
+                frontier.push(w);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(CycleError {
+            stuck_vertices: n - order.len(),
+        })
+    }
+}
+
+/// Whether the graph is acyclic.
+pub fn is_dag(g: &DiGraph) -> bool {
+    topo_order(g).is_ok()
+}
+
+/// Vertices with no incoming edges.
+pub fn sources(g: &DiGraph) -> Vec<VertexIdx> {
+    g.vertices().filter(|&v| g.in_degree(v) == 0).collect()
+}
+
+/// Vertices with no outgoing edges.
+pub fn sinks(g: &DiGraph) -> Vec<VertexIdx> {
+    g.vertices().filter(|&v| g.out_degree(v) == 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_a_dag() {
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let order = topo_order(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        for &(u, v) in g.edges() {
+            assert!(pos[u as usize] < pos[v as usize], "edge ({u},{v}) violated");
+        }
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g = DiGraph::with_vertices(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        let err = topo_order(&g).unwrap_err();
+        assert_eq!(err.stuck_vertices, 2);
+        assert!(!is_dag(&g));
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn terminals() {
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        assert_eq!(sources(&g), vec![0]);
+        assert_eq!(sinks(&g), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_graph_is_a_dag() {
+        let g = DiGraph::new();
+        assert_eq!(topo_order(&g).unwrap(), Vec::<u32>::new());
+        assert!(is_dag(&g));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::with_vertices(1);
+        g.add_edge(0, 0);
+        assert!(!is_dag(&g));
+    }
+}

@@ -1,0 +1,247 @@
+//! Reusable BFS/DFS machinery.
+//!
+//! The `BFS`/`DFS` specification schemes of paper §7 answer each reachability
+//! query by a fresh graph search. To keep the per-query cost at `O(m + n)`
+//! with a tiny constant, [`VisitMap`] provides an epoch-stamped visited set
+//! that resets in O(1), and the search functions reuse caller-provided
+//! frontier buffers so a query performs no allocation in the steady state.
+
+use std::collections::VecDeque;
+
+use crate::digraph::{DiGraph, VertexIdx};
+use crate::FixedBitSet;
+
+/// A visited set over `0..n` that can be reset in O(1) via epoch stamping.
+pub struct VisitMap {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitMap {
+    /// Creates a map for vertices `0..n`, all unvisited.
+    pub fn new(n: usize) -> Self {
+        VisitMap {
+            stamps: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether the map covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Forgets all visits in O(1) (amortized; a full clear happens once every
+    /// `u32::MAX` resets).
+    pub fn reset(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Marks `v` visited; returns `true` if it was not visited before.
+    #[inline]
+    pub fn visit(&mut self, v: VertexIdx) -> bool {
+        let slot = &mut self.stamps[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `v` has been visited since the last [`reset`](Self::reset).
+    #[inline]
+    pub fn is_visited(&self, v: VertexIdx) -> bool {
+        self.stamps[v as usize] == self.epoch
+    }
+
+    /// Ensures the map covers at least `n` vertices.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.stamps.len() {
+            self.stamps.resize(n, 0);
+        }
+    }
+}
+
+/// BFS reachability: is there a directed path `from ⇝ to`?
+///
+/// Reflexive: `from == to` answers `true`. `visit` is reset internally;
+/// `queue` is cleared. Both are reused to avoid allocation.
+pub fn bfs_reaches(
+    g: &DiGraph,
+    from: VertexIdx,
+    to: VertexIdx,
+    visit: &mut VisitMap,
+    queue: &mut VecDeque<VertexIdx>,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    visit.reset();
+    queue.clear();
+    visit.visit(from);
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        for w in g.successors(v) {
+            if w == to {
+                return true;
+            }
+            if visit.visit(w) {
+                queue.push_back(w);
+            }
+        }
+    }
+    false
+}
+
+/// DFS reachability: is there a directed path `from ⇝ to`?
+///
+/// Reflexive, like [`bfs_reaches`]. `stack` is the reusable frontier.
+pub fn dfs_reaches(
+    g: &DiGraph,
+    from: VertexIdx,
+    to: VertexIdx,
+    visit: &mut VisitMap,
+    stack: &mut Vec<VertexIdx>,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    visit.reset();
+    stack.clear();
+    visit.visit(from);
+    stack.push(from);
+    while let Some(v) = stack.pop() {
+        for w in g.successors(v) {
+            if w == to {
+                return true;
+            }
+            if visit.visit(w) {
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// The set of vertices reachable from `from` (including `from` itself).
+pub fn reachable_set(g: &DiGraph, from: VertexIdx) -> FixedBitSet {
+    let mut set = FixedBitSet::new(g.vertex_count());
+    let mut stack = vec![from];
+    set.insert(from as usize);
+    while let Some(v) = stack.pop() {
+        for w in g.successors(v) {
+            if !set.contains(w as usize) {
+                set.insert(w as usize);
+                stack.push(w);
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_with_branch() -> DiGraph {
+        // 0 -> 1 -> 2 -> 3, 1 -> 4 (4 is a dead end)
+        let mut g = DiGraph::with_vertices(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(1, 4);
+        g
+    }
+
+    #[test]
+    fn bfs_and_dfs_agree() {
+        let g = chain_with_branch();
+        let mut vm = VisitMap::new(5);
+        let mut q = VecDeque::new();
+        let mut st = Vec::new();
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                let b = bfs_reaches(&g, u, v, &mut vm, &mut q);
+                let d = dfs_reaches(&g, u, v, &mut vm, &mut st);
+                assert_eq!(b, d, "mismatch at ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_is_reflexive_and_directional() {
+        let g = chain_with_branch();
+        let mut vm = VisitMap::new(5);
+        let mut q = VecDeque::new();
+        assert!(bfs_reaches(&g, 3, 3, &mut vm, &mut q));
+        assert!(bfs_reaches(&g, 0, 3, &mut vm, &mut q));
+        assert!(bfs_reaches(&g, 0, 4, &mut vm, &mut q));
+        assert!(!bfs_reaches(&g, 3, 0, &mut vm, &mut q));
+        assert!(!bfs_reaches(&g, 4, 3, &mut vm, &mut q));
+    }
+
+    #[test]
+    fn reachable_set_matches_pointwise_queries() {
+        let g = chain_with_branch();
+        let mut vm = VisitMap::new(5);
+        let mut q = VecDeque::new();
+        for u in 0..5u32 {
+            let set = reachable_set(&g, u);
+            for v in 0..5u32 {
+                assert_eq!(
+                    set.contains(v as usize),
+                    bfs_reaches(&g, u, v, &mut vm, &mut q),
+                    "mismatch at ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn visit_map_reset_is_cheap_and_correct() {
+        let mut vm = VisitMap::new(3);
+        assert!(vm.visit(0));
+        assert!(!vm.visit(0));
+        assert!(vm.is_visited(0));
+        vm.reset();
+        assert!(!vm.is_visited(0));
+        assert!(vm.visit(0));
+    }
+
+    #[test]
+    fn visit_map_grow() {
+        let mut vm = VisitMap::new(1);
+        vm.visit(0);
+        vm.grow(4);
+        assert_eq!(vm.len(), 4);
+        assert!(vm.is_visited(0));
+        assert!(!vm.is_visited(3));
+        assert!(vm.visit(3));
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let mut g = DiGraph::with_vertices(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        let mut vm = VisitMap::new(3);
+        let mut q = VecDeque::new();
+        assert!(bfs_reaches(&g, 0, 2, &mut vm, &mut q));
+        // no path to a vertex outside the cycle, search must terminate
+        let mut g2 = g.clone();
+        let iso = g2.add_vertex();
+        assert!(!bfs_reaches(&g2, 0, iso, &mut vm, &mut q));
+    }
+}

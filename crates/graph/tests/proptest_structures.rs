@@ -1,0 +1,229 @@
+//! Model-based property tests for the graph substrate.
+
+use proptest::prelude::*;
+use wfp_graph::dyngraph::DynGraph;
+use wfp_graph::orderlist::OrderList;
+use wfp_graph::tree::{Ancestry, Tree};
+use wfp_graph::FixedBitSet;
+
+// ----------------------------------------------------------------------
+// FixedBitSet vs. a HashSet model
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Insert(usize),
+    Remove(usize),
+    Clear,
+}
+
+fn arb_set_ops(universe: usize) -> impl Strategy<Value = Vec<SetOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..universe).prop_map(SetOp::Insert),
+            (0..universe).prop_map(SetOp::Remove),
+            Just(SetOp::Clear),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn bitset_behaves_like_hashset(ops in arb_set_ops(150)) {
+        let mut bs = FixedBitSet::new(150);
+        let mut model = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(i) => {
+                    bs.insert(i);
+                    model.insert(i);
+                }
+                SetOp::Remove(i) => {
+                    bs.remove(i);
+                    model.remove(&i);
+                }
+                SetOp::Clear => {
+                    bs.clear();
+                    model.clear();
+                }
+            }
+        }
+        prop_assert_eq!(bs.count_ones(), model.len());
+        prop_assert_eq!(bs.ones().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        for i in 0..150 {
+            prop_assert_eq!(bs.contains(i), model.contains(&i));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// DynGraph vs. a naive edge-list model
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum GraphOp {
+    AddEdge(u32, u32),
+    RemoveEdge(usize),
+    RemoveVertex(u32),
+}
+
+fn arb_graph_ops(n: u32) -> impl Strategy<Value = Vec<GraphOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0..n, 0..n).prop_map(|(a, b)| GraphOp::AddEdge(a, b)),
+            2 => any::<proptest::sample::Index>().prop_map(|i| GraphOp::RemoveEdge(i.index(64))),
+            1 => (0..n).prop_map(GraphOp::RemoveVertex),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn dyngraph_matches_naive_model(ops in arb_graph_ops(12)) {
+        let n = 12usize;
+        let mut g: DynGraph<u32> = DynGraph::with_vertices(n);
+        // model: edge id -> (from, to, alive); vertex alive flags
+        let mut edges: Vec<(u32, u32, bool)> = Vec::new();
+        let mut vertex_alive = vec![true; n];
+        for op in ops {
+            match op {
+                GraphOp::AddEdge(a, b) => {
+                    if vertex_alive[a as usize] && vertex_alive[b as usize] {
+                        let id = g.add_edge(a, b, edges.len() as u32);
+                        prop_assert_eq!(id as usize, edges.len());
+                        edges.push((a, b, true));
+                    }
+                }
+                GraphOp::RemoveEdge(i) => {
+                    if !edges.is_empty() {
+                        let i = i % edges.len();
+                        g.remove_edge(i as u32);
+                        edges[i].2 = false;
+                    }
+                }
+                GraphOp::RemoveVertex(v) => {
+                    g.remove_vertex(v);
+                    if vertex_alive[v as usize] {
+                        vertex_alive[v as usize] = false;
+                        for e in edges.iter_mut() {
+                            if e.0 == v || e.1 == v {
+                                e.2 = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // counts
+        let alive = edges.iter().filter(|e| e.2).count();
+        prop_assert_eq!(g.alive_edge_count(), alive);
+        prop_assert_eq!(
+            g.alive_vertex_count(),
+            vertex_alive.iter().filter(|&&b| b).count()
+        );
+        // adjacency agreement per vertex
+        for v in 0..n as u32 {
+            let mut got_out: Vec<u32> = g.out_edges(v).collect();
+            got_out.sort_unstable();
+            let mut want_out: Vec<u32> = edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.2 && e.0 == v)
+                .map(|(i, _)| i as u32)
+                .collect();
+            want_out.sort_unstable();
+            prop_assert_eq!(got_out, want_out, "out edges of {}", v);
+            let mut got_in: Vec<u32> = g.in_edges(v).collect();
+            got_in.sort_unstable();
+            let mut want_in: Vec<u32> = edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.2 && e.1 == v)
+                .map(|(i, _)| i as u32)
+                .collect();
+            want_in.sort_unstable();
+            prop_assert_eq!(got_in, want_in, "in edges of {}", v);
+            prop_assert_eq!(g.out_degree(v), g.out_edges(v).count());
+            prop_assert_eq!(g.in_degree(v), g.in_edges(v).count());
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Euler-tour LCA vs. naive parent walking
+// ----------------------------------------------------------------------
+
+fn naive_lca(tree: &Tree<u32>, mut a: u32, mut b: u32, depths: &[u32]) -> u32 {
+    while depths[a as usize] > depths[b as usize] {
+        a = tree.parent(a).unwrap();
+    }
+    while depths[b as usize] > depths[a as usize] {
+        b = tree.parent(b).unwrap();
+    }
+    while a != b {
+        a = tree.parent(a).unwrap();
+        b = tree.parent(b).unwrap();
+    }
+    a
+}
+
+proptest! {
+    #[test]
+    fn ancestry_matches_naive_lca(parents in proptest::collection::vec(any::<proptest::sample::Index>(), 1..60)) {
+        // random tree: node i+1 attaches to a random earlier node
+        let mut tree: Tree<u32> = Tree::new();
+        let root = tree.add_node(0);
+        for (i, p) in parents.iter().enumerate() {
+            let parent = p.index(i + 1) as u32;
+            tree.add_child(parent, i as u32 + 1);
+        }
+        let anc = Ancestry::build(&tree, root);
+        let depths = tree.depths(root);
+        let n = tree.len() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                let expected = naive_lca(&tree, a, b, &depths);
+                prop_assert_eq!(anc.lca(a, b), expected, "lca({}, {})", a, b);
+                prop_assert_eq!(
+                    anc.is_ancestor(a, b),
+                    expected == a,
+                    "is_ancestor({}, {})", a, b
+                );
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// OrderList vs. a Vec model under mixed insertions
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn orderlist_matches_vec_model(ops in proptest::collection::vec((any::<proptest::sample::Index>(), any::<bool>()), 1..300)) {
+        let mut list = OrderList::new();
+        let mut model = vec![list.push_back()];
+        for (idx, after) in ops {
+            let pos = idx.index(model.len());
+            let id = if after {
+                let id = list.insert_after(model[pos]);
+                model.insert(pos + 1, id);
+                id
+            } else {
+                let id = list.insert_before(model[pos]);
+                model.insert(pos, id);
+                id
+            };
+            let _ = id;
+        }
+        prop_assert_eq!(list.iter_order().collect::<Vec<_>>(), model.clone());
+        // random order probes
+        for k in (0..model.len()).step_by(7) {
+            for l in (0..model.len()).step_by(11) {
+                prop_assert_eq!(list.before(model[k], model[l]), k < l);
+            }
+        }
+    }
+}

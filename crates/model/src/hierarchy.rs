@@ -1,0 +1,315 @@
+//! The fork/loop hierarchy `T_G` (paper §4.1, Figure 6).
+//!
+//! Well-nestedness makes the subgraphs of a specification a laminar family,
+//! captured by an unordered tree whose root stands for the whole graph `G`
+//! and whose other nodes stand for the fork/loop subgraphs. The hierarchy
+//! also precomputes everything the plan builder and the generators need:
+//!
+//! * `levels` — nodes grouped by depth (root = level 1), driving the
+//!   bottom-up sweep of `ConstructPlan` (§5);
+//! * `deepest_for_edge` — the deepest subgraph containing each spec edge
+//!   (edges outside every subgraph belong to the root's quotient);
+//! * `dominator_of_vertex` — the deepest subgraph *dominating* each module
+//!   (Definition 2's `DomSet`), the specification-side analogue of a run
+//!   vertex's context;
+//! * `leaders` — for each leaf subgraph an arbitrary member edge, for each
+//!   inner subgraph a candidate child, exactly as §5.1 prescribes for
+//!   identifying copies in linear time.
+
+use wfp_graph::tree::Tree;
+use wfp_graph::DiGraph;
+
+use crate::ids::{ModuleId, SpecEdgeId, SubgraphId};
+use crate::spec::Subgraph;
+use crate::validate::nested_in;
+
+/// Seed used by `ConstructPlan` to find the copies of a subgraph (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Leader {
+    /// A leaf subgraph: any member edge; run edges with the same endpoint
+    /// origins are exactly its copies.
+    Edge(SpecEdgeId),
+    /// An inner subgraph: a designated child whose group special edges seed
+    /// the copies.
+    Child(SubgraphId),
+}
+
+/// The fork/loop hierarchy of a specification.
+pub struct Hierarchy {
+    tree: Tree<Option<SubgraphId>>,
+    root: u32,
+    node_of: Vec<u32>,
+    depth: Vec<u32>,
+    levels: Vec<Vec<u32>>,
+    deepest_for_edge: Vec<Option<SubgraphId>>,
+    dominator_of_vertex: Vec<Option<SubgraphId>>,
+    plain_edges: Vec<Vec<SpecEdgeId>>,
+    leaders: Vec<Leader>,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for validated, well-nested `subgraphs`.
+    pub(crate) fn build(graph: &DiGraph, subgraphs: &[Subgraph]) -> Self {
+        let k = subgraphs.len();
+        let mut tree: Tree<Option<SubgraphId>> = Tree::new();
+        let root = tree.add_node(None);
+        let node_of: Vec<u32> = (0..k)
+            .map(|i| tree.add_node(Some(SubgraphId(i as u32))))
+            .collect();
+
+        // Parent of each subgraph: the smallest strict superset, or the root.
+        // Subgraph counts are small (tens), so the quadratic scan with
+        // merge-based subset checks is fine; see DESIGN.md.
+        for i in 0..k {
+            let mut parent: Option<usize> = None;
+            for j in 0..k {
+                if i == j || !nested_in(&subgraphs[i], &subgraphs[j]) {
+                    continue;
+                }
+                let better = match parent {
+                    None => true,
+                    Some(p) => {
+                        let key = |s: &Subgraph| (s.edges.len(), s.dom_set().len());
+                        key(&subgraphs[j]) < key(&subgraphs[p])
+                    }
+                };
+                if better {
+                    parent = Some(j);
+                }
+            }
+            match parent {
+                Some(p) => tree.set_parent(node_of[i], node_of[p]),
+                None => tree.set_parent(node_of[i], root),
+            }
+        }
+
+        // Depths with the paper's convention: root at level 1.
+        let depth: Vec<u32> = tree.depths(root).iter().map(|&d| d + 1).collect();
+        let max_depth = depth.iter().copied().max().unwrap_or(1) as usize;
+        let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_depth + 1];
+        for node in 0..tree.len() as u32 {
+            levels[depth[node as usize] as usize].push(node);
+        }
+
+        // Deepest containing subgraph per edge / deepest dominator per
+        // vertex: sweep subgraphs from deepest to shallowest, first writer
+        // wins (containment chains guarantee uniqueness of the deepest).
+        let mut by_depth: Vec<usize> = (0..k).collect();
+        by_depth.sort_by_key(|&i| std::cmp::Reverse(depth[node_of[i] as usize]));
+        let mut deepest_for_edge: Vec<Option<SubgraphId>> = vec![None; graph.edge_count()];
+        let mut dominator_of_vertex: Vec<Option<SubgraphId>> = vec![None; graph.vertex_count()];
+        for &i in &by_depth {
+            for &e in &subgraphs[i].edges {
+                deepest_for_edge[e.index()].get_or_insert(SubgraphId(i as u32));
+            }
+            for &v in subgraphs[i].dom_set() {
+                dominator_of_vertex[v.index()].get_or_insert(SubgraphId(i as u32));
+            }
+        }
+
+        // Quotient plain edges per node: edges whose deepest container is
+        // that node (None -> root).
+        let mut plain_edges: Vec<Vec<SpecEdgeId>> = vec![Vec::new(); tree.len()];
+        for e in 0..graph.edge_count() as u32 {
+            let node = match deepest_for_edge[e as usize] {
+                Some(sg) => node_of[sg.index()],
+                None => root,
+            };
+            plain_edges[node as usize].push(SpecEdgeId(e));
+        }
+
+        // Leaders (§5.1): leaf -> any member edge; inner -> first child.
+        let leaders: Vec<Leader> = (0..k)
+            .map(|i| {
+                let node = node_of[i];
+                match tree.children(node).first() {
+                    Some(&c) => Leader::Child(tree.data(c).expect("non-root child")),
+                    None => Leader::Edge(subgraphs[i].edges[0]),
+                }
+            })
+            .collect();
+
+        Hierarchy {
+            tree,
+            root,
+            node_of,
+            depth,
+            levels,
+            deepest_for_edge,
+            dominator_of_vertex,
+            plain_edges,
+            leaders,
+        }
+    }
+
+    /// Total number of nodes, the paper's `|T_G|` (forks + loops + 1).
+    pub fn size(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Depth of the hierarchy, the paper's `[T_G]` (root counts as 1).
+    pub fn max_depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The underlying tree; node payloads are `None` for the root and
+    /// `Some(subgraph)` otherwise.
+    pub fn tree(&self) -> &Tree<Option<SubgraphId>> {
+        &self.tree
+    }
+
+    /// The root node (the whole specification).
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Tree node of a subgraph.
+    pub fn node_of(&self, sg: SubgraphId) -> u32 {
+        self.node_of[sg.index()]
+    }
+
+    /// Subgraph of a tree node (`None` for the root).
+    pub fn subgraph_at(&self, node: u32) -> Option<SubgraphId> {
+        *self.tree.data(node)
+    }
+
+    /// Level of a tree node (root = 1).
+    pub fn level_of_node(&self, node: u32) -> u32 {
+        self.depth[node as usize]
+    }
+
+    /// Nodes at `level` (1-based; level 1 is `[root]`).
+    pub fn level(&self, level: usize) -> &[u32] {
+        &self.levels[level]
+    }
+
+    /// Parent subgraph, or `None` if the parent is the root.
+    pub fn parent_subgraph(&self, sg: SubgraphId) -> Option<SubgraphId> {
+        let p = self.tree.parent(self.node_of(sg))?;
+        self.subgraph_at(p)
+    }
+
+    /// Deepest subgraph containing edge `e` (`None` = only the root).
+    pub fn deepest_for_edge(&self, e: SpecEdgeId) -> Option<SubgraphId> {
+        self.deepest_for_edge[e.index()]
+    }
+
+    /// Deepest subgraph dominating module `v` (`None` = only the root).
+    pub fn dominator_of_vertex(&self, v: ModuleId) -> Option<SubgraphId> {
+        self.dominator_of_vertex[v.index()]
+    }
+
+    /// Edges whose deepest container is `node` — the plain edges of the
+    /// node's quotient graph.
+    pub fn plain_edges(&self, node: u32) -> &[SpecEdgeId] {
+        &self.plain_edges[node as usize]
+    }
+
+    /// The leader seed of a subgraph (§5.1).
+    pub fn leader(&self, sg: SubgraphId) -> Leader {
+        self.leaders[sg.index()]
+    }
+
+    /// Child subgraphs of a node, in tree order.
+    pub fn child_subgraphs(&self, node: u32) -> impl Iterator<Item = SubgraphId> + '_ {
+        self.tree
+            .children(node)
+            .iter()
+            .map(|&c| self.subgraph_at(c).expect("non-root child"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fixtures;
+    use crate::ids::ModuleId;
+    use crate::spec::SubgraphKind;
+
+    #[test]
+    fn paper_hierarchy_shape() {
+        let spec = fixtures::paper_spec();
+        let h = spec.hierarchy();
+        // G -> {F1, L1}; F1 -> {L2}; L1 -> {F2}  (Figure 6)
+        assert_eq!(h.size(), 5);
+        assert_eq!(h.max_depth(), 3);
+        assert_eq!(h.level(1), &[h.root()]);
+        assert_eq!(h.level(2).len(), 2);
+        assert_eq!(h.level(3).len(), 2);
+
+        let f1 = fixtures::paper_subgraph(&spec, "F1");
+        let l1 = fixtures::paper_subgraph(&spec, "L1");
+        let l2 = fixtures::paper_subgraph(&spec, "L2");
+        let f2 = fixtures::paper_subgraph(&spec, "F2");
+        assert_eq!(h.parent_subgraph(f1), None);
+        assert_eq!(h.parent_subgraph(l1), None);
+        assert_eq!(h.parent_subgraph(l2), Some(f1));
+        assert_eq!(h.parent_subgraph(f2), Some(l1));
+        assert_eq!(spec.subgraph(f1).kind, SubgraphKind::Fork);
+        assert_eq!(spec.subgraph(l1).kind, SubgraphKind::Loop);
+    }
+
+    #[test]
+    fn paper_edge_and_vertex_assignment() {
+        let spec = fixtures::paper_spec();
+        let h = spec.hierarchy();
+        let m = |n: &str| spec.module_by_name(n).unwrap();
+        let f1 = fixtures::paper_subgraph(&spec, "F1");
+        let l1 = fixtures::paper_subgraph(&spec, "L1");
+        let l2 = fixtures::paper_subgraph(&spec, "L2");
+        let f2 = fixtures::paper_subgraph(&spec, "F2");
+
+        // dominators (specification-side contexts)
+        assert_eq!(h.dominator_of_vertex(m("a")), None);
+        assert_eq!(h.dominator_of_vertex(m("d")), None);
+        assert_eq!(h.dominator_of_vertex(m("h")), None);
+        assert_eq!(h.dominator_of_vertex(m("b")), Some(l2));
+        assert_eq!(h.dominator_of_vertex(m("c")), Some(l2));
+        assert_eq!(h.dominator_of_vertex(m("e")), Some(l1));
+        assert_eq!(h.dominator_of_vertex(m("g")), Some(l1));
+        assert_eq!(h.dominator_of_vertex(m("f")), Some(f2));
+
+        // E(F2) = E(L1): those edges' deepest container is the fork
+        for &e in &spec.subgraph(l1).edges {
+            assert_eq!(h.deepest_for_edge(e), Some(f2));
+        }
+        // F1's entry edge (a,b) belongs to F1 but not to L2
+        let ab = spec
+            .edge_ids()
+            .find(|&e| spec.edge(e) == (m("a"), m("b")))
+            .unwrap();
+        assert_eq!(h.deepest_for_edge(ab), Some(f1));
+        // (a,d) is a root-level plain edge
+        let ad = spec
+            .edge_ids()
+            .find(|&e| spec.edge(e) == (m("a"), m("d")))
+            .unwrap();
+        assert_eq!(h.deepest_for_edge(ad), None);
+        assert!(h.plain_edges(h.root()).contains(&ad));
+        // L1's quotient has no plain edges (all claimed by F2)
+        assert!(h.plain_edges(h.node_of(l1)).is_empty());
+    }
+
+    #[test]
+    fn paper_leaders() {
+        use crate::hierarchy::Leader;
+        let spec = fixtures::paper_spec();
+        let h = spec.hierarchy();
+        let f1 = fixtures::paper_subgraph(&spec, "F1");
+        let l1 = fixtures::paper_subgraph(&spec, "L1");
+        let l2 = fixtures::paper_subgraph(&spec, "L2");
+        let f2 = fixtures::paper_subgraph(&spec, "F2");
+        assert_eq!(h.leader(f1), Leader::Child(l2));
+        assert_eq!(h.leader(l1), Leader::Child(f2));
+        assert!(matches!(h.leader(l2), Leader::Edge(_)));
+        assert!(matches!(h.leader(f2), Leader::Edge(_)));
+        if let Leader::Edge(e) = h.leader(l2) {
+            let (u, v) = spec.edge(e);
+            assert_eq!(
+                (spec.name(u), spec.name(v)),
+                ("b", "c"),
+                "L2's only edge is (b, c)"
+            );
+        }
+        let _ = ModuleId(0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Strongly-typed identifiers for the workflow model.
+//!
+//! The graph substrate works on raw `u32` indices; this module wraps them in
+//! domain newtypes so a specification vertex can never be confused with a run
+//! vertex or a plan-tree node.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index as a `usize`, for direct slice indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The raw `u32` index.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A module (vertex) of a workflow specification.
+    ModuleId,
+    "m"
+);
+id_type!(
+    /// An edge (data channel) of a workflow specification.
+    SpecEdgeId,
+    "se"
+);
+id_type!(
+    /// A fork or loop subgraph of a specification.
+    SubgraphId,
+    "sg"
+);
+id_type!(
+    /// A vertex (module execution) of a workflow run.
+    RunVertexId,
+    "r"
+);
+id_type!(
+    /// An edge (data channel instance) of a workflow run.
+    RunEdgeId,
+    "re"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let m = ModuleId(7);
+        assert_eq!(m.index(), 7);
+        assert_eq!(m.raw(), 7);
+        assert_eq!(ModuleId::from(7u32), m);
+        assert_eq!(m.to_string(), "m7");
+        assert_eq!(format!("{m:?}"), "m7");
+        assert_eq!(RunVertexId(3).to_string(), "r3");
+        assert_eq!(SubgraphId(0).to_string(), "sg0");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(SpecEdgeId(1) < SpecEdgeId(2));
+        let mut v = vec![RunEdgeId(5), RunEdgeId(1)];
+        v.sort();
+        assert_eq!(v, vec![RunEdgeId(1), RunEdgeId(5)]);
+    }
+}

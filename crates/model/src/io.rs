@@ -1,0 +1,304 @@
+//! XML persistence for specifications and runs.
+//!
+//! The paper stores both specifications and runs as XML files (§8); this
+//! module defines the equivalent schema. Reading re-runs the full
+//! validation, so a loaded specification carries the same guarantees as a
+//! built one.
+//!
+//! ```xml
+//! <specification>
+//!   <module id="0" name="a"/> ...
+//!   <channel from="0" to="1"/> ...
+//!   <subgraph kind="fork" edges="0 1 2"/> ...
+//! </specification>
+//!
+//! <run>
+//!   <vertex id="0" origin="0"/> ...
+//!   <edge from="0" to="1"/> ...
+//! </run>
+//! ```
+
+use wfp_xml::{parse_document, Element, ParseError, Writer};
+
+use crate::ids::{ModuleId, RunVertexId, SpecEdgeId};
+use crate::run::{Run, RunBuilder, RunError};
+use crate::spec::{SpecBuilder, Specification, SubgraphKind};
+use crate::validate::SpecError;
+
+/// Errors when loading workflow XML.
+#[derive(Debug)]
+pub enum IoError {
+    /// Malformed XML.
+    Parse(ParseError),
+    /// Well-formed XML that does not match the schema.
+    Schema(String),
+    /// The document decodes to an invalid specification.
+    InvalidSpec(SpecError),
+    /// The document decodes to an invalid run.
+    InvalidRun(RunError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Parse(e) => write!(f, "{e}"),
+            IoError::Schema(m) => write!(f, "schema error: {m}"),
+            IoError::InvalidSpec(e) => write!(f, "invalid specification: {e}"),
+            IoError::InvalidRun(e) => write!(f, "invalid run: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<ParseError> for IoError {
+    fn from(e: ParseError) -> Self {
+        IoError::Parse(e)
+    }
+}
+
+fn schema_err(msg: impl Into<String>) -> IoError {
+    IoError::Schema(msg.into())
+}
+
+/// Serializes a specification to XML.
+pub fn spec_to_xml(spec: &Specification) -> String {
+    let mut w = Writer::new();
+    w.begin("specification");
+    for m in spec.modules() {
+        w.begin("module");
+        w.attr_num("id", m.raw());
+        w.attr("name", spec.name(m));
+        w.end();
+    }
+    for e in spec.edge_ids() {
+        let (u, v) = spec.edge(e);
+        w.begin("channel");
+        w.attr_num("from", u.raw());
+        w.attr_num("to", v.raw());
+        w.end();
+    }
+    for (_, sg) in spec.subgraphs() {
+        w.begin("subgraph");
+        w.attr(
+            "kind",
+            match sg.kind {
+                SubgraphKind::Fork => "fork",
+                SubgraphKind::Loop => "loop",
+            },
+        );
+        let edges = sg
+            .edges
+            .iter()
+            .map(|e| e.raw().to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        w.attr("edges", &edges);
+        w.end();
+    }
+    w.end();
+    w.finish()
+}
+
+/// Parses and validates a specification from XML.
+pub fn spec_from_xml(xml: &str) -> Result<Specification, IoError> {
+    let doc = parse_document(xml)?;
+    if doc.name != "specification" {
+        return Err(schema_err(format!("expected <specification>, got <{}>", doc.name)));
+    }
+    let mut builder = SpecBuilder::new();
+    let mut module_count = 0u32;
+    for m in doc.children_named("module") {
+        let id: u32 = m
+            .attr_num("id")
+            .ok_or_else(|| schema_err("<module> missing numeric id"))?;
+        if id != module_count {
+            return Err(schema_err(format!(
+                "<module> ids must be dense and ordered; expected {module_count}, got {id}"
+            )));
+        }
+        let name = m
+            .attr("name")
+            .ok_or_else(|| schema_err("<module> missing name"))?;
+        builder.add_module(name).map_err(IoError::InvalidSpec)?;
+        module_count += 1;
+    }
+    for c in doc.children_named("channel") {
+        let from: u32 = c
+            .attr_num("from")
+            .ok_or_else(|| schema_err("<channel> missing from"))?;
+        let to: u32 = c
+            .attr_num("to")
+            .ok_or_else(|| schema_err("<channel> missing to"))?;
+        if from >= module_count || to >= module_count {
+            return Err(schema_err(format!("channel ({from},{to}) out of range")));
+        }
+        builder
+            .add_edge(ModuleId(from), ModuleId(to))
+            .map_err(IoError::InvalidSpec)?;
+    }
+    for s in doc.children_named("subgraph") {
+        let edges = parse_id_list(s, "edges")?
+            .into_iter()
+            .map(SpecEdgeId)
+            .collect();
+        match s.attr("kind") {
+            Some("fork") => {
+                builder.add_fork(edges);
+            }
+            Some("loop") => {
+                builder.add_loop(edges);
+            }
+            other => return Err(schema_err(format!("bad subgraph kind {other:?}"))),
+        }
+    }
+    builder.build().map_err(IoError::InvalidSpec)
+}
+
+fn parse_id_list(el: &Element, key: &str) -> Result<Vec<u32>, IoError> {
+    let raw = el
+        .attr(key)
+        .ok_or_else(|| schema_err(format!("<{}> missing {key}", el.name)))?;
+    raw.split_whitespace()
+        .map(|tok| {
+            tok.parse::<u32>()
+                .map_err(|_| schema_err(format!("bad id {tok:?} in {key}")))
+        })
+        .collect()
+}
+
+/// Serializes a run to XML.
+pub fn run_to_xml(run: &Run) -> String {
+    let mut w = Writer::new();
+    w.begin("run");
+    for v in run.vertices() {
+        w.begin("vertex");
+        w.attr_num("id", v.raw());
+        w.attr_num("origin", run.origin(v).raw());
+        w.end();
+    }
+    for e in run.edge_ids() {
+        let (u, v) = run.edge(e);
+        w.begin("edge");
+        w.attr_num("from", u.raw());
+        w.attr_num("to", v.raw());
+        w.end();
+    }
+    w.end();
+    w.finish()
+}
+
+/// Parses a run from XML, checking it against `spec` structurally.
+pub fn run_from_xml(xml: &str, spec: &Specification) -> Result<Run, IoError> {
+    let doc = parse_document(xml)?;
+    if doc.name != "run" {
+        return Err(schema_err(format!("expected <run>, got <{}>", doc.name)));
+    }
+    let mut builder = RunBuilder::new();
+    let mut count = 0u32;
+    for v in doc.children_named("vertex") {
+        let id: u32 = v
+            .attr_num("id")
+            .ok_or_else(|| schema_err("<vertex> missing id"))?;
+        if id != count {
+            return Err(schema_err(format!(
+                "<vertex> ids must be dense and ordered; expected {count}, got {id}"
+            )));
+        }
+        let origin: u32 = v
+            .attr_num("origin")
+            .ok_or_else(|| schema_err("<vertex> missing origin"))?;
+        builder.add_vertex(ModuleId(origin));
+        count += 1;
+    }
+    for e in doc.children_named("edge") {
+        let from: u32 = e
+            .attr_num("from")
+            .ok_or_else(|| schema_err("<edge> missing from"))?;
+        let to: u32 = e
+            .attr_num("to")
+            .ok_or_else(|| schema_err("<edge> missing to"))?;
+        if from >= count || to >= count {
+            return Err(schema_err(format!("edge ({from},{to}) out of range")));
+        }
+        builder.add_edge(RunVertexId(from), RunVertexId(to));
+    }
+    builder.finish(spec).map_err(IoError::InvalidRun)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn spec_round_trip() {
+        let spec = fixtures::paper_spec();
+        let xml = spec_to_xml(&spec);
+        let back = spec_from_xml(&xml).unwrap();
+        assert_eq!(back.module_count(), spec.module_count());
+        assert_eq!(back.channel_count(), spec.channel_count());
+        assert_eq!(back.subgraph_count(), spec.subgraph_count());
+        for m in spec.modules() {
+            assert_eq!(back.name(m), spec.name(m));
+        }
+        for e in spec.edge_ids() {
+            assert_eq!(back.edge(e), spec.edge(e));
+        }
+        for (id, sg) in spec.subgraphs() {
+            let bsg = back.subgraph(id);
+            assert_eq!(bsg.kind, sg.kind);
+            assert_eq!(bsg.edges, sg.edges);
+        }
+        // hierarchy is rebuilt identically
+        assert_eq!(back.hierarchy().size(), spec.hierarchy().size());
+        assert_eq!(back.hierarchy().max_depth(), spec.hierarchy().max_depth());
+    }
+
+    #[test]
+    fn run_round_trip() {
+        let spec = fixtures::paper_spec();
+        let run = fixtures::paper_run(&spec);
+        let xml = run_to_xml(&run);
+        let back = run_from_xml(&xml, &spec).unwrap();
+        assert_eq!(back.vertex_count(), run.vertex_count());
+        assert_eq!(back.edge_count(), run.edge_count());
+        for v in run.vertices() {
+            assert_eq!(back.origin(v), run.origin(v));
+        }
+        for e in run.edge_ids() {
+            assert_eq!(back.edge(e), run.edge(e));
+        }
+    }
+
+    #[test]
+    fn schema_violations_are_reported() {
+        assert!(matches!(
+            spec_from_xml("<wrong/>"),
+            Err(IoError::Schema(_))
+        ));
+        assert!(matches!(
+            spec_from_xml("<specification><module id=\"5\" name=\"a\"/></specification>"),
+            Err(IoError::Schema(_))
+        ));
+        assert!(matches!(spec_from_xml("<specification"), Err(IoError::Parse(_))));
+        let spec = fixtures::paper_spec();
+        assert!(matches!(
+            run_from_xml("<run><vertex id=\"0\" origin=\"999\"/></run>", &spec),
+            Err(IoError::InvalidRun(RunError::BadOrigin(_)))
+        ));
+    }
+
+    #[test]
+    fn invalid_spec_content_is_reported() {
+        // cyclic channel structure
+        let xml = "<specification>\
+                   <module id=\"0\" name=\"a\"/><module id=\"1\" name=\"b\"/>\
+                   <channel from=\"0\" to=\"1\"/><channel from=\"1\" to=\"0\"/>\
+                   </specification>";
+        assert!(matches!(
+            spec_from_xml(xml),
+            Err(IoError::InvalidSpec(SpecError::Cyclic))
+        ));
+    }
+}

@@ -1,0 +1,36 @@
+//! The workflow model of Bao, Davidson, Khanna & Roy (SIGMOD 2010), §3.
+//!
+//! * [`Specification`] — a DAG with a well-nested fork/loop system
+//!   `(G, F, L)`, built through [`SpecBuilder`] and validated against every
+//!   clause of Definitions 1–3 ([`validate`]).
+//! * [`Hierarchy`] — the fork/loop hierarchy `T_G` with the level structure,
+//!   leader seeds and quotient bookkeeping that the linear-time algorithms
+//!   need.
+//! * [`Run`] — an execution of a specification (Definition 6); a DAG (and in
+//!   general a multigraph) whose vertices carry origin modules.
+//! * [`ExecutionPlan`] — the semi-ordered tree `T_R` of fork/loop copies
+//!   plus the per-vertex *context* (Definition 9), assembled via
+//!   [`PlanBuilder`].
+//! * [`fixtures`] — the paper's running example (Figures 2–3) used as a
+//!   shared test fixture across the workspace.
+//! * [`io`] — XML persistence for specifications and runs (the paper stores
+//!   both as XML files, §8).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fixtures;
+pub mod hierarchy;
+pub mod ids;
+pub mod io;
+pub mod plan;
+pub mod run;
+pub mod spec;
+pub mod validate;
+
+pub use hierarchy::{Hierarchy, Leader};
+pub use ids::{ModuleId, RunEdgeId, RunVertexId, SpecEdgeId, SubgraphId};
+pub use plan::{ExecutionPlan, PlanBuilder, PlanError, PlanNodeKind};
+pub use run::{Run, RunBuilder, RunError};
+pub use spec::{SpecBuilder, Specification, Subgraph, SubgraphKind};
+pub use validate::SpecError;

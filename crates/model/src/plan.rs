@@ -1,0 +1,469 @@
+//! Execution plans `T_R` and vertex contexts (paper §4.1, Figures 7–8).
+//!
+//! An execution plan is a *semi-ordered* tree describing how a run was
+//! produced: the root (`G+`) is the whole run, `+` nodes are single fork or
+//! loop copies, and `−` nodes collect all copies of one subgraph produced by
+//! one execution group (children of an `L−` node are ordered by serial
+//! position; all other children are unordered).
+//!
+//! The *context* of a run vertex is the deepest `+` node dominating it
+//! (Definition 9). Both the linear-time plan builder in `wfp-skl`
+//! (recovering `T_R` from a bare run) and the run generator in `wfp-gen`
+//! (which knows `T_R` by construction) produce values of this type, which is
+//! what makes the differential tests possible.
+
+use wfp_graph::tree::Tree;
+
+use crate::ids::{RunVertexId, SubgraphId};
+use crate::spec::{Specification, SubgraphKind};
+
+/// The kind of an execution-plan node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanNodeKind {
+    /// The root `G+`: the entire run.
+    Root,
+    /// A single copy of a fork or loop subgraph (`F+` / `L+`).
+    Plus(SubgraphId),
+    /// All copies of a subgraph from one execution group (`F−` / `L−`).
+    Minus(SubgraphId),
+}
+
+impl PlanNodeKind {
+    /// Whether this node is a `+` node (the root counts).
+    pub fn is_plus(self) -> bool {
+        matches!(self, PlanNodeKind::Root | PlanNodeKind::Plus(_))
+    }
+
+    /// The subgraph this node refers to, if not the root.
+    pub fn subgraph(self) -> Option<SubgraphId> {
+        match self {
+            PlanNodeKind::Root => None,
+            PlanNodeKind::Plus(s) | PlanNodeKind::Minus(s) => Some(s),
+        }
+    }
+}
+
+/// Problems detected when assembling an execution plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The tree does not have exactly one root.
+    BadRootCount(usize),
+    /// The root node is not of kind [`PlanNodeKind::Root`].
+    RootKind,
+    /// A `+` node has a child that is not a `−` node, or vice versa.
+    BrokenAlternation(u32),
+    /// A `−` node has no children (every group has at least one copy).
+    EmptyGroup(u32),
+    /// A `+` child refers to a different subgraph than its `−` parent.
+    GroupMismatch(u32),
+    /// A run vertex has no context assigned.
+    MissingContext(RunVertexId),
+    /// A context points at a `−` node.
+    ContextNotPlus(RunVertexId),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::BadRootCount(n) => write!(f, "plan tree has {n} roots, expected 1"),
+            PlanError::RootKind => write!(f, "plan root is not a G+ node"),
+            PlanError::BrokenAlternation(x) => {
+                write!(f, "plan node {x} breaks the +/− level alternation")
+            }
+            PlanError::EmptyGroup(x) => write!(f, "group node {x} has no copies"),
+            PlanError::GroupMismatch(x) => {
+                write!(f, "copy node {x} does not match its group's subgraph")
+            }
+            PlanError::MissingContext(v) => write!(f, "run vertex {v} has no context"),
+            PlanError::ContextNotPlus(v) => write!(f, "context of {v} is not a + node"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A validated execution plan with vertex contexts.
+pub struct ExecutionPlan {
+    tree: Tree<PlanNodeKind>,
+    root: u32,
+    context: Vec<u32>,
+}
+
+impl ExecutionPlan {
+    /// The plan tree.
+    pub fn tree(&self) -> &Tree<PlanNodeKind> {
+        &self.tree
+    }
+
+    /// The root (`G+`) node.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Kind of node `x`.
+    pub fn kind(&self, x: u32) -> PlanNodeKind {
+        *self.tree.data(x)
+    }
+
+    /// The context (deepest dominating `+` node) of run vertex `v`.
+    #[inline]
+    pub fn context(&self, v: RunVertexId) -> u32 {
+        self.context[v.index()]
+    }
+
+    /// Contexts of all run vertices, indexed by vertex.
+    pub fn contexts(&self) -> &[u32] {
+        &self.context
+    }
+
+    /// Total number of plan nodes `|V(T_R)|`.
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Number of `+` nodes (including the root).
+    pub fn plus_node_count(&self) -> usize {
+        (0..self.tree.len() as u32)
+            .filter(|&x| self.kind(x).is_plus())
+            .count()
+    }
+
+    /// Flags per node: `true` for *nonempty* `+` nodes, i.e. nodes serving
+    /// as the context of at least one run vertex. Only these receive
+    /// positions in the three total orders (§4.3).
+    pub fn nonempty_plus_flags(&self) -> Vec<bool> {
+        let mut flags = vec![false; self.tree.len()];
+        for &c in &self.context {
+            flags[c as usize] = true;
+        }
+        flags
+    }
+
+    /// Number of nonempty `+` nodes `n⁺_T` (the paper's label-length bound
+    /// uses `3·log n⁺_T + log n_G`).
+    pub fn nonempty_plus_count(&self) -> usize {
+        self.nonempty_plus_flags().iter().filter(|&&b| b).count()
+    }
+
+    /// Structural equality up to reordering of *unordered* children
+    /// (children of `L−` nodes keep their serial order). Both plans must
+    /// describe the same run for the comparison to be meaningful.
+    pub fn equivalent(&self, other: &ExecutionPlan, spec: &Specification) -> bool {
+        if self.context.len() != other.context.len() {
+            return false;
+        }
+        canonical(self, spec) == canonical(other, spec)
+    }
+}
+
+/// Canonical flattened form used by [`ExecutionPlan::equivalent`].
+fn canonical(plan: &ExecutionPlan, spec: &Specification) -> Vec<u64> {
+    // direct context assignments per node, sorted
+    let mut assigned: Vec<Vec<u64>> = vec![Vec::new(); plan.node_count()];
+    for (v, &x) in plan.context.iter().enumerate() {
+        assigned[x as usize].push(v as u64);
+    }
+    fn rec(plan: &ExecutionPlan, spec: &Specification, assigned: &[Vec<u64>], x: u32) -> Vec<u64> {
+        let kind = plan.kind(x);
+        let (tag, sg) = match kind {
+            PlanNodeKind::Root => (0u64, 0u64),
+            PlanNodeKind::Plus(s) => (1, s.raw() as u64 + 1),
+            PlanNodeKind::Minus(s) => (2, s.raw() as u64 + 1),
+        };
+        let ordered = matches!(kind, PlanNodeKind::Minus(s)
+            if spec.subgraph(s).kind == SubgraphKind::Loop);
+        let mut kids: Vec<Vec<u64>> = plan
+            .tree
+            .children(x)
+            .iter()
+            .map(|&c| rec(plan, spec, assigned, c))
+            .collect();
+        if !ordered {
+            kids.sort();
+        }
+        let mut out = vec![tag, sg];
+        out.extend_from_slice(&assigned[x as usize]);
+        out.push(u64::MAX - 1);
+        for k in kids {
+            out.extend(k);
+        }
+        out.push(u64::MAX);
+        out
+    }
+    rec(plan, spec, &assigned, plan.root)
+}
+
+impl std::fmt::Debug for ExecutionPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ExecutionPlan(nodes={}, plus={}, nonempty_plus={})",
+            self.node_count(),
+            self.plus_node_count(),
+            self.nonempty_plus_count()
+        )
+    }
+}
+
+/// Incremental assembler for execution plans, shared by the linear-time
+/// plan construction (`wfp-skl`) and the ground-truth generator (`wfp-gen`).
+pub struct PlanBuilder {
+    tree: Tree<PlanNodeKind>,
+    context: Vec<Option<u32>>,
+}
+
+impl Default for PlanBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanBuilder {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        PlanBuilder {
+            tree: Tree::new(),
+            context: Vec::new(),
+        }
+    }
+
+    /// Creates an assembler expecting contexts for `n` run vertices.
+    pub fn with_vertex_count(n: usize) -> Self {
+        PlanBuilder {
+            tree: Tree::new(),
+            context: vec![None; n],
+        }
+    }
+
+    /// Adds a detached plan node.
+    pub fn add_node(&mut self, kind: PlanNodeKind) -> u32 {
+        self.tree.add_node(kind)
+    }
+
+    /// Kind of an already-added node.
+    pub fn kind(&self, x: u32) -> PlanNodeKind {
+        *self.tree.data(x)
+    }
+
+    /// Whether `x` has been linked below a parent yet.
+    pub fn has_parent(&self, x: u32) -> bool {
+        self.tree.parent(x).is_some()
+    }
+
+    /// Links `child` under `parent` (append order = sibling order).
+    pub fn link(&mut self, child: u32, parent: u32) {
+        self.tree.set_parent(child, parent);
+    }
+
+    /// Assigns the context of run vertex `v` to `+` node `node`.
+    /// Panics if `node` is a `−` node.
+    pub fn set_context(&mut self, v: RunVertexId, node: u32) {
+        assert!(
+            self.tree.data(node).is_plus(),
+            "context must be a + node (vertex {v}, node {node})"
+        );
+        if v.index() >= self.context.len() {
+            self.context.resize(v.index() + 1, None);
+        }
+        self.context[v.index()] = Some(node);
+    }
+
+    /// Whether `v` already has a context.
+    pub fn context_is_set(&self, v: RunVertexId) -> bool {
+        self.context
+            .get(v.index())
+            .map(|c| c.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Validates the shape rules and produces the plan.
+    pub fn finish(mut self, run_vertex_count: usize) -> Result<ExecutionPlan, PlanError> {
+        if self.context.len() < run_vertex_count {
+            self.context.resize(run_vertex_count, None);
+        }
+        let roots: Vec<u32> = self.tree.roots().collect();
+        if roots.len() != 1 {
+            return Err(PlanError::BadRootCount(roots.len()));
+        }
+        let root = roots[0];
+        if *self.tree.data(root) != PlanNodeKind::Root {
+            return Err(PlanError::RootKind);
+        }
+        for x in 0..self.tree.len() as u32 {
+            let kind = *self.tree.data(x);
+            let children = self.tree.children(x);
+            match kind {
+                PlanNodeKind::Root | PlanNodeKind::Plus(_) => {
+                    for &c in children {
+                        if !matches!(*self.tree.data(c), PlanNodeKind::Minus(_)) {
+                            return Err(PlanError::BrokenAlternation(c));
+                        }
+                    }
+                }
+                PlanNodeKind::Minus(sg) => {
+                    if children.is_empty() {
+                        return Err(PlanError::EmptyGroup(x));
+                    }
+                    for &c in children {
+                        match *self.tree.data(c) {
+                            PlanNodeKind::Plus(s) if s == sg => {}
+                            _ => return Err(PlanError::GroupMismatch(c)),
+                        }
+                    }
+                }
+            }
+        }
+        let mut context = Vec::with_capacity(run_vertex_count);
+        for (i, slot) in self.context.iter().enumerate() {
+            match slot {
+                None => return Err(PlanError::MissingContext(RunVertexId(i as u32))),
+                Some(x) => {
+                    if !self.tree.data(*x).is_plus() {
+                        return Err(PlanError::ContextNotPlus(RunVertexId(i as u32)));
+                    }
+                    context.push(*x);
+                }
+            }
+        }
+        Ok(ExecutionPlan {
+            tree: self.tree,
+            root,
+            context,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> (PlanBuilder, u32, u32, u32) {
+        // root -> F- -> two F+ copies
+        let mut b = PlanBuilder::new();
+        let root = b.add_node(PlanNodeKind::Root);
+        let minus = b.add_node(PlanNodeKind::Minus(SubgraphId(0)));
+        let p1 = b.add_node(PlanNodeKind::Plus(SubgraphId(0)));
+        let p2 = b.add_node(PlanNodeKind::Plus(SubgraphId(0)));
+        b.link(minus, root);
+        b.link(p1, minus);
+        b.link(p2, minus);
+        (b, root, p1, p2)
+    }
+
+    #[test]
+    fn builds_valid_plan() {
+        let (mut b, root, p1, p2) = tiny_plan();
+        b.set_context(RunVertexId(0), root);
+        b.set_context(RunVertexId(1), p1);
+        b.set_context(RunVertexId(2), p2);
+        let plan = b.finish(3).unwrap();
+        assert_eq!(plan.node_count(), 4);
+        assert_eq!(plan.plus_node_count(), 3);
+        assert_eq!(plan.nonempty_plus_count(), 3);
+        assert_eq!(plan.context(RunVertexId(1)), p1);
+        assert!(plan.kind(root).is_plus());
+    }
+
+    #[test]
+    fn empty_plus_nodes_are_flagged() {
+        let (mut b, root, p1, _p2) = tiny_plan();
+        b.set_context(RunVertexId(0), root);
+        b.set_context(RunVertexId(1), p1);
+        let plan = b.finish(2).unwrap();
+        assert_eq!(plan.plus_node_count(), 3);
+        assert_eq!(plan.nonempty_plus_count(), 2); // p2 is empty
+    }
+
+    #[test]
+    fn missing_context_is_reported() {
+        let (mut b, root, _p1, _p2) = tiny_plan();
+        b.set_context(RunVertexId(0), root);
+        assert!(matches!(
+            b.finish(2),
+            Err(PlanError::MissingContext(RunVertexId(1)))
+        ));
+    }
+
+    #[test]
+    fn alternation_is_enforced() {
+        let mut b = PlanBuilder::new();
+        let root = b.add_node(PlanNodeKind::Root);
+        let plus = b.add_node(PlanNodeKind::Plus(SubgraphId(0)));
+        b.link(plus, root); // + directly under + is illegal
+        assert!(matches!(b.finish(0), Err(PlanError::BrokenAlternation(_))));
+    }
+
+    #[test]
+    fn empty_group_is_rejected() {
+        let mut b = PlanBuilder::new();
+        let root = b.add_node(PlanNodeKind::Root);
+        let minus = b.add_node(PlanNodeKind::Minus(SubgraphId(0)));
+        b.link(minus, root);
+        assert!(matches!(b.finish(0), Err(PlanError::EmptyGroup(_))));
+    }
+
+    #[test]
+    fn group_subgraph_mismatch_is_rejected() {
+        let mut b = PlanBuilder::new();
+        let root = b.add_node(PlanNodeKind::Root);
+        let minus = b.add_node(PlanNodeKind::Minus(SubgraphId(0)));
+        let plus = b.add_node(PlanNodeKind::Plus(SubgraphId(1)));
+        b.link(minus, root);
+        b.link(plus, minus);
+        assert!(matches!(b.finish(0), Err(PlanError::GroupMismatch(_))));
+    }
+
+    /// Helper: plan with two fork copies holding vertices 1 and 2.
+    fn fork_plan(swap_contexts: bool, loop_kind: bool) -> ExecutionPlan {
+        let mut b = PlanBuilder::new();
+        let root = b.add_node(PlanNodeKind::Root);
+        let sg = SubgraphId(if loop_kind { 1 } else { 0 });
+        let minus = b.add_node(PlanNodeKind::Minus(sg));
+        let p1 = b.add_node(PlanNodeKind::Plus(sg));
+        let p2 = b.add_node(PlanNodeKind::Plus(sg));
+        b.link(minus, root);
+        b.link(p1, minus);
+        b.link(p2, minus);
+        b.set_context(RunVertexId(0), root);
+        let (a, c) = if swap_contexts { (p2, p1) } else { (p1, p2) };
+        b.set_context(RunVertexId(1), a);
+        b.set_context(RunVertexId(2), c);
+        b.finish(3).unwrap()
+    }
+
+    #[test]
+    fn equivalence_ignores_unordered_sibling_permutations() {
+        // spec with one fork (sg0) and one loop (sg1)
+        let mut sb = crate::spec::SpecBuilder::new();
+        let s = sb.add_module("s").unwrap();
+        let x = sb.add_module("x").unwrap();
+        let t = sb.add_module("t").unwrap();
+        let e1 = sb.add_edge(s, x).unwrap();
+        let e2 = sb.add_edge(x, t).unwrap();
+        sb.add_fork(vec![e1]);
+        sb.add_loop(vec![e2]);
+        let spec = sb.build().unwrap();
+
+        // fork groups: swapping the children is a permutation of unordered
+        // siblings ⇒ equivalent
+        assert!(fork_plan(false, false).equivalent(&fork_plan(true, false), &spec));
+        // loop groups: children are ordered ⇒ NOT equivalent
+        assert!(!fork_plan(false, true).equivalent(&fork_plan(true, true), &spec));
+        // same order is always equivalent
+        assert!(fork_plan(false, true).equivalent(&fork_plan(false, true), &spec));
+    }
+
+    #[test]
+    #[should_panic(expected = "context must be a + node")]
+    fn context_on_minus_node_panics() {
+        let mut b = PlanBuilder::new();
+        let _root = b.add_node(PlanNodeKind::Root);
+        let minus = b.add_node(PlanNodeKind::Minus(SubgraphId(0)));
+        b.set_context(RunVertexId(0), minus);
+    }
+}

@@ -1,0 +1,278 @@
+//! Workflow runs (paper Definition 6).
+//!
+//! A run is derived from its specification by fork executions (parallel
+//! replication) and loop executions (serial replication). Structurally it is
+//! an acyclic flow network whose vertices carry the *origin* module of the
+//! specification (Definition 8 — module names in a run are not unique, so
+//! each vertex stores which specification module it executes).
+//!
+//! A run may be a **multigraph**: executing a single-edge fork `k` times
+//! yields `k` parallel edges.
+//!
+//! [`RunBuilder::finish`] performs only the cheap structural checks (single
+//! source/sink, acyclicity, valid origins). Whether the run actually
+//! *conforms* to the specification's fork/loop structure is established by
+//! the plan construction in `wfp-skl`, which reports precise
+//! non-conformance errors.
+
+use wfp_graph::{topo, DiGraph};
+
+use crate::ids::{ModuleId, RunEdgeId, RunVertexId};
+use crate::spec::Specification;
+
+/// Structural problems of a claimed run graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The run has no vertices.
+    Empty,
+    /// The run contains a directed cycle.
+    Cyclic,
+    /// Not exactly one source.
+    BadSourceCount(usize),
+    /// Not exactly one sink.
+    BadSinkCount(usize),
+    /// A vertex references an origin module outside the specification.
+    BadOrigin(RunVertexId),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Empty => write!(f, "run has no vertices"),
+            RunError::Cyclic => write!(f, "run graph has a directed cycle"),
+            RunError::BadSourceCount(n) => write!(f, "run has {n} sources, expected 1"),
+            RunError::BadSinkCount(n) => write!(f, "run has {n} sinks, expected 1"),
+            RunError::BadOrigin(v) => write!(f, "run vertex {v} has an out-of-range origin"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// A structurally checked workflow run.
+#[derive(Clone)]
+pub struct Run {
+    graph: DiGraph,
+    origins: Vec<ModuleId>,
+    source: RunVertexId,
+    sink: RunVertexId,
+}
+
+impl Run {
+    /// Number of vertices `n_R`.
+    pub fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Number of edges `m_R`.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The underlying DAG (may contain parallel edges).
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The origin module executed by vertex `v` (Definition 8).
+    #[inline]
+    pub fn origin(&self, v: RunVertexId) -> ModuleId {
+        self.origins[v.index()]
+    }
+
+    /// Origins of all vertices, indexed by vertex.
+    pub fn origins(&self) -> &[ModuleId] {
+        &self.origins
+    }
+
+    /// The run's start vertex.
+    pub fn source(&self) -> RunVertexId {
+        self.source
+    }
+
+    /// The run's finish vertex.
+    pub fn sink(&self) -> RunVertexId {
+        self.sink
+    }
+
+    /// Endpoints of run edge `e`.
+    pub fn edge(&self, e: RunEdgeId) -> (RunVertexId, RunVertexId) {
+        let (u, v) = self.graph.edge(e.raw());
+        (RunVertexId(u), RunVertexId(v))
+    }
+
+    /// All vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = RunVertexId> {
+        (0..self.vertex_count() as u32).map(RunVertexId)
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = RunEdgeId> {
+        (0..self.edge_count() as u32).map(RunEdgeId)
+    }
+
+    /// Display names in the paper's style: the origin's module name plus a
+    /// 1-based occurrence subscript in vertex-id order (`b1`, `b2`, ...).
+    pub fn numbered_names(&self, spec: &Specification) -> Vec<String> {
+        let mut counters = vec![0u32; spec.module_count()];
+        self.origins
+            .iter()
+            .map(|&m| {
+                counters[m.index()] += 1;
+                format!("{}{}", spec.name(m), counters[m.index()])
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Run {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Run(n_R={}, m_R={}, source={}, sink={})",
+            self.vertex_count(),
+            self.edge_count(),
+            self.source,
+            self.sink
+        )
+    }
+}
+
+/// Incremental builder for [`Run`].
+pub struct RunBuilder {
+    graph: DiGraph,
+    origins: Vec<ModuleId>,
+}
+
+impl Default for RunBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        RunBuilder {
+            graph: DiGraph::new(),
+            origins: Vec::new(),
+        }
+    }
+
+    /// Adds a module execution originating from specification module `origin`.
+    pub fn add_vertex(&mut self, origin: ModuleId) -> RunVertexId {
+        self.origins.push(origin);
+        RunVertexId(self.graph.add_vertex())
+    }
+
+    /// Adds a data channel instance `from -> to` (parallel edges allowed).
+    pub fn add_edge(&mut self, from: RunVertexId, to: RunVertexId) -> RunEdgeId {
+        RunEdgeId(self.graph.add_edge(from.raw(), to.raw()))
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Validates the structural run conditions against `spec` and builds the
+    /// run.
+    pub fn finish(self, spec: &Specification) -> Result<Run, RunError> {
+        if self.graph.vertex_count() == 0 {
+            return Err(RunError::Empty);
+        }
+        if let Some(v) = self
+            .origins
+            .iter()
+            .position(|m| m.index() >= spec.module_count())
+        {
+            return Err(RunError::BadOrigin(RunVertexId(v as u32)));
+        }
+        if topo::topo_order(&self.graph).is_err() {
+            return Err(RunError::Cyclic);
+        }
+        let sources = topo::sources(&self.graph);
+        if sources.len() != 1 {
+            return Err(RunError::BadSourceCount(sources.len()));
+        }
+        let sinks = topo::sinks(&self.graph);
+        if sinks.len() != 1 {
+            return Err(RunError::BadSinkCount(sinks.len()));
+        }
+        Ok(Run {
+            source: RunVertexId(sources[0]),
+            sink: RunVertexId(sinks[0]),
+            graph: self.graph,
+            origins: self.origins,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn paper_run_builds() {
+        let spec = fixtures::paper_spec();
+        let run = fixtures::paper_run(&spec);
+        assert_eq!(run.vertex_count(), 16);
+        assert_eq!(run.edge_count(), 18);
+        assert_eq!(spec.name(run.origin(run.source())), "a");
+        assert_eq!(spec.name(run.origin(run.sink())), "h");
+    }
+
+    #[test]
+    fn numbered_names_follow_the_paper() {
+        let spec = fixtures::paper_spec();
+        let run = fixtures::paper_run(&spec);
+        let names = run.numbered_names(&spec);
+        assert!(names.contains(&"a1".to_string()));
+        assert!(names.contains(&"b3".to_string()));
+        assert!(names.contains(&"f3".to_string()));
+        assert_eq!(names.iter().filter(|n| n.starts_with('b')).count(), 3);
+    }
+
+    #[test]
+    fn empty_run_rejected() {
+        let spec = fixtures::paper_spec();
+        assert!(matches!(
+            RunBuilder::new().finish(&spec),
+            Err(RunError::Empty)
+        ));
+    }
+
+    #[test]
+    fn cyclic_run_rejected() {
+        let spec = fixtures::paper_spec();
+        let a = spec.module_by_name("a").unwrap();
+        let mut b = RunBuilder::new();
+        let v0 = b.add_vertex(a);
+        let v1 = b.add_vertex(a);
+        b.add_edge(v0, v1);
+        b.add_edge(v1, v0);
+        assert!(matches!(b.finish(&spec), Err(RunError::Cyclic)));
+    }
+
+    #[test]
+    fn bad_origin_rejected() {
+        let spec = fixtures::paper_spec();
+        let mut b = RunBuilder::new();
+        b.add_vertex(ModuleId(999));
+        assert!(matches!(b.finish(&spec), Err(RunError::BadOrigin(_))));
+    }
+
+    #[test]
+    fn multi_source_rejected() {
+        let spec = fixtures::paper_spec();
+        let a = spec.module_by_name("a").unwrap();
+        let mut b = RunBuilder::new();
+        let v0 = b.add_vertex(a);
+        let v1 = b.add_vertex(a);
+        let v2 = b.add_vertex(a);
+        b.add_edge(v0, v2);
+        b.add_edge(v1, v2);
+        assert!(matches!(b.finish(&spec), Err(RunError::BadSourceCount(2))));
+    }
+}

@@ -1,0 +1,27 @@
+//! Data provenance over labeled workflow runs (paper §6).
+//!
+//! Module labels from `wfp-skl` extend to the data items flowing over a
+//! run's channels: each item is labeled by its producer's label plus the
+//! labels of its consumers, and every provenance question ("does x₈ depend
+//! on x₁?", "which data was affected by module v?") reduces to a constant
+//! number of module-reachability probes.
+//!
+//! * [`data`] — the `Data(e)` model: items, producers, consumers.
+//! * [`index`] — data labels and the three dependency predicates.
+//! * [`store`] — a byte-serialized provenance store answering queries
+//!   without the run graph (the "store labels in a database" scenario that
+//!   motivates the paper).
+//! * [`gen`] — synthetic data attachment for benchmarks and tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod gen;
+pub mod index;
+pub mod store;
+
+pub use data::{DataError, DataItem, DataItemId, RunData, RunDataBuilder};
+pub use gen::attach_data;
+pub use index::{DataLabel, ProvenanceIndex};
+pub use store::{serialize, StoreError, StoredProvenance};

@@ -1,0 +1,266 @@
+//! A compact, persistent provenance store.
+//!
+//! The paper's motivation is storing provenance *in a database* and
+//! answering dependency queries from labels alone — without loading the run
+//! graph. This module serializes the data labels of §6 into a byte buffer
+//! (`bytes`-based, length-checked) and answers every §6 query from the
+//! deserialized form plus the specification's skeleton index.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use wfp_model::ModuleId;
+use wfp_skl::{predicate, LabeledRun, RunLabel};
+use wfp_speclabel::SpecIndex;
+
+use crate::data::{DataItemId, RunData};
+use crate::index::{DataLabel, ProvenanceIndex};
+
+const MAGIC: u32 = 0x5746_5056; // "WFPV"
+const VERSION: u16 = 1;
+
+/// Deserialization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The buffer does not start with the store magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The buffer ended prematurely.
+    Truncated,
+    /// An item name is not valid UTF-8.
+    BadName,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not a provenance store (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported store version {v}"),
+            StoreError::Truncated => write!(f, "provenance store is truncated"),
+            StoreError::BadName => write!(f, "item name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn put_label(buf: &mut BytesMut, l: &RunLabel) {
+    buf.put_u32_le(l.q1);
+    buf.put_u32_le(l.q2);
+    buf.put_u32_le(l.q3);
+    buf.put_u32_le(l.origin.raw());
+}
+
+fn get_label(buf: &mut &[u8]) -> Result<RunLabel, StoreError> {
+    if buf.remaining() < 16 {
+        return Err(StoreError::Truncated);
+    }
+    Ok(RunLabel {
+        q1: buf.get_u32_le(),
+        q2: buf.get_u32_le(),
+        q3: buf.get_u32_le(),
+        origin: ModuleId(buf.get_u32_le()),
+    })
+}
+
+/// Serializes the data labels of `data` over `labeled` into a buffer.
+pub fn serialize<S: SpecIndex>(labeled: &LabeledRun<S>, data: &RunData) -> Bytes {
+    let index = ProvenanceIndex::build(labeled, data);
+    let mut buf = BytesMut::with_capacity(16 + 32 * data.item_count());
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(data.item_count() as u32);
+    for (id, item) in data.items() {
+        let label = index.label(id);
+        let name = item.name.as_bytes();
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        put_label(&mut buf, &label.output);
+        buf.put_u16_le(label.inputs.len() as u16);
+        for input in &label.inputs {
+            put_label(&mut buf, input);
+        }
+    }
+    buf.freeze()
+}
+
+/// A provenance store loaded from bytes: data labels only, no run graph.
+pub struct StoredProvenance {
+    items: Vec<(String, DataLabel)>,
+}
+
+impl StoredProvenance {
+    /// Parses a buffer produced by [`serialize`].
+    pub fn deserialize(mut buf: &[u8]) -> Result<Self, StoreError> {
+        if buf.remaining() < 10 {
+            return Err(StoreError::Truncated);
+        }
+        if buf.get_u32_le() != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 2 {
+                return Err(StoreError::Truncated);
+            }
+            let name_len = buf.get_u16_le() as usize;
+            if buf.remaining() < name_len {
+                return Err(StoreError::Truncated);
+            }
+            let name = std::str::from_utf8(&buf[..name_len])
+                .map_err(|_| StoreError::BadName)?
+                .to_string();
+            buf.advance(name_len);
+            let output = get_label(&mut buf)?;
+            if buf.remaining() < 2 {
+                return Err(StoreError::Truncated);
+            }
+            let k = buf.get_u16_le() as usize;
+            let mut inputs = Vec::with_capacity(k);
+            for _ in 0..k {
+                inputs.push(get_label(&mut buf)?);
+            }
+            items.push((name, DataLabel { output, inputs }));
+        }
+        Ok(StoredProvenance { items })
+    }
+
+    /// Number of stored items.
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Looks an item up by name.
+    pub fn item_by_name(&self, name: &str) -> Option<DataItemId> {
+        self.items
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| DataItemId(i as u32))
+    }
+
+    /// The stored label of item `x`.
+    pub fn label(&self, x: DataItemId) -> &DataLabel {
+        &self.items[x.index()].1
+    }
+
+    /// The stored name of item `x`.
+    pub fn name(&self, x: DataItemId) -> &str {
+        &self.items[x.index()].0
+    }
+
+    /// §6 data-on-data dependency, answered from stored labels plus the
+    /// specification's skeleton index.
+    pub fn data_depends_on_data<S: SpecIndex>(
+        &self,
+        x: DataItemId,
+        x_prime: DataItemId,
+        skeleton: &S,
+    ) -> bool {
+        let out = &self.items[x.index()].1.output;
+        self.items[x_prime.index()]
+            .1
+            .inputs
+            .iter()
+            .any(|v| predicate(v, out, skeleton))
+    }
+
+    /// §6 data-on-module dependency from a stored module label.
+    pub fn data_depends_on_module<S: SpecIndex>(
+        &self,
+        x: DataItemId,
+        module_label: &RunLabel,
+        skeleton: &S,
+    ) -> bool {
+        predicate(module_label, &self.items[x.index()].1.output, skeleton)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::RunDataBuilder;
+    use crate::gen::attach_data;
+    use wfp_model::fixtures::{paper_run, paper_spec};
+    use wfp_model::RunEdgeId;
+    use wfp_skl::LabeledRun;
+    use wfp_speclabel::{SchemeKind, SpecScheme};
+
+    #[test]
+    fn round_trip_preserves_labels_and_answers() {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let scheme = SpecScheme::build(SchemeKind::Tcm, spec.graph());
+        let labeled = LabeledRun::build(&spec, scheme, &run).unwrap();
+        let data = attach_data(&run, 11, 1.5);
+        let live = ProvenanceIndex::build(&labeled, &data);
+
+        let bytes = serialize(&labeled, &data);
+        let stored = StoredProvenance::deserialize(&bytes).unwrap();
+        assert_eq!(stored.item_count(), data.item_count());
+        for (id, item) in data.items() {
+            assert_eq!(stored.name(id), item.name);
+            assert_eq!(stored.label(id), live.label(id));
+        }
+        // query equivalence between the live index and the store
+        let skeleton = labeled.skeleton();
+        for (x, _) in data.items() {
+            for (y, _) in data.items() {
+                assert_eq!(
+                    stored.data_depends_on_data(x, y, skeleton),
+                    live.data_depends_on_data(x, y),
+                    "({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_buffers_are_rejected() {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let scheme = SpecScheme::build(SchemeKind::Bfs, spec.graph());
+        let labeled = LabeledRun::build(&spec, scheme, &run).unwrap();
+        let mut b = RunDataBuilder::new(&run);
+        b.add_item("x", &[RunEdgeId(0)]).unwrap();
+        let data = b.finish();
+        let bytes = serialize(&labeled, &data);
+
+        assert!(matches!(
+            StoredProvenance::deserialize(&bytes[..bytes.len() - 1]),
+            Err(StoreError::Truncated)
+        ));
+        assert!(matches!(
+            StoredProvenance::deserialize(&[0u8; 10]),
+            Err(StoreError::BadMagic)
+        ));
+        let mut bad_version = bytes.to_vec();
+        bad_version[4] = 0xFF;
+        assert!(matches!(
+            StoredProvenance::deserialize(&bad_version),
+            Err(StoreError::BadVersion(_))
+        ));
+        assert!(matches!(
+            StoredProvenance::deserialize(&[]),
+            Err(StoreError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let scheme = SpecScheme::build(SchemeKind::Tcm, spec.graph());
+        let labeled = LabeledRun::build(&spec, scheme, &run).unwrap();
+        let mut b = RunDataBuilder::new(&run);
+        b.add_item("alpha", &[RunEdgeId(0)]).unwrap();
+        b.add_item("beta", &[RunEdgeId(1)]).unwrap();
+        let data = b.finish();
+        let stored = StoredProvenance::deserialize(&serialize(&labeled, &data)).unwrap();
+        assert_eq!(stored.item_by_name("beta"), Some(DataItemId(1)));
+        assert_eq!(stored.item_by_name("gamma"), None);
+    }
+}

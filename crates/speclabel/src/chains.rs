@@ -1,0 +1,190 @@
+//! Chain decomposition (Jagadish, TODS '90) — compressed transitive closure
+//! via a path cover, from the paper's related work (§2).
+//!
+//! The DAG is covered by vertex-disjoint chains (paths). Every vertex stores,
+//! for each chain `c`, the smallest position on `c` it can reach; `u ⇝ v`
+//! then reduces to one array probe: `min_pos(u)[chain(v)] ≤ pos(v)`.
+//!
+//! The cover is built greedily over a topological order (appending each
+//! vertex to a chain whose current tail points to it); Jagadish's
+//! minimum-chain cover via bipartite matching only shrinks `k`, the number
+//! of chains, and with it the label length — the query semantics are
+//! identical.
+
+use wfp_graph::{topo, DiGraph};
+
+use crate::SpecIndex;
+
+const INF: u32 = u32::MAX;
+
+/// Chain-decomposition index.
+pub struct ChainDecomposition {
+    /// chain id per vertex
+    chain: Vec<u32>,
+    /// position within its chain per vertex
+    pos: Vec<u32>,
+    /// flattened `n × k` matrix of minimal reachable positions
+    min_pos: Vec<u32>,
+    /// number of chains
+    k: usize,
+    bits_per_entry: usize,
+}
+
+impl ChainDecomposition {
+    /// Number of chains `k` in the cover.
+    pub fn chain_count(&self) -> usize {
+        self.k
+    }
+
+    /// The chain and position assigned to `v`.
+    pub fn position(&self, v: u32) -> (u32, u32) {
+        (self.chain[v as usize], self.pos[v as usize])
+    }
+}
+
+impl SpecIndex for ChainDecomposition {
+    fn build(graph: &DiGraph) -> Self {
+        let n = graph.vertex_count();
+        let order = topo::topo_order(graph).expect("chain decomposition requires a DAG");
+
+        // Greedy cover: tails[c] = current tail vertex of chain c.
+        let mut chain = vec![INF; n];
+        let mut pos = vec![0u32; n];
+        let mut tails: Vec<u32> = Vec::new();
+        let mut tail_of: Vec<Option<u32>> = vec![None; n]; // vertex -> chain it is tail of
+        for &v in &order {
+            let mut assigned = false;
+            for u in graph.predecessors(v) {
+                if let Some(c) = tail_of[u as usize] {
+                    // extend chain c from u to v
+                    chain[v as usize] = c;
+                    pos[v as usize] = pos[u as usize] + 1;
+                    tail_of[u as usize] = None;
+                    tail_of[v as usize] = Some(c);
+                    tails[c as usize] = v;
+                    assigned = true;
+                    break;
+                }
+            }
+            if !assigned {
+                let c = tails.len() as u32;
+                tails.push(v);
+                chain[v as usize] = c;
+                pos[v as usize] = 0;
+                tail_of[v as usize] = Some(c);
+            }
+        }
+        let k = tails.len();
+
+        // Reverse-topological DP of minimal reachable positions per chain.
+        let mut min_pos = vec![INF; n * k];
+        for &v in order.iter().rev() {
+            let base = v as usize * k;
+            for w in graph.successors(v) {
+                let wbase = w as usize * k;
+                for c in 0..k {
+                    let cand = min_pos[wbase + c];
+                    if cand < min_pos[base + c] {
+                        min_pos[base + c] = cand;
+                    }
+                }
+            }
+            let own = base + chain[v as usize] as usize;
+            if pos[v as usize] < min_pos[own] {
+                min_pos[own] = pos[v as usize];
+            }
+        }
+
+        let bits_per_entry = usize::BITS as usize - (n + 1).leading_zeros() as usize;
+        ChainDecomposition {
+            chain,
+            pos,
+            min_pos,
+            k,
+            bits_per_entry,
+        }
+    }
+
+    #[inline]
+    fn reaches(&self, u: u32, v: u32) -> bool {
+        let c = self.chain[v as usize] as usize;
+        self.min_pos[u as usize * self.k + c] <= self.pos[v as usize]
+    }
+
+    fn label_bits(&self, _v: u32) -> usize {
+        // chain id + position + k minima
+        self.bits_per_entry * (2 + self.k)
+    }
+
+    fn name(&self) -> &'static str {
+        "Chain"
+    }
+
+    fn total_bits(&self) -> usize {
+        self.chain.len() * self.label_bits(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_rooted_dag;
+    use wfp_graph::rng::Xoshiro256;
+    use wfp_graph::TransitiveClosure;
+
+    #[test]
+    fn path_graph_is_one_chain() {
+        let mut g = DiGraph::with_vertices(5);
+        for v in 0..4 {
+            g.add_edge(v, v + 1);
+        }
+        let idx = ChainDecomposition::build(&g);
+        assert_eq!(idx.chain_count(), 1);
+        assert_eq!(idx.position(0), (0, 0));
+        assert_eq!(idx.position(4), (0, 4));
+        assert!(idx.reaches(0, 4));
+        assert!(!idx.reaches(4, 0));
+        assert!(idx.reaches(2, 2));
+    }
+
+    #[test]
+    fn antichain_needs_n_chains() {
+        // star: 0 -> {1,2,3}; 1,2,3 are pairwise unreachable
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        let idx = ChainDecomposition::build(&g);
+        assert_eq!(idx.chain_count(), 3);
+        assert!(idx.reaches(0, 3));
+        assert!(!idx.reaches(1, 2));
+    }
+
+    #[test]
+    fn matches_closure_on_random_dags() {
+        let mut rng = Xoshiro256::seed_from_u64(31337);
+        for _ in 0..15 {
+            let n = 2 + rng.gen_usize(50);
+            let g = random_rooted_dag(&mut rng, n, 0.12);
+            let oracle = TransitiveClosure::build(&g);
+            let idx = ChainDecomposition::build(&g);
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    assert_eq!(idx.reaches(u, v), oracle.reaches(u, v), "({u},{v}) n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn label_accounting_scales_with_k() {
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        let idx = ChainDecomposition::build(&g);
+        assert_eq!(idx.label_bits(0), idx.label_bits(3));
+        assert_eq!(idx.total_bits(), 4 * idx.label_bits(0));
+        assert_eq!(idx.name(), "Chain");
+    }
+}

@@ -1,0 +1,139 @@
+//! The `BFS`/`DFS` schemes (paper §7): no index, search at query time.
+//!
+//! The paper treats these as degenerate labeling schemes: "since no extra
+//! index structure is used, we can treat the label length and construction
+//! time to be zero, but the query time ... will be linear in terms of the
+//! size of the specification". The index owns a copy of the (small)
+//! specification graph and reusable scratch buffers behind a `RefCell`, so a
+//! query allocates nothing in the steady state.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+use wfp_graph::traversal::{bfs_reaches, dfs_reaches, VisitMap};
+use wfp_graph::DiGraph;
+
+use crate::SpecIndex;
+
+/// BFS or DFS at query time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchFlavor {
+    /// Breadth-first search.
+    Bfs,
+    /// Depth-first search.
+    Dfs,
+}
+
+struct Scratch {
+    visit: VisitMap,
+    queue: VecDeque<u32>,
+    stack: Vec<u32>,
+}
+
+/// Query-time graph search over a stored copy of the specification.
+pub struct GraphSearch {
+    graph: DiGraph,
+    flavor: SearchFlavor,
+    scratch: RefCell<Scratch>,
+}
+
+impl GraphSearch {
+    /// Builds a search "index" with the requested flavor.
+    pub fn with_flavor(graph: &DiGraph, flavor: SearchFlavor) -> Self {
+        GraphSearch {
+            graph: graph.clone(),
+            flavor,
+            scratch: RefCell::new(Scratch {
+                visit: VisitMap::new(graph.vertex_count()),
+                queue: VecDeque::new(),
+                stack: Vec::new(),
+            }),
+        }
+    }
+
+    /// The flavor this index searches with.
+    pub fn flavor(&self) -> SearchFlavor {
+        self.flavor
+    }
+}
+
+impl SpecIndex for GraphSearch {
+    fn build(graph: &DiGraph) -> Self {
+        GraphSearch::with_flavor(graph, SearchFlavor::Bfs)
+    }
+
+    fn reaches(&self, u: u32, v: u32) -> bool {
+        let scratch = &mut *self.scratch.borrow_mut();
+        match self.flavor {
+            SearchFlavor::Bfs => {
+                bfs_reaches(&self.graph, u, v, &mut scratch.visit, &mut scratch.queue)
+            }
+            SearchFlavor::Dfs => {
+                dfs_reaches(&self.graph, u, v, &mut scratch.visit, &mut scratch.stack)
+            }
+        }
+    }
+
+    fn label_bits(&self, _v: u32) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        match self.flavor {
+            SearchFlavor::Bfs => "BFS",
+            SearchFlavor::Dfs => "DFS",
+        }
+    }
+
+    fn total_bits(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph {
+        let mut g = DiGraph::with_vertices(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        g.add_edge(3, 4);
+        g
+    }
+
+    #[test]
+    fn bfs_and_dfs_flavors_agree() {
+        let g = sample();
+        let bfs = GraphSearch::with_flavor(&g, SearchFlavor::Bfs);
+        let dfs = GraphSearch::with_flavor(&g, SearchFlavor::Dfs);
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(bfs.reaches(u, v), dfs.reaches(u, v), "({u},{v})");
+            }
+        }
+        assert_eq!(bfs.name(), "BFS");
+        assert_eq!(dfs.name(), "DFS");
+        assert_eq!(bfs.flavor(), SearchFlavor::Bfs);
+    }
+
+    #[test]
+    fn zero_cost_accounting() {
+        let g = sample();
+        let idx = GraphSearch::build(&g);
+        assert_eq!(idx.label_bits(0), 0);
+        assert_eq!(idx.total_bits(), 0);
+    }
+
+    #[test]
+    fn repeated_queries_reuse_scratch() {
+        let g = sample();
+        let idx = GraphSearch::build(&g);
+        for _ in 0..100 {
+            assert!(idx.reaches(0, 2));
+            assert!(!idx.reaches(2, 0));
+            assert!(!idx.reaches(1, 4));
+        }
+    }
+}

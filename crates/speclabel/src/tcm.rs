@@ -1,0 +1,68 @@
+//! The `TCM` scheme (paper §7): a precomputed transitive-closure matrix.
+//!
+//! Row `i` of the matrix is the reachability label of vertex `i` — `n_G`
+//! bits per vertex. Queries are one bit probe; construction is the closure
+//! sweep of [`wfp_graph::TransitiveClosure`].
+
+use wfp_graph::{DiGraph, TransitiveClosure};
+
+use crate::SpecIndex;
+
+/// Transitive-closure-matrix index.
+pub struct Tcm {
+    closure: TransitiveClosure,
+}
+
+impl Tcm {
+    /// Number of indexed vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.closure.vertex_count()
+    }
+}
+
+impl SpecIndex for Tcm {
+    fn build(graph: &DiGraph) -> Self {
+        Tcm {
+            closure: TransitiveClosure::build(graph),
+        }
+    }
+
+    #[inline]
+    fn reaches(&self, u: u32, v: u32) -> bool {
+        self.closure.reaches(u, v)
+    }
+
+    fn label_bits(&self, _v: u32) -> usize {
+        self.closure.vertex_count()
+    }
+
+    fn name(&self) -> &'static str {
+        "TCM"
+    }
+
+    fn total_bits(&self) -> usize {
+        let n = self.closure.vertex_count();
+        n * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_queries() {
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let idx = Tcm::build(&g);
+        assert!(idx.reaches(0, 3));
+        assert!(!idx.reaches(1, 2));
+        assert!(idx.reaches(2, 2));
+        assert_eq!(idx.label_bits(0), 4);
+        assert_eq!(idx.total_bits(), 16);
+        assert_eq!(idx.name(), "TCM");
+    }
+}

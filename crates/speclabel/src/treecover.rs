@@ -1,0 +1,235 @@
+//! Interval tree cover (Agrawal, Borgida & Jagadish, SIGMOD '89) — one of
+//! the classic DAG labeling schemes from the paper's related work (§2),
+//! implemented for the robustness experiments of §8.2.
+//!
+//! A spanning tree of the DAG is labeled with postorder intervals
+//! `[low(v), post(v)]`; tree reachability is interval containment. Non-tree
+//! edges are handled by propagating interval *sets* in reverse topological
+//! order, compressing overlapping/contained intervals as they merge. Queries
+//! binary-search the source's interval list for the target's postorder
+//! number.
+//!
+//! This implementation uses the single-source spanning tree given by each
+//! vertex's first predecessor (workflow specifications always have a single
+//! source); the original paper's "optimal" tree-cover selection only changes
+//! constants, not behaviour, and is out of scope.
+
+use wfp_graph::{topo, DiGraph, NIL};
+
+use crate::SpecIndex;
+
+/// Interval tree-cover index.
+pub struct TreeCover {
+    /// postorder number per vertex
+    post: Vec<u32>,
+    /// sorted, disjoint, non-adjacent intervals per vertex
+    intervals: Vec<Vec<(u32, u32)>>,
+    bits_per_number: usize,
+}
+
+impl TreeCover {
+    /// The interval list of `v` (inspectable for tests/reports).
+    pub fn intervals_of(&self, v: u32) -> &[(u32, u32)] {
+        &self.intervals[v as usize]
+    }
+}
+
+/// Inserts `iv` into the sorted disjoint list `list`, merging overlaps and
+/// adjacent runs.
+fn insert_interval(list: &mut Vec<(u32, u32)>, iv: (u32, u32)) {
+    // position of the first interval with start > iv.0
+    let idx = list.partition_point(|&(s, _)| s <= iv.0);
+    let mut lo = iv.0;
+    let mut hi = iv.1;
+    let mut start = idx;
+    // possibly merge with the predecessor
+    if idx > 0 {
+        let (ps, pe) = list[idx - 1];
+        if pe + 1 >= lo {
+            lo = ps;
+            hi = hi.max(pe);
+            start = idx - 1;
+        }
+    }
+    // swallow all following intervals that touch [lo, hi]
+    let mut end = start;
+    while end < list.len() {
+        let (ns, ne) = list[end];
+        if ns > hi + 1 {
+            break;
+        }
+        hi = hi.max(ne);
+        lo = lo.min(ns);
+        end += 1;
+    }
+    list.splice(start..end, [(lo, hi)]);
+}
+
+impl SpecIndex for TreeCover {
+    fn build(graph: &DiGraph) -> Self {
+        let n = graph.vertex_count();
+        let order = topo::topo_order(graph).expect("tree cover requires a DAG");
+
+        // Spanning forest: first predecessor in topological processing.
+        let mut tree_parent = vec![NIL; n];
+        let mut tree_children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &v in &order {
+            if let Some(p) = graph.predecessors(v).next() {
+                tree_parent[v as usize] = p;
+                tree_children[p as usize].push(v);
+            }
+        }
+
+        // Postorder numbering per root (iterative).
+        let mut post = vec![0u32; n];
+        let mut clock = 0u32;
+        for &r in &order {
+            if tree_parent[r as usize] != NIL {
+                continue;
+            }
+            let mut stack = vec![(r, 0usize)];
+            while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+                if *ci < tree_children[v as usize].len() {
+                    let c = tree_children[v as usize][*ci];
+                    *ci += 1;
+                    stack.push((c, 0));
+                } else {
+                    post[v as usize] = clock;
+                    clock += 1;
+                    stack.pop();
+                }
+            }
+        }
+
+        // Reverse-topological interval propagation.
+        let mut intervals: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for &v in order.iter().rev() {
+            // own subtree interval: [min postorder in subtree, post(v)];
+            // since children are processed first, the subtree minimum is the
+            // low end of the child's own-tree interval — but with merging it
+            // is simplest to compute lows directly:
+            let mut merged: Vec<(u32, u32)> = Vec::new();
+            for w in graph.successors(v) {
+                for &iv in &intervals[w as usize] {
+                    insert_interval(&mut merged, iv);
+                }
+            }
+            // subtree interval of v itself
+            let low = subtree_low(&tree_children, &post, v);
+            insert_interval(&mut merged, (low, post[v as usize]));
+            intervals[v as usize] = merged;
+        }
+
+        let bits_per_number = usize::BITS as usize - (n.max(1)).leading_zeros() as usize;
+        TreeCover {
+            post,
+            intervals,
+            bits_per_number,
+        }
+    }
+
+    fn reaches(&self, u: u32, v: u32) -> bool {
+        let p = self.post[v as usize];
+        let list = &self.intervals[u as usize];
+        // find the last interval with start <= p
+        let idx = list.partition_point(|&(s, _)| s <= p);
+        idx > 0 && list[idx - 1].1 >= p
+    }
+
+    fn label_bits(&self, v: u32) -> usize {
+        // one postorder number plus two numbers per interval
+        self.bits_per_number * (1 + 2 * self.intervals[v as usize].len())
+    }
+
+    fn name(&self) -> &'static str {
+        "TreeCover"
+    }
+
+    fn total_bits(&self) -> usize {
+        (0..self.intervals.len() as u32)
+            .map(|v| self.label_bits(v))
+            .sum()
+    }
+}
+
+/// Minimum postorder number in `v`'s spanning-tree subtree.
+fn subtree_low(children: &[Vec<u32>], post: &[u32], v: u32) -> u32 {
+    // With postorder numbering the subtree of v occupies a contiguous block
+    // ending at post(v); the minimum is reached on the leftmost leaf chain.
+    let mut cur = v;
+    loop {
+        match children[cur as usize].first() {
+            Some(&c) => cur = c,
+            None => return post[cur as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_rooted_dag;
+    use wfp_graph::rng::Xoshiro256;
+    use wfp_graph::TransitiveClosure;
+
+    #[test]
+    fn interval_insertion_merges() {
+        let mut list = Vec::new();
+        insert_interval(&mut list, (5, 7));
+        insert_interval(&mut list, (1, 2));
+        assert_eq!(list, vec![(1, 2), (5, 7)]);
+        insert_interval(&mut list, (3, 4)); // adjacent to both sides
+        assert_eq!(list, vec![(1, 7)]);
+        insert_interval(&mut list, (0, 9));
+        assert_eq!(list, vec![(0, 9)]);
+        insert_interval(&mut list, (4, 5)); // contained
+        assert_eq!(list, vec![(0, 9)]);
+        insert_interval(&mut list, (11, 12));
+        assert_eq!(list, vec![(0, 9), (11, 12)]);
+    }
+
+    #[test]
+    fn tree_only_graph_gets_single_intervals() {
+        // a path: intervals never fragment
+        let mut g = DiGraph::with_vertices(6);
+        for v in 0..5 {
+            g.add_edge(v, v + 1);
+        }
+        let idx = TreeCover::build(&g);
+        for v in 0..6 {
+            assert_eq!(idx.intervals_of(v).len(), 1, "vertex {v}");
+        }
+        assert!(idx.reaches(0, 5));
+        assert!(!idx.reaches(5, 0));
+        assert!(idx.reaches(3, 3));
+    }
+
+    #[test]
+    fn matches_closure_on_random_dags() {
+        let mut rng = Xoshiro256::seed_from_u64(4242);
+        for _ in 0..15 {
+            let n = 2 + rng.gen_usize(50);
+            let g = random_rooted_dag(&mut rng, n, 0.12);
+            let oracle = TransitiveClosure::build(&g);
+            let idx = TreeCover::build(&g);
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    assert_eq!(idx.reaches(u, v), oracle.reaches(u, v), "({u},{v}) n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn label_bits_counts_intervals() {
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let idx = TreeCover::build(&g);
+        assert!(idx.label_bits(0) >= idx.label_bits(3));
+        assert!(idx.total_bits() > 0);
+        assert_eq!(idx.name(), "TreeCover");
+    }
+}

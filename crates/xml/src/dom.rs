@@ -1,0 +1,118 @@
+//! A small DOM built on top of the pull parser, convenient for the
+//! fixed-schema documents this workspace reads (specifications, runs, data
+//! annotations).
+
+use crate::parser::{Event, ParseError, Parser};
+
+/// An element node: name, attributes, child elements and concatenated text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Element name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+    /// Concatenated character data directly inside this element.
+    pub text: String,
+}
+
+impl Element {
+    /// Attribute value by key.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute parsed as an integer type.
+    pub fn attr_num<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.attr(key)?.parse().ok()
+    }
+
+    /// First child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All child elements with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// The element's direct text content.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+/// Parses a complete document into its root element.
+pub fn parse_document(input: &str) -> Result<Element, ParseError> {
+    let mut parser = Parser::new(input);
+    let mut stack: Vec<Element> = Vec::new();
+    let mut root: Option<Element> = None;
+    while let Some(event) = parser.next()? {
+        match event {
+            Event::Start { name, attrs } => {
+                stack.push(Element {
+                    name,
+                    attrs,
+                    children: Vec::new(),
+                    text: String::new(),
+                });
+            }
+            Event::Text(t) => {
+                if let Some(top) = stack.last_mut() {
+                    top.text.push_str(&t);
+                }
+            }
+            Event::End { .. } => {
+                let done = stack.pop().expect("parser guarantees balance");
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(done),
+                    None => root = Some(done),
+                }
+            }
+        }
+    }
+    root.ok_or(ParseError {
+        line: 1,
+        col: 1,
+        message: "empty document".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_tree() {
+        let doc = parse_document(
+            "<spec n=\"3\"><module id=\"0\">a</module><module id=\"1\">b</module><edge from=\"0\" to=\"1\"/></spec>",
+        )
+        .unwrap();
+        assert_eq!(doc.name, "spec");
+        assert_eq!(doc.attr_num::<u32>("n"), Some(3));
+        assert_eq!(doc.children.len(), 3);
+        assert_eq!(doc.children_named("module").count(), 2);
+        let m1 = doc.children_named("module").nth(1).unwrap();
+        assert_eq!(m1.text(), "b");
+        assert_eq!(m1.attr_num::<usize>("id"), Some(1));
+        assert_eq!(doc.child("edge").unwrap().attr("from"), Some("0"));
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        assert!(parse_document("   ").is_err());
+        assert!(parse_document("<?xml version=\"1.0\"?>").is_err());
+    }
+
+    #[test]
+    fn attr_num_rejects_garbage() {
+        let doc = parse_document("<a n=\"xyz\"/>").unwrap();
+        assert_eq!(doc.attr_num::<u32>("n"), None);
+        assert_eq!(doc.attr_num::<u32>("missing"), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! A minimal XML subset: writer, pull parser, and a small DOM.
+//!
+//! The paper stores workflow specifications and runs as XML files (§8,
+//! "Both the specification and runs are stored as XML files"). This crate
+//! implements just enough of XML for that purpose — elements, attributes,
+//! character data, comments and the XML declaration — with no external
+//! dependencies. It is **not** a general XML processor: namespaces,
+//! DOCTYPEs, CDATA and processing instructions (other than the leading
+//! declaration) are rejected.
+//!
+//! * [`Writer`] — streaming, indentation-aware serializer with escaping.
+//! * [`Parser`] — pull parser producing [`Event`]s with line/column error
+//!   positions.
+//! * [`Element`] / [`parse_document`] — a convenience DOM for small files.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dom;
+pub mod parser;
+pub mod writer;
+
+pub use dom::{parse_document, Element};
+pub use parser::{Event, ParseError, Parser};
+pub use writer::Writer;
+
+/// Escapes a string for use as XML character data or an attribute value.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]. Unknown entities are reported as errors.
+pub(crate) fn unescape(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| format!("unterminated entity near {rest:.10}"))?;
+        match &rest[..=end] {
+            "&amp;" => out.push('&'),
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            other => return Err(format!("unknown entity {other}")),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trip() {
+        let cases = [
+            "plain",
+            "a<b>&c\"d'e",
+            "&&&&",
+            "",
+            "unicode ✓ ok",
+            "<tag attr=\"v\">",
+        ];
+        for c in cases {
+            assert_eq!(unescape(&escape(c)).unwrap(), c, "case {c:?}");
+        }
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entities() {
+        assert!(unescape("&bogus;").is_err());
+        assert!(unescape("&unterminated").is_err());
+    }
+
+    #[test]
+    fn full_round_trip_through_writer_and_dom() {
+        let mut w = Writer::new();
+        w.begin("workflow");
+        w.attr("name", "QBLAST <&> test");
+        w.begin("module");
+        w.attr("id", "0");
+        w.text("align & \"filter\"");
+        w.end();
+        w.begin("empty");
+        w.end();
+        w.end();
+        let xml = w.finish();
+        let doc = parse_document(&xml).unwrap();
+        assert_eq!(doc.name, "workflow");
+        assert_eq!(doc.attr("name"), Some("QBLAST <&> test"));
+        let module = doc.child("module").unwrap();
+        assert_eq!(module.attr("id"), Some("0"));
+        assert_eq!(module.text(), "align & \"filter\"");
+        assert!(doc.child("empty").is_some());
+        assert!(doc.child("missing").is_none());
+    }
+}

@@ -1,0 +1,226 @@
+//! Streaming XML writer with indentation and escaping.
+
+use crate::escape;
+
+enum Pending {
+    /// `begin` was called; the opening tag is not yet closed with `>`.
+    OpenTag,
+    /// The element has children or text; the opening tag is closed.
+    Content,
+}
+
+/// A streaming XML serializer.
+///
+/// ```
+/// let mut w = wfp_xml::Writer::new();
+/// w.begin("run");
+/// w.attr("size", "3");
+/// w.begin("vertex");
+/// w.attr("origin", "b");
+/// w.end();
+/// w.end();
+/// assert!(w.finish().contains("<vertex origin=\"b\"/>"));
+/// ```
+pub struct Writer {
+    out: String,
+    stack: Vec<(String, bool)>, // (name, has_content)
+    pending: Option<Pending>,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Writer {
+    /// Creates a writer that emits the XML declaration.
+    pub fn new() -> Self {
+        Writer {
+            out: String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"),
+            stack: Vec::new(),
+            pending: None,
+        }
+    }
+
+    fn close_pending_open(&mut self, newline: bool) {
+        if matches!(self.pending, Some(Pending::OpenTag)) {
+            self.out.push('>');
+            if newline {
+                self.out.push('\n');
+            }
+        }
+        self.pending = None;
+    }
+
+    fn indent(&mut self) {
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Opens an element. Attributes may be added until the next call.
+    pub fn begin(&mut self, name: &str) {
+        debug_assert!(is_valid_name(name), "invalid element name {name:?}");
+        self.close_pending_open(true);
+        if let Some(top) = self.stack.last_mut() {
+            top.1 = true;
+        }
+        self.indent();
+        self.out.push('<');
+        self.out.push_str(name);
+        self.stack.push((name.to_string(), false));
+        self.pending = Some(Pending::OpenTag);
+    }
+
+    /// Adds an attribute to the element just opened with [`begin`](Self::begin).
+    /// Panics if content has already been written.
+    pub fn attr(&mut self, key: &str, value: &str) {
+        assert!(
+            matches!(self.pending, Some(Pending::OpenTag)),
+            "attr() must directly follow begin()"
+        );
+        debug_assert!(is_valid_name(key), "invalid attribute name {key:?}");
+        self.out.push(' ');
+        self.out.push_str(key);
+        self.out.push_str("=\"");
+        self.out.push_str(&escape(value));
+        self.out.push('"');
+    }
+
+    /// Convenience for numeric attributes.
+    pub fn attr_num(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.attr(key, &value.to_string());
+    }
+
+    /// Writes escaped character data inside the current element.
+    pub fn text(&mut self, s: &str) {
+        assert!(!self.stack.is_empty(), "text() outside any element");
+        if matches!(self.pending, Some(Pending::OpenTag)) {
+            self.out.push('>');
+        }
+        self.pending = Some(Pending::Content);
+        if let Some(top) = self.stack.last_mut() {
+            top.1 = true;
+        }
+        self.out.push_str(&escape(s));
+    }
+
+    /// Closes the most recently opened element.
+    pub fn end(&mut self) {
+        let (name, had_children) = self.stack.pop().expect("end() without begin()");
+        match self.pending.take() {
+            Some(Pending::OpenTag) => {
+                // no content at all: self-closing
+                self.out.push_str("/>\n");
+            }
+            Some(Pending::Content) => {
+                // inline text content: close on the same line
+                self.out.push_str("</");
+                self.out.push_str(&name);
+                self.out.push_str(">\n");
+            }
+            None => {
+                if had_children {
+                    self.indent();
+                }
+                self.out.push_str("</");
+                self.out.push_str(&name);
+                self.out.push_str(">\n");
+            }
+        }
+    }
+
+    /// Finishes the document. Panics if elements are still open.
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty(),
+            "unclosed elements: {:?}",
+            self.stack.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+        self.out
+    }
+}
+
+/// Restricted XML name: ASCII letters, digits, `_`, `-`, `.`, starting with a
+/// letter or underscore. Sufficient for this workspace's schemas.
+pub(crate) fn is_valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_elements_with_indentation() {
+        let mut w = Writer::new();
+        w.begin("a");
+        w.begin("b");
+        w.begin("c");
+        w.end();
+        w.end();
+        w.end();
+        let s = w.finish();
+        assert!(s.contains("<a>\n  <b>\n    <c/>\n  </b>\n</a>\n"), "{s}");
+    }
+
+    #[test]
+    fn attributes_are_escaped() {
+        let mut w = Writer::new();
+        w.begin("x");
+        w.attr("k", "a\"b<c>&");
+        w.end();
+        let s = w.finish();
+        assert!(s.contains("k=\"a&quot;b&lt;c&gt;&amp;\""), "{s}");
+    }
+
+    #[test]
+    fn text_content_inline() {
+        let mut w = Writer::new();
+        w.begin("x");
+        w.text("hello");
+        w.end();
+        assert!(w.finish().contains("<x>hello</x>"));
+    }
+
+    #[test]
+    fn numeric_attr() {
+        let mut w = Writer::new();
+        w.begin("x");
+        w.attr_num("n", 42);
+        w.end();
+        assert!(w.finish().contains("n=\"42\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "attr() must directly follow begin()")]
+    fn attr_after_content_panics() {
+        let mut w = Writer::new();
+        w.begin("x");
+        w.text("t");
+        w.attr("k", "v");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed elements")]
+    fn unbalanced_finish_panics() {
+        let mut w = Writer::new();
+        w.begin("x");
+        let _ = w.finish();
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(is_valid_name("module"));
+        assert!(is_valid_name("_x-1.y"));
+        assert!(!is_valid_name("1bad"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("has space"));
+    }
+}

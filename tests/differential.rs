@@ -1,0 +1,204 @@
+//! The workspace's central correctness suite: generated specifications ×
+//! generated runs × all five skeleton schemes, checked against
+//!
+//! 1. plain BFS reachability on the run graph (the semantic oracle),
+//! 2. the generator's ground-truth execution plan (the structural oracle),
+//! 3. the paper's complexity bounds (Lemma 4.2, label length).
+
+use std::collections::VecDeque;
+
+use workflow_provenance::graph::traversal::{bfs_reaches, VisitMap};
+use workflow_provenance::graph::TransitiveClosure;
+use workflow_provenance::prelude::*;
+use workflow_provenance::skl::construct_plan_with_stats;
+
+fn spec_configs() -> Vec<SpecGenConfig> {
+    let mut configs = Vec::new();
+    for (modules, edges, size, depth) in [
+        (20, 30, 4, 3),
+        (40, 70, 8, 4),
+        (100, 200, 10, 4),
+        (60, 80, 12, 2),
+        (30, 40, 6, 6),
+        (12, 14, 1, 1),
+    ] {
+        for seed in 0..3 {
+            configs.push(SpecGenConfig {
+                modules,
+                edges,
+                hierarchy_size: size,
+                hierarchy_depth: depth,
+                seed: seed * 1000 + modules as u64,
+            });
+        }
+    }
+    configs
+}
+
+#[test]
+fn skl_matches_bfs_oracle_on_generated_workloads() {
+    let mut checked_pairs = 0usize;
+    for cfg in spec_configs() {
+        let spec = generate_spec(&cfg).unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        for run_seed in 0..3u64 {
+            let GeneratedRun { run, plan } = generate_run(
+                &spec,
+                &RunGenConfig {
+                    seed: run_seed,
+                    counts: CountDistribution::GeometricMean(1.2),
+                },
+            );
+            for kind in SchemeKind::ALL {
+                let skeleton = SpecScheme::build(kind, spec.graph());
+                let labeled = LabeledRun::build(&spec, skeleton, &run)
+                    .unwrap_or_else(|e| panic!("{cfg:?} seed {run_seed}: {e}"));
+                let mut vm = VisitMap::new(run.vertex_count());
+                let mut queue = VecDeque::new();
+                // exhaustively for small runs, sampled for larger ones
+                if run.vertex_count() <= 60 {
+                    for u in run.vertices() {
+                        for v in run.vertices() {
+                            let expected =
+                                bfs_reaches(run.graph(), u.raw(), v.raw(), &mut vm, &mut queue);
+                            assert_eq!(
+                                labeled.reaches(u, v),
+                                expected,
+                                "{cfg:?} run {run_seed} {kind}: ({u}, {v})"
+                            );
+                            checked_pairs += 1;
+                        }
+                    }
+                } else {
+                    for (u, v) in random_pairs(&run, 600, run_seed ^ 0xabc) {
+                        let expected =
+                            bfs_reaches(run.graph(), u.raw(), v.raw(), &mut vm, &mut queue);
+                        assert_eq!(
+                            labeled.reaches(u, v),
+                            expected,
+                            "{cfg:?} run {run_seed} {kind}: ({u}, {v})"
+                        );
+                        checked_pairs += 1;
+                    }
+                }
+            }
+            let _ = plan;
+        }
+    }
+    assert!(checked_pairs > 50_000, "suite should cover many pairs");
+}
+
+#[test]
+fn recovered_plans_match_ground_truth() {
+    for cfg in spec_configs() {
+        let spec = generate_spec(&cfg).unwrap();
+        for run_seed in 10..14u64 {
+            let GeneratedRun { run, plan: truth } = generate_run(
+                &spec,
+                &RunGenConfig {
+                    seed: run_seed,
+                    counts: CountDistribution::GeometricMean(1.5),
+                },
+            );
+            let (recovered, stats) = construct_plan_with_stats(&spec, &run)
+                .unwrap_or_else(|e| panic!("{cfg:?} seed {run_seed}: {e}"));
+            assert!(
+                recovered.equivalent(&truth, &spec),
+                "{cfg:?} seed {run_seed}: plan mismatch\n truth: {truth:?}\n got:   {recovered:?}"
+            );
+            // Lemma 4.2: |V(T_R)| ≤ 4 |E(R)|
+            assert!(recovered.node_count() <= 4 * run.edge_count().max(1));
+            // Lemma 5.2's bookkeeping: special edges ≤ |V(T_R)|
+            assert!(stats.special_edges <= recovered.node_count().max(1) * 2);
+        }
+    }
+}
+
+#[test]
+fn label_lengths_respect_theorem_1() {
+    let spec = generate_spec(&SpecGenConfig {
+        modules: 100,
+        edges: 200,
+        hierarchy_size: 10,
+        hierarchy_depth: 4,
+        seed: 3,
+    })
+    .unwrap();
+    for &target in &[200usize, 800, 3200] {
+        let GeneratedRun { run, .. } = generate_run_with_target(&spec, 1, target);
+        let skeleton = SpecScheme::build(SchemeKind::Tcm, spec.graph());
+        let labeled = LabeledRun::build(&spec, skeleton, &run).unwrap();
+        let n_r = run.vertex_count() as f64;
+        let n_g = spec.module_count() as f64;
+        let bound = 3.0 * (n_r + 1.0).log2() + n_g.log2() + 4.0; // +rounding slack
+        assert!(
+            (labeled.fixed_label_bits() as f64) <= bound,
+            "run {}: {} bits > {bound}",
+            run.vertex_count(),
+            labeled.fixed_label_bits()
+        );
+        // the variable-size average never exceeds the fixed maximum
+        assert!(labeled.average_label_bits() <= labeled.fixed_label_bits() as f64 + 1e-9);
+    }
+}
+
+#[test]
+fn fixed_counts_reproduce_closure_semantics() {
+    // deterministic copy counts: every group duplicated exactly twice
+    let spec = generate_spec(&SpecGenConfig {
+        modules: 30,
+        edges: 45,
+        hierarchy_size: 6,
+        hierarchy_depth: 3,
+        seed: 8,
+    })
+    .unwrap();
+    let GeneratedRun { run, .. } = generate_run(
+        &spec,
+        &RunGenConfig {
+            seed: 0,
+            counts: CountDistribution::Fixed(2),
+        },
+    );
+    let closure = TransitiveClosure::build(run.graph());
+    let skeleton = SpecScheme::build(SchemeKind::Chain, spec.graph());
+    let labeled = LabeledRun::build(&spec, skeleton, &run).unwrap();
+    for u in run.vertices() {
+        for v in run.vertices() {
+            assert_eq!(labeled.reaches(u, v), closure.reaches(u.raw(), v.raw()));
+        }
+    }
+}
+
+#[test]
+fn context_only_fraction_grows_with_run_size() {
+    // §8.2's explanation for the decreasing BFS+SKL query time: larger runs
+    // answer more queries from the context encodings alone.
+    let spec = generate_spec(&SpecGenConfig {
+        modules: 100,
+        edges: 200,
+        hierarchy_size: 10,
+        hierarchy_depth: 4,
+        seed: 5,
+    })
+    .unwrap();
+    let mut fractions = Vec::new();
+    for &target in &[150usize, 1500, 15_000] {
+        let GeneratedRun { run, .. } = generate_run_with_target(&spec, 4, target);
+        let skeleton = SpecScheme::build(SchemeKind::Bfs, spec.graph());
+        let labeled = LabeledRun::build(&spec, skeleton, &run).unwrap();
+        let pairs = random_pairs(&run, 4000, 17);
+        let ctx = pairs
+            .iter()
+            .filter(|&&(u, v)| labeled.reaches_traced(u, v).1 == QueryPath::ContextOnly)
+            .count();
+        fractions.push(ctx as f64 / pairs.len() as f64);
+    }
+    assert!(
+        fractions.windows(2).all(|w| w[1] >= w[0] - 0.02),
+        "context-only fraction should not shrink with run size: {fractions:?}"
+    );
+    assert!(
+        fractions.last().unwrap() > &0.5,
+        "large runs mostly short-circuit: {fractions:?}"
+    );
+}

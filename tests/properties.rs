@@ -1,0 +1,175 @@
+//! Property-based tests (proptest) over the whole pipeline.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use workflow_provenance::graph::traversal::{bfs_reaches, VisitMap};
+use workflow_provenance::model::io::{run_from_xml, run_to_xml, spec_from_xml, spec_to_xml};
+use workflow_provenance::prelude::*;
+
+/// Generates the spec, clamping the edge count to the layout's feasible
+/// range (the exactness of `generate_spec` itself is covered by
+/// `generated_specs_are_valid_and_exact`, which stays within safe bounds).
+fn spec_for(cfg: &SpecGenConfig) -> Specification {
+    generate_spec_clamped(cfg).unwrap()
+}
+use workflow_provenance::skl::construct_plan;
+
+/// Strategy over feasible generator configurations.
+fn spec_config() -> impl Strategy<Value = SpecGenConfig> {
+    (2usize..=8, any::<u64>(), 0usize..30, 0usize..25).prop_flat_map(
+        |(size, seed, extra_v, extra_e)| {
+            let depth = 2usize..=size.min(4);
+            depth.prop_map(move |depth| {
+                let modules = 2 + 2 * (size - 1) + size + extra_v; // safely feasible
+                SpecGenConfig {
+                    modules,
+                    edges: modules + extra_e,
+                    hierarchy_size: size,
+                    hierarchy_depth: depth,
+                    seed,
+                }
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every feasible configuration yields a specification that passes the
+    /// full validator with the exact requested parameters.
+    #[test]
+    fn generated_specs_are_valid_and_exact(cfg in spec_config()) {
+        let spec = spec_for(&cfg);
+        prop_assert_eq!(spec.module_count(), cfg.modules);
+        prop_assert_eq!(spec.hierarchy().size(), cfg.hierarchy_size);
+        prop_assert_eq!(spec.hierarchy().max_depth(), cfg.hierarchy_depth);
+        // the edge count is exact whenever the layout can host it
+        if let Ok(exact) = generate_spec(&cfg) {
+            prop_assert_eq!(exact.channel_count(), cfg.edges);
+        }
+    }
+
+    /// Specifications survive an XML round trip bit-identically.
+    #[test]
+    fn spec_xml_round_trip(cfg in spec_config()) {
+        let spec = spec_for(&cfg);
+        let xml = spec_to_xml(&spec);
+        let back = spec_from_xml(&xml).unwrap();
+        prop_assert_eq!(xml, spec_to_xml(&back));
+    }
+
+    /// Generated runs conform: the plan builder accepts them and recovers
+    /// the generator's ground truth (up to unordered siblings), and the
+    /// run survives an XML round trip.
+    #[test]
+    fn generated_runs_conform_and_round_trip(
+        cfg in spec_config(),
+        run_seed in any::<u64>(),
+        mean in 0.0f64..2.0,
+    ) {
+        let spec = spec_for(&cfg);
+        let GeneratedRun { run, plan: truth } = generate_run(&spec, &RunGenConfig {
+            seed: run_seed,
+            counts: CountDistribution::GeometricMean(mean),
+        });
+        let recovered = construct_plan(&spec, &run).unwrap();
+        prop_assert!(recovered.equivalent(&truth, &spec));
+        // Lemma 4.2
+        prop_assert!(recovered.node_count() <= 4 * run.edge_count().max(1));
+        // XML round trip
+        let back = run_from_xml(&run_to_xml(&run), &spec).unwrap();
+        prop_assert_eq!(run_to_xml(&back), run_to_xml(&run));
+    }
+
+    /// πr agrees with BFS for random pairs under a random scheme.
+    #[test]
+    fn predicate_matches_oracle(
+        cfg in spec_config(),
+        run_seed in any::<u64>(),
+        scheme_idx in 0usize..SchemeKind::ALL.len(),
+        pair_seed in any::<u64>(),
+    ) {
+        let spec = spec_for(&cfg);
+        let GeneratedRun { run, .. } = generate_run(&spec, &RunGenConfig {
+            seed: run_seed,
+            counts: CountDistribution::GeometricMean(0.8),
+        });
+        let kind = SchemeKind::ALL[scheme_idx];
+        let labeled = LabeledRun::build(
+            &spec,
+            SpecScheme::build(kind, spec.graph()),
+            &run,
+        ).unwrap();
+        let mut vm = VisitMap::new(run.vertex_count());
+        let mut q = VecDeque::new();
+        for (u, v) in random_pairs(&run, 120, pair_seed) {
+            prop_assert_eq!(
+                labeled.reaches(u, v),
+                bfs_reaches(run.graph(), u.raw(), v.raw(), &mut vm, &mut q),
+                "{} ({}, {})", kind, u, v
+            );
+        }
+    }
+
+    /// Packed labels decode losslessly, and their measured lengths respect
+    /// the fixed/variable accounting invariants.
+    #[test]
+    fn label_encoding_round_trip(cfg in spec_config(), run_seed in any::<u64>()) {
+        let spec = spec_for(&cfg);
+        let GeneratedRun { run, .. } = generate_run(&spec, &RunGenConfig {
+            seed: run_seed,
+            counts: CountDistribution::GeometricMean(1.0),
+        });
+        let labeled = LabeledRun::build(
+            &spec,
+            SpecScheme::build(SchemeKind::Tcm, spec.graph()),
+            &run,
+        ).unwrap();
+        let encoded = labeled.encode();
+        prop_assert_eq!(encoded.decode(), labeled.labels().to_vec());
+        prop_assert_eq!(encoded.bit_len(), run.vertex_count() * labeled.fixed_label_bits());
+        prop_assert!(labeled.average_label_bits() <= labeled.fixed_label_bits() as f64);
+        for v in run.vertices() {
+            prop_assert!(labeled.variable_label_bits(v) <= labeled.fixed_label_bits());
+            prop_assert!(labeled.variable_label_bits(v) <= labeled.gamma_label_bits(v));
+        }
+    }
+
+    /// The provenance store round-trips and answers like the live index.
+    #[test]
+    fn provenance_store_round_trip(
+        cfg in spec_config(),
+        run_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+    ) {
+        let spec = spec_for(&cfg);
+        let GeneratedRun { run, .. } = generate_run(&spec, &RunGenConfig {
+            seed: run_seed,
+            counts: CountDistribution::GeometricMean(0.5),
+        });
+        let labeled = LabeledRun::build(
+            &spec,
+            SpecScheme::build(SchemeKind::TreeCover, spec.graph()),
+            &run,
+        ).unwrap();
+        let data = attach_data(&run, data_seed, 0.5);
+        let live = ProvenanceIndex::build(&labeled, &data);
+        let stored = StoredProvenance::deserialize(
+            &workflow_provenance::provenance::serialize(&labeled, &data),
+        ).unwrap();
+        prop_assert_eq!(stored.item_count(), data.item_count());
+        // sample item pairs
+        let n = data.item_count().min(12);
+        for i in 0..n {
+            for j in 0..n {
+                let (x, y) = (DataItemId(i as u32), DataItemId(j as u32));
+                prop_assert_eq!(
+                    stored.data_depends_on_data(x, y, labeled.skeleton()),
+                    live.data_depends_on_data(x, y)
+                );
+            }
+        }
+    }
+}
