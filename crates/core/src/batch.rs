@@ -42,13 +42,13 @@ where
             .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded();
-    crossbeam::thread::scope(|scope| {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let cursor = &cursor;
             let make_scheme = &make_scheme;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     if idx >= runs.len() {
@@ -72,7 +72,6 @@ where
             .map(|s| s.expect("every index is processed exactly once"))
             .collect()
     })
-    .expect("worker threads do not panic")
 }
 
 #[cfg(test)]

@@ -68,6 +68,12 @@ pub use wfp_skl as skl;
 pub use wfp_speclabel as speclabel;
 pub use wfp_xml as xml;
 
+/// Compiles and runs the fenced Rust blocks of `README.md` as doc-tests,
+/// so the README's quickstart cannot drift out of sync with the API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use wfp_gen::{

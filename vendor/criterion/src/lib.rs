@@ -1,0 +1,253 @@
+//! Offline, API-compatible subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness, vendored because the build container has no access to
+//! a crates registry.
+//!
+//! It implements the surface the `wfp-bench` benches use — benchmark
+//! groups, `sample_size` / `measurement_time` / `throughput` knobs,
+//! [`BenchmarkId`], and a [`Bencher::iter`] that performs a warm-up pass
+//! followed by repeated timed samples — and reports median / mean
+//! nanoseconds per iteration on stdout. It is a measurement tool, not a
+//! statistics suite: no outlier analysis, no plots, no saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's historical name.
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine decodes this many bytes per iteration.
+    BytesDecimal(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new<N: Display, P: Display>(name: N, param: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// A parameter-only id for groups benching one function at many inputs.
+    pub fn from_parameter<P: Display>(param: P) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times a closure over repeated samples.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: one warm-up sample, then up to
+    /// `sample_size` timed samples bounded by the group's measurement
+    /// budget, recording nanoseconds per iteration for each sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-sample iteration sizing: aim for samples of at
+        // least ~1ms so Instant overhead stays negligible.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            self.results_ns
+                .push(dt.as_nanos() as f64 / per_sample as f64);
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, label: &str, throughput: Option<&Throughput>) {
+        if self.results_ns.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        self.results_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = self.results_ns[self.results_ns.len() / 2];
+        let mean: f64 = self.results_ns.iter().sum::<f64>() / self.results_ns.len() as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", *n as f64 / (median * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                format!("  {:>12.0} B/s", *n as f64 / (median * 1e-9))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<40} median {median:>12.1} ns/iter  mean {mean:>12.1} ns/iter{rate}"
+        );
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Bounds the wall-clock time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the subset's warm-up is the single
+    /// sizing pass [`Bencher::iter`] always performs.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches `f` under `id`.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(&mut self, id: I, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            budget: self.measurement_time,
+            results_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id), self.throughput.as_ref());
+    }
+
+    /// Benches `f` under `id`, passing `input` through to the routine.
+    pub fn bench_with_input<I: Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (upstream emits summary comparisons here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; the subset accepts everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benches a single free-standing function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let mut g = self.benchmark_group(name.to_string());
+        g.bench_function("", f);
+        g.finish();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_measure_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        g.measurement_time(Duration::from_millis(20));
+        g.throughput(Throughput::Elements(64));
+        let mut ran = 0u32;
+        g.bench_function(BenchmarkId::from_parameter("case"), |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_upstream() {
+        assert_eq!(BenchmarkId::new("build", 512).to_string(), "build/512");
+        assert_eq!(BenchmarkId::from_parameter("bfs").to_string(), "bfs");
+    }
+}

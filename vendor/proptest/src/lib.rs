@@ -1,0 +1,753 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://docs.rs/proptest) property-testing framework,
+//! vendored because the build container has no access to a crates registry.
+//!
+//! The subset keeps proptest's *model*: a [`strategy::Strategy`] is a
+//! composable recipe for generating random values, and the [`proptest!`]
+//! macro turns `fn case(x in strategy)` items into deterministic `#[test]`
+//! functions that run the body over many generated cases. What it
+//! deliberately drops is shrinking (a failing case reports its exact inputs
+//! instead of a minimized one), persistence files, and the full regex
+//! engine — string strategies accept the character-class/repetition subset
+//! the workspace's tests use (`"[a-z][a-z0-9_.-]{0,8}"` style patterns).
+//!
+//! Determinism: every generated `#[test]` derives its RNG seed from the
+//! test's name, so failures reproduce across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner plumbing: the deterministic RNG and per-test configuration.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases each property runs over.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A small, fast, deterministic RNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG from a test's name so runs are reproducible.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name bytes: std's DefaultHasher is expressly
+            // unspecified across Rust releases, which would break the
+            // "failures reproduce across machines" guarantee on a
+            // toolchain upgrade.
+            let mut seed = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// The next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0, "below(0)");
+            // Modulo bias is irrelevant at test-generation quality.
+            self.next_u64() % n
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::rc::Rc;
+
+    /// A composable recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds each generated value into `f` to pick a dependent strategy.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates the leaves and
+        /// `recurse` wraps an inner strategy into the next level, applied
+        /// `depth` times. (`_desired_size` / `_expected_branch_size` shape
+        /// upstream's probabilistic depth choice; the subset bounds depth
+        /// structurally instead.)
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut s = self.boxed();
+            for _ in 0..depth {
+                s = recurse(s).boxed();
+            }
+            s
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    trait SampleDyn<V> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> SampleDyn<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased [`Strategy`].
+    pub struct BoxedStrategy<V>(Rc<dyn SampleDyn<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, R: Strategy, F: Fn(S::Value) -> R> Strategy for FlatMap<S, F> {
+        type Value = R::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> R::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Weighted choice between strategies; built by [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V: Debug> Union<V> {
+        /// A union over `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < u64::from(*w) {
+                    return s.sample(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("union weights exhausted")
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    (self.start as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    (*self.start() as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    // ------------------------------------------------------------------
+    // `&str` patterns as string strategies (regex subset).
+    // ------------------------------------------------------------------
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the supported regex subset: concatenations of literal
+    /// characters or `[..]` character classes, each optionally followed by
+    /// `{n}`, `{n,m}`, `?`, `*` or `+`.
+    fn parse_pattern(pat: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = if chars[i] == '[' {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    // Resolve escapes before deciding literal-vs-range, so
+                    // `[a\-z]` is the three literals and an unescaped `-`
+                    // between two (possibly escaped) endpoints is a range.
+                    let (lo, adv) = if chars[i] == '\\' {
+                        assert!(i + 1 < chars.len(), "dangling escape in {pat:?}");
+                        (chars[i + 1], 2)
+                    } else {
+                        (chars[i], 1)
+                    };
+                    if i + adv + 1 < chars.len()
+                        && chars[i + adv] == '-'
+                        && chars[i + adv + 1] != ']'
+                    {
+                        let j = i + adv + 1;
+                        let (hi, hadv) = if chars[j] == '\\' {
+                            assert!(j + 1 < chars.len(), "dangling escape in {pat:?}");
+                            (chars[j + 1], 2)
+                        } else {
+                            (chars[j], 1)
+                        };
+                        assert!(lo <= hi, "bad class range {lo}-{hi} in {pat:?}");
+                        for v in lo as u32..=hi as u32 {
+                            set.push(char::from_u32(v).expect("class range spans a surrogate"));
+                        }
+                        i = j + hadv;
+                    } else {
+                        set.push(lo);
+                        i += adv;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pat:?}");
+                i += 1; // consume ']'
+                set
+            } else {
+                let c = if chars[i] == '\\' {
+                    i += 1;
+                    assert!(i < chars.len(), "dangling escape in {pat:?}");
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                vec![c]
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repetition in {pat:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition bound"),
+                        hi.trim().parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repetition bound");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+                let q = chars[i];
+                i += 1;
+                match q {
+                    '*' => (0, 8),
+                    '+' => (1, 8),
+                    _ => (0, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "bad repetition {min}..{max} in {pat:?}");
+            assert!(!choices.is_empty(), "empty character class in {pat:?}");
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in parse_pattern(self) {
+                let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The [`Arbitrary`](arbitrary::Arbitrary) trait and [`any`](arbitrary::any).
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only: plenty for property generation here.
+            (rng.unit_f64() - 0.5) * 2e9
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// A strategy generating any value of `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specifications accepted by [`vec()`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec length range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        len: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is drawn from `len`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, len: R) -> VecStrategy<S, R> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    /// An index into a collection whose length is not yet known at
+    /// generation time; resolved with [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Resolves against a concrete non-zero length.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index(0)");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+/// The common imports: strategies, `any`, config, and the macros.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Turns `fn prop(x in strategy, ..) { body }` items into `#[test]`
+/// functions running `body` over many generated cases. On failure the
+/// generated inputs are printed before the panic unwinds.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                let inputs: Vec<String> = vec![
+                    $(format!("{} = {:?}", stringify!($arg), &$arg)),*
+                ];
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    move || { $body }
+                ));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed with inputs:",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    for line in &inputs {
+                        eprintln!("    {line}");
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let w = Strategy::sample(&(2u32..=8), &mut rng);
+            assert!((2..=8).contains(&w));
+            let f = Strategy::sample(&(0.0f64..2.0), &mut rng);
+            assert!((0.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_own_grammar() {
+        let mut rng = TestRng::for_test("strings");
+        for _ in 0..500 {
+            let s = Strategy::sample(&"[a-z][a-z0-9_.-]{0,8}", &mut rng);
+            let mut chars = s.chars();
+            let head = chars.next().unwrap();
+            assert!(head.is_ascii_lowercase(), "{s:?}");
+            assert!(s.len() <= 9, "{s:?}");
+            for c in chars {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "_.-".contains(c),
+                    "{s:?}"
+                );
+            }
+            let t = Strategy::sample(&"[ -~]{0,20}", &mut rng);
+            assert!(t.len() <= 20);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_hyphen_in_class_is_literal() {
+        let mut rng = TestRng::for_test("escapes");
+        for _ in 0..200 {
+            let s = Strategy::sample(&r"[a\-z]{1,6}", &mut rng);
+            assert!(s.chars().all(|c| c == 'a' || c == '-' || c == 'z'), "{s:?}");
+            let r = Strategy::sample(&r"[\--a]", &mut rng);
+            let c = r.chars().next().unwrap();
+            assert!(('-'..='a').contains(&c), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_exclusion() {
+        let mut rng = TestRng::for_test("oneof");
+        let s = prop_oneof![3 => 0usize..1, 1 => 5usize..6];
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            match Strategy::sample(&s, &mut rng) {
+                0 => seen[0] = true,
+                5 => seen[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::for_test("same");
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::for_test("same");
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn self_hosted_macro_runs(xs in crate::collection::vec(0usize..100, 0..20), flip in any::<bool>()) {
+            let total: usize = xs.iter().sum();
+            prop_assert!(total <= 100 * xs.len());
+            if flip {
+                prop_assert_eq!(xs.len(), xs.iter().count());
+            }
+        }
+    }
+}
