@@ -1,0 +1,58 @@
+//! Criterion bench: batched query-engine throughput vs the scalar per-pair
+//! loop on a 10⁶-pair workload (the PR 2 tentpole). `repro -- throughput`
+//! produces the committed table; this bench is the fast regression guard.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wfp_bench::experiments::throughput_workload;
+use wfp_skl::{LabeledRun, QueryEngine};
+use wfp_speclabel::{SchemeKind, SpecScheme};
+
+fn bench_throughput(c: &mut Criterion) {
+    let (spec, run, pairs) = throughput_workload(false);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let mut group = c.benchmark_group("throughput_1M");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+        let labeled =
+            LabeledRun::build(&spec, SpecScheme::build(kind, spec.graph()), &run).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "scalar"),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &(u, v) in pairs {
+                        hits += labeled.reaches(u, v) as usize;
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+        let engine = QueryEngine::from_labeled(labeled);
+        let mut out = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "batched"),
+            &pairs,
+            |b, pairs| b.iter(|| black_box(engine.answer_batch_into(pairs, &mut out).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), format!("parallel-{threads}")),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| black_box(engine.answer_batch_parallel(pairs, threads).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

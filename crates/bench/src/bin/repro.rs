@@ -9,12 +9,12 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use wfp_bench::experiments;
+use wfp_bench::{experiments, json};
 use wfp_bench::{ReproOptions, Table};
 
 const EXPERIMENTS: &[&str] = &[
     "table1", "table2", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-    "fig20", "baseline",
+    "fig20", "baseline", "throughput",
 ];
 
 fn usage() -> ! {
@@ -23,7 +23,9 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn run_one(name: &str, opts: &ReproOptions) {
+/// Runs one experiment, emits its text table, and returns it with its
+/// wall-clock seconds for the machine-readable log.
+fn run_one(name: &str, opts: &ReproOptions) -> (f64, Table) {
     let started = Instant::now();
     let table: Table = match name {
         "table1" => experiments::table1(opts),
@@ -38,13 +40,16 @@ fn run_one(name: &str, opts: &ReproOptions) {
         "fig19" => experiments::fig19(opts),
         "fig20" => experiments::fig20(opts),
         "baseline" => experiments::baseline(opts),
+        "throughput" => experiments::throughput(opts),
         other => {
             eprintln!("unknown experiment {other:?}");
             usage();
         }
     };
     table.emit(&opts.out_dir, name);
-    eprintln!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!("[{name} finished in {elapsed:.1}s]\n");
+    (elapsed, table)
 }
 
 fn main() {
@@ -74,7 +79,10 @@ fn main() {
         if opts.quick { "quick" } else { "full" },
         opts.out_dir.display()
     );
+    let mut results: Vec<(String, f64, Table)> = Vec::with_capacity(selected.len());
     for name in &selected {
-        run_one(name, &opts);
+        let (elapsed, table) = run_one(name, &opts);
+        results.push((name.clone(), elapsed, table));
     }
+    json::emit(&opts.out_dir, opts.quick, &results);
 }

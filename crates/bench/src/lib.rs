@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
 pub mod options;
 pub mod table;
 pub mod timing;

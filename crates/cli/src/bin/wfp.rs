@@ -18,9 +18,12 @@ usage:
   wfp plan     <spec.xml> <run.xml>
   wfp label    <spec.xml> <run.xml> [--scheme KIND] [-o OUT.wfpl]
   wfp query    <spec.xml> <run.xml> <from> <to> [--scheme KIND]
+  wfp query    <spec.xml> <run.xml> --pairs FILE [--threads N] [--scheme KIND]
 
 KIND: tcm | bfs | dfs | treecover | chain | 2hop   (default: tcm)
-vertex names use the paper's numbered form, e.g. b3 = third execution of b";
+vertex names use the paper's numbered form, e.g. b3 = third execution of b;
+--pairs batch mode reads one \"from to\" query per line (#-comments allowed)
+and answers all of them through the batched query engine";
 
 struct Args {
     positional: Vec<String>,
@@ -125,9 +128,24 @@ fn run() -> Result<String, CliError> {
             args.flags.get("o").map(PathBuf::from).as_deref(),
         ),
         "query" => {
-            let from = args.positional.get(2).ok_or("missing <from> vertex")?;
-            let to = args.positional.get(3).ok_or("missing <to> vertex")?;
-            cmd_query(&args.path(0)?, &args.path(1)?, from, to, args.scheme()?)
+            if let Some(pairs) = args.flags.get("pairs") {
+                if args.positional.len() > 2 {
+                    return Err("--pairs batch mode takes no <from>/<to> arguments".into());
+                }
+                cmd_query_batch(
+                    &args.path(0)?,
+                    &args.path(1)?,
+                    &PathBuf::from(pairs),
+                    args.scheme()?,
+                    args.num("threads")?.unwrap_or(1),
+                )
+            } else if args.flags.contains_key("threads") {
+                Err("--threads requires --pairs batch mode".into())
+            } else {
+                let from = args.positional.get(2).ok_or("missing <from> vertex")?;
+                let to = args.positional.get(3).ok_or("missing <to> vertex")?;
+                cmd_query(&args.path(0)?, &args.path(1)?, from, to, args.scheme()?)
+            }
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),

@@ -11,6 +11,7 @@
 //! wfp plan     spec.xml run.xml         # recovered execution-plan stats
 //! wfp label    spec.xml run.xml -o labels.wfpl [--scheme tcm]
 //! wfp query    spec.xml run.xml b3 h1   # reachability between executions
+//! wfp query    spec.xml run.xml --pairs pairs.txt [--threads 8]  # batch mode
 //! ```
 //!
 //! All command logic lives in this library (returning strings/errors) so it
@@ -25,8 +26,8 @@ use std::path::Path;
 
 use wfp_gen::{generate_run_with_target, generate_spec, GeneratedRun, SpecGenConfig};
 use wfp_model::io::{run_from_xml, run_to_xml, spec_from_xml, spec_to_xml};
-use wfp_model::{Run, Specification};
-use wfp_skl::{construct_plan_with_stats, LabeledRun, QueryPath};
+use wfp_model::{Run, RunVertexId, Specification};
+use wfp_skl::{construct_plan_with_stats, LabeledRun, QueryEngine, QueryPath};
 use wfp_speclabel::{SchemeKind, SpecScheme};
 
 /// A CLI failure, printed to stderr with exit code 1.
@@ -221,6 +222,96 @@ pub fn cmd_query(
     ))
 }
 
+/// `wfp query <spec.xml> <run.xml> --pairs <file> [--scheme KIND] [--threads N]`
+///
+/// Batch mode: the pairs file holds one query per line — two
+/// whitespace-separated numbered vertex names (`b3 h1`); blank lines and
+/// `#` comments are skipped. All pairs are answered through the batched
+/// [`QueryEngine`] (sharded over `threads` worker threads when `threads >
+/// 1`) and reported one `from to answer` line per query plus a summary of
+/// how the batch was decided.
+pub fn cmd_query_batch(
+    spec_path: &Path,
+    run_path: &Path,
+    pairs_path: &Path,
+    scheme: SchemeKind,
+    threads: usize,
+) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    let run = load_run(run_path, &spec)?;
+    let names = run.numbered_names(&spec);
+    // First-wins on colliding numbered names (module "b" run 11 vs module
+    // "b1" run 1 both print as "b11"), matching scalar `cmd_query`'s
+    // position()-based resolution exactly.
+    let mut index_of: std::collections::HashMap<&str, RunVertexId> =
+        std::collections::HashMap::with_capacity(names.len());
+    for (i, n) in names.iter().enumerate() {
+        index_of.entry(n.as_str()).or_insert(RunVertexId(i as u32));
+    }
+
+    let text = fs::read_to_string(pairs_path)
+        .map_err(|e| format!("cannot read {}: {e}", pairs_path.display()))?;
+    let mut pairs: Vec<(RunVertexId, RunVertexId)> = Vec::new();
+    let mut echo: Vec<(&str, &str)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (from, to) = match (it.next(), it.next(), it.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            _ => {
+                return Err(format!(
+                    "{}:{}: expected two vertex names, got {line:?}",
+                    pairs_path.display(),
+                    lineno + 1
+                )
+                .into())
+            }
+        };
+        let resolve = |name: &str| {
+            index_of.get(name).copied().ok_or_else(|| {
+                format!(
+                    "{}:{}: no vertex named {name:?} in the run",
+                    pairs_path.display(),
+                    lineno + 1
+                )
+            })
+        };
+        pairs.push((resolve(from)?, resolve(to)?));
+        echo.push((from, to));
+    }
+
+    let labeled = LabeledRun::build(&spec, SpecScheme::build(scheme, spec.graph()), &run)?;
+    let engine = QueryEngine::from_labeled(labeled);
+    let started = std::time::Instant::now();
+    let answers = if threads > 1 {
+        engine.answer_batch_parallel(&pairs, threads)
+    } else {
+        engine.answer_batch(&pairs)
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut out = String::new();
+    for ((from, to), ans) in echo.iter().zip(&answers) {
+        writeln!(out, "{from} {to} {ans}")?;
+    }
+    let stats = engine.stats();
+    let reachable = answers.iter().filter(|&&a| a).count();
+    write!(
+        out,
+        "# {} queries: {} reachable; {} context-only, {} skeleton; {:.3} ms ({:.0} q/s)",
+        pairs.len(),
+        reachable,
+        stats.context_only,
+        stats.skeleton,
+        elapsed * 1e3,
+        pairs.len() as f64 / elapsed.max(1e-9),
+    )?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +400,51 @@ mod tests {
         let ans = cmd_query(&sp, &rp, "b1", "c1", SchemeKind::Bfs).unwrap();
         assert!(ans.contains("true"), "{ans}");
         assert!(cmd_query(&sp, &rp, "zz9", "c1", SchemeKind::Tcm).is_err());
+    }
+
+    #[test]
+    fn query_batch_answers_pairs_file() {
+        let (sp, rp) = write_paper_files();
+        let pf = tmp("pairs.txt");
+        fs::write(
+            &pf,
+            "# reachability probes\n\
+             b1 c3\n\
+             c1 b2\n\
+             \n\
+             a1 h1\n",
+        )
+        .unwrap();
+        for threads in [1usize, 4] {
+            let out = cmd_query_batch(&sp, &rp, &pf, SchemeKind::Tcm, threads).unwrap();
+            let lines: Vec<&str> = out.lines().collect();
+            assert_eq!(lines[0], "b1 c3 false", "{out}");
+            assert_eq!(lines[1], "c1 b2 true", "{out}");
+            assert_eq!(lines[2], "a1 h1 true", "{out}");
+            assert!(lines[3].starts_with("# 3 queries: 2 reachable"), "{out}");
+        }
+    }
+
+    #[test]
+    fn query_batch_rejects_bad_files() {
+        let (sp, rp) = write_paper_files();
+        let bad_name = tmp("bad-name.txt");
+        fs::write(&bad_name, "b1 zz9\n").unwrap();
+        let err = cmd_query_batch(&sp, &rp, &bad_name, SchemeKind::Tcm, 1)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("zz9"), "{err}");
+        assert!(err.contains(":1:"), "{err}");
+        let bad_arity = tmp("bad-arity.txt");
+        fs::write(&bad_arity, "b1 c1\nb1 b2 b3\n").unwrap();
+        let err = cmd_query_batch(&sp, &rp, &bad_arity, SchemeKind::Tcm, 1)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains(":2:"), "{err}");
+        assert!(
+            cmd_query_batch(&sp, &rp, Path::new("/nonexistent/p.txt"), SchemeKind::Tcm, 1)
+                .is_err()
+        );
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! runs is embarrassingly parallel — the specification and its hierarchy
 //! are read-only — so a provenance store ingesting a backlog of runs can
 //! use every core. Workers pull runs from a shared cursor (work stealing
-//! by index) and each builds its own skeleton index via the caller's
-//! factory, keeping the per-run scheme ownership semantics of
-//! [`LabeledRun::build`].
+//! by index); each worker builds **one** skeleton index via the caller's
+//! factory and clones it per run — cloning an index is a memcpy of its
+//! (small) label arrays, while rebuilding one repeats the full construction
+//! sweep (for `TCM`, an `O(n_G·m_G)` closure) for every run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -18,9 +19,9 @@ use crate::construct::ConstructError;
 use crate::label::LabeledRun;
 
 /// Labels every run of `runs` against `spec`, using up to `threads` worker
-/// threads. `make_scheme` builds one skeleton index per run (cheap for the
-/// search schemes; for `TCM` consider building once per worker inside the
-/// factory via cloning if profiling warrants it).
+/// threads. `make_scheme` builds one skeleton index **per worker**; each of
+/// that worker's runs receives a clone of it (every [`LabeledRun`] still
+/// owns its own index, as [`LabeledRun::build`] requires).
 ///
 /// Results are returned in input order. The function is deterministic: the
 /// same inputs produce the same labels regardless of scheduling.
@@ -31,14 +32,18 @@ pub fn label_runs_parallel<S, F>(
     threads: usize,
 ) -> Vec<Result<LabeledRun<S>, ConstructError>>
 where
-    S: SpecIndex + Send,
+    S: SpecIndex + Clone + Send,
     F: Fn() -> S + Sync,
 {
-    let threads = threads.max(1).min(runs.len().max(1));
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(runs.len());
     if threads == 1 {
+        let scheme = make_scheme();
         return runs
             .iter()
-            .map(|run| LabeledRun::build(spec, make_scheme(), run))
+            .map(|run| LabeledRun::build(spec, scheme.clone(), run))
             .collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -49,12 +54,13 @@ where
             let cursor = &cursor;
             let make_scheme = &make_scheme;
             scope.spawn(move || {
+                let scheme = make_scheme();
                 loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     if idx >= runs.len() {
                         break;
                     }
-                    let result = LabeledRun::build(spec, make_scheme(), &runs[idx]);
+                    let result = LabeledRun::build(spec, scheme.clone(), &runs[idx]);
                     if tx.send((idx, result)).is_err() {
                         break;
                     }

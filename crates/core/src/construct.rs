@@ -125,6 +125,45 @@ impl From<PlanError> for ConstructError {
     }
 }
 
+/// A sorted flat-array map over vertex pairs: packed `u64` keys probed by
+/// binary search. Plan construction classifies every run edge through two
+/// of these; compared with a hash map the lookup does no hashing, the
+/// storage is two dense arrays, and building is one sort — `O(log m_G)`
+/// probes over a ~200-edge specification stay within one cache line.
+struct PairTable<T> {
+    keys: Vec<u64>,
+    vals: Vec<T>,
+}
+
+#[inline]
+fn pair_key(u: u32, v: u32) -> u64 {
+    ((u as u64) << 32) | v as u64
+}
+
+impl<T: Copy> PairTable<T> {
+    /// Builds the table; when a pair repeats, the last entry wins (matching
+    /// hash-map insertion semantics).
+    fn build(pairs: impl Iterator<Item = ((u32, u32), T)>) -> Self {
+        let mut kv: Vec<(u64, T)> = pairs.map(|((u, v), t)| (pair_key(u, v), t)).collect();
+        kv.sort_by_key(|&(k, _)| k); // stable: equal keys keep insertion order
+        kv.reverse();
+        kv.dedup_by_key(|&mut (k, _)| k); // keeps the last-inserted entry
+        kv.reverse();
+        PairTable {
+            keys: kv.iter().map(|&(k, _)| k).collect(),
+            vals: kv.into_iter().map(|(_, t)| t).collect(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, (u, v): (u32, u32)) -> Option<T> {
+        self.keys
+            .binary_search(&pair_key(u, v))
+            .ok()
+            .map(|i| self.vals[i])
+    }
+}
+
 /// Edge payload inside the working multigraph.
 #[derive(Clone, Copy, Debug)]
 enum Tag {
@@ -212,17 +251,15 @@ impl<'a> Construction<'a> {
         let n_r = run.vertex_count();
 
         // ---- static lookup tables -------------------------------------
-        let mut spec_edge_of_pair: FxHashMap<(u32, u32), SpecEdgeId> = FxHashMap::default();
-        for e in spec.edge_ids() {
+        let spec_edge_of_pair: PairTable<SpecEdgeId> = PairTable::build(spec.edge_ids().map(|e| {
             let (u, v) = spec.edge(e);
-            spec_edge_of_pair.insert((u.raw(), v.raw()), e);
-        }
-        let mut connector_of_pair: FxHashMap<(u32, u32), SubgraphId> = FxHashMap::default();
-        for (id, sg) in spec.subgraphs() {
-            if sg.kind == SubgraphKind::Loop {
-                connector_of_pair.insert((sg.sink.raw(), sg.source.raw()), id);
-            }
-        }
+            ((u.raw(), v.raw()), e)
+        }));
+        let connector_of_pair: PairTable<SubgraphId> = PairTable::build(
+            spec.subgraphs()
+                .filter(|(_, sg)| sg.kind == SubgraphKind::Loop)
+                .map(|(id, sg)| ((sg.sink.raw(), sg.source.raw()), id)),
+        );
         let mut leaf_leader: Vec<Option<SubgraphId>> = vec![None; spec.channel_count()];
         let mut is_candidate = vec![false; spec.subgraph_count()];
         let mut level_of_sg = vec![0usize; spec.subgraph_count()];
@@ -264,9 +301,9 @@ impl<'a> Construction<'a> {
         for re in run.edge_ids() {
             let (u, v) = run.edge(re);
             let pair = (run.origin(u).raw(), run.origin(v).raw());
-            let tag = if let Some(&se) = spec_edge_of_pair.get(&pair) {
+            let tag = if let Some(se) = spec_edge_of_pair.get(pair) {
                 Tag::Plain(se)
-            } else if let Some(&sg) = connector_of_pair.get(&pair) {
+            } else if let Some(sg) = connector_of_pair.get(pair) {
                 Tag::Connector(sg)
             } else {
                 return Err(ConstructError::ForeignEdge {
@@ -950,6 +987,20 @@ mod tests {
         }
         let expected = b.finish(run.vertex_count()).unwrap();
         assert!(plan.equivalent(&expected, &spec), "plans must match Figure 7/8");
+    }
+
+    #[test]
+    fn pair_table_lookup_and_last_wins() {
+        let t: PairTable<u32> = PairTable::build(
+            [((3, 4), 0u32), ((1, 2), 1), ((3, 4), 2), ((0, 7), 3)].into_iter(),
+        );
+        assert_eq!(t.get((1, 2)), Some(1));
+        assert_eq!(t.get((0, 7)), Some(3));
+        assert_eq!(t.get((3, 4)), Some(2), "duplicate pairs keep the last entry");
+        assert_eq!(t.get((4, 3)), None);
+        assert_eq!(t.get((9, 9)), None);
+        let empty: PairTable<u32> = PairTable::build(std::iter::empty());
+        assert_eq!(empty.get((0, 0)), None);
     }
 
     #[test]

@@ -1,0 +1,648 @@
+//! High-throughput batched evaluation of the run predicate πr.
+//!
+//! The scalar [`predicate`](crate::predicate) answers one pair at a time
+//! against an array-of-structs `Vec<RunLabel>`. Production query traffic
+//! does not arrive that way: provenance workloads are bulk — millions of
+//! (source, target) pairs over one labeled run (cf. the batch-oriented
+//! provenance query engines surveyed in PAPERS.md). This module restructures
+//! evaluation around that shape:
+//!
+//! * **Struct-of-arrays storage** ([`SoaLabels`]): the `q1`/`q2`/`q3`/
+//!   `origin` coordinates live in four parallel `u32` columns, so the
+//!   three-comparison fast path of Algorithm 3 streams through dense cache
+//!   lines instead of striding over 16-byte structs.
+//! * **Skeleton memoization** ([`SkeletonMemo`]): only `+`-LCA queries
+//!   consult the skeleton, and their answer depends *only* on the two origin
+//!   modules. Origins repeat heavily (every copy of a module shares one), so
+//!   a dense `n_G × n_G` memo turns repeated skeleton probes — a full BFS
+//!   under the search schemes — into one byte load.
+//! * **Batched entry points** ([`QueryEngine::answer_batch`]) and a
+//!   **sharded parallel evaluator** ([`QueryEngine::answer_batch_parallel`],
+//!   mirroring [`crate::batch`]) for million-pair workloads.
+//!
+//! The engine is *exactly* πr: `answer_batch` agrees with the scalar
+//! [`predicate`](crate::predicate) on every pair (see the differential
+//! proptest suite in the facade crate's `tests/engine_differential.rs`).
+//!
+//! ```
+//! use wfp_model::fixtures;
+//! use wfp_skl::engine::QueryEngine;
+//! use wfp_skl::LabeledRun;
+//! use wfp_speclabel::{SchemeKind, SpecScheme};
+//!
+//! let spec = fixtures::paper_spec();
+//! let run = fixtures::paper_run(&spec);
+//! let skeleton = SpecScheme::build(SchemeKind::Tcm, spec.graph());
+//! let labeled = LabeledRun::build(&spec, skeleton, &run).unwrap();
+//!
+//! let b1 = fixtures::paper_vertex(&spec, &run, "b1");
+//! let c3 = fixtures::paper_vertex(&spec, &run, "c3");
+//! let engine = QueryEngine::from_labeled(labeled);
+//! assert_eq!(engine.answer_batch(&[(b1, c3), (c3, c3)]), vec![false, true]);
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wfp_model::RunVertexId;
+use wfp_speclabel::SpecIndex;
+
+use crate::label::{context_fast_path, LabeledRun, QueryPath, RunLabel};
+
+/// Struct-of-arrays run-label storage: four parallel `u32` columns.
+///
+/// Indexed by [`RunVertexId`], exactly like [`LabeledRun::labels`].
+#[derive(Clone, Debug, Default)]
+pub struct SoaLabels {
+    q1: Vec<u32>,
+    q2: Vec<u32>,
+    q3: Vec<u32>,
+    origin: Vec<u32>,
+    /// exclusive upper bound on the stored origin ids (0 when empty)
+    origin_bound: u32,
+}
+
+impl SoaLabels {
+    /// Transposes an array-of-structs label slice into columns.
+    pub fn from_labels(labels: &[RunLabel]) -> Self {
+        let mut cols = SoaLabels {
+            q1: Vec::with_capacity(labels.len()),
+            q2: Vec::with_capacity(labels.len()),
+            q3: Vec::with_capacity(labels.len()),
+            origin: Vec::with_capacity(labels.len()),
+            origin_bound: 0,
+        };
+        for l in labels {
+            cols.q1.push(l.q1);
+            cols.q2.push(l.q2);
+            cols.q3.push(l.q3);
+            cols.origin.push(l.origin.raw());
+            cols.origin_bound = cols.origin_bound.max(l.origin.raw().saturating_add(1));
+        }
+        cols
+    }
+
+    /// Number of stored labels.
+    pub fn len(&self) -> usize {
+        self.q1.len()
+    }
+
+    /// Whether no labels are stored.
+    pub fn is_empty(&self) -> bool {
+        self.q1.is_empty()
+    }
+
+    /// Exclusive upper bound on the origin ids appearing in the columns —
+    /// the side of the dense [`SkeletonMemo`] that covers them.
+    pub fn origin_bound(&self) -> u32 {
+        self.origin_bound
+    }
+
+    /// Re-gathers the label of vertex `v` (for spot checks; the batch paths
+    /// never materialize a `RunLabel`).
+    pub fn label(&self, v: RunVertexId) -> RunLabel {
+        let i = v.index();
+        RunLabel {
+            q1: self.q1[i],
+            q2: self.q2[i],
+            q3: self.q3[i],
+            origin: wfp_model::ModuleId(self.origin[i]),
+        }
+    }
+}
+
+/// Answer of one memo cell: unknown / known-false / known-true.
+const MEMO_UNKNOWN: u8 = 0;
+const MEMO_FALSE: u8 = 1;
+const MEMO_TRUE: u8 = 2;
+
+/// A dense memo over `(origin_a, origin_b)` skeleton probes.
+///
+/// The skeleton-delegated branch of πr depends only on the two origin
+/// modules, and `n_G` is small (the paper's specifications have 58–200
+/// modules), so a byte matrix amortizes *every* repeated probe — crucial
+/// for the search schemes, where one probe is a BFS over the specification.
+///
+/// Pairs outside the configured bound fall through to a direct probe, so a
+/// memo never changes answers, only their cost.
+#[derive(Clone, Debug)]
+pub struct SkeletonMemo {
+    side: u32,
+    cells: Vec<u8>,
+    probes: u64,
+    hits: u64,
+}
+
+impl SkeletonMemo {
+    /// Hard cap on the memo side: the matrix costs `side²` bytes, and
+    /// origin ids can come from *untrusted* label bytes (a decoded label
+    /// file, a deserialized provenance store), so the requested bound must
+    /// not size an allocation. 4096 (a 16 MiB matrix) covers every
+    /// realistic specification — the paper's largest has 200 modules —
+    /// while out-of-bound pairs simply fall through to direct probes.
+    pub const SIDE_CAP: u32 = 4096;
+
+    /// A memo covering origins `0..bound.min(SIDE_CAP)` (at most
+    /// `SIDE_CAP²` bytes); pairs beyond the side are probed directly.
+    pub fn new(bound: u32) -> Self {
+        let side = bound.min(Self::SIDE_CAP);
+        SkeletonMemo {
+            side,
+            cells: vec![MEMO_UNKNOWN; side as usize * side as usize],
+            probes: 0,
+            hits: 0,
+        }
+    }
+
+    /// Exclusive upper bound on the origins of `labels` — the side a memo
+    /// needs to cover them all.
+    pub fn origin_bound_of<'a>(labels: impl IntoIterator<Item = &'a RunLabel>) -> u32 {
+        labels
+            .into_iter()
+            .map(|l| l.origin.raw().saturating_add(1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A memo sized to cover every origin of `labels` (up to the cap).
+    pub fn for_labels(labels: &[RunLabel]) -> Self {
+        SkeletonMemo::new(Self::origin_bound_of(labels))
+    }
+
+    /// The memo `skeleton` wants: empty when its probes are already
+    /// constant-time ([`SpecIndex::constant_time_queries`] — evaluators
+    /// never consult the memo then, so neither the `bound()` scan nor the
+    /// matrix allocation runs), otherwise sized by `bound()`. The single
+    /// home of the bypass policy for every batch evaluator in the stack.
+    pub fn for_skeleton<S: SpecIndex>(skeleton: &S, bound: impl FnOnce() -> u32) -> Self {
+        if skeleton.constant_time_queries() {
+            SkeletonMemo::new(0)
+        } else {
+            SkeletonMemo::new(bound())
+        }
+    }
+
+    /// `skeleton.reaches(a, b)`, memoized.
+    #[inline]
+    pub fn reaches<S: SpecIndex>(&mut self, a: u32, b: u32, skeleton: &S) -> bool {
+        if a >= self.side || b >= self.side {
+            self.probes += 1;
+            return skeleton.reaches(a, b);
+        }
+        let idx = a as usize * self.side as usize + b as usize; // side ≤ SIDE_CAP: no overflow
+        match self.cells[idx] {
+            MEMO_TRUE => {
+                self.hits += 1;
+                true
+            }
+            MEMO_FALSE => {
+                self.hits += 1;
+                false
+            }
+            _ => {
+                self.probes += 1;
+                let ans = skeleton.reaches(a, b);
+                self.cells[idx] = if ans { MEMO_TRUE } else { MEMO_FALSE };
+                ans
+            }
+        }
+    }
+
+    /// Skeleton probes actually performed (memo misses + out-of-bound pairs).
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Probes avoided by the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// πr (Algorithm 3) with the skeleton branch memoized.
+///
+/// Byte-for-byte the same decision procedure as [`crate::predicate`]; the
+/// memo only caches the `skeleton.reaches(origin_a, origin_b)` sub-answers,
+/// and is bypassed entirely for skeletons whose probes are already
+/// constant-time ([`SpecIndex::constant_time_queries`], e.g. TCM) — there
+/// the memo round trip costs more than the probe it would save.
+#[inline]
+pub fn predicate_memo<S: SpecIndex>(
+    a: &RunLabel,
+    b: &RunLabel,
+    skeleton: &S,
+    memo: &mut SkeletonMemo,
+) -> bool {
+    predicate_memo_traced(a, b, skeleton, memo).0
+}
+
+/// [`predicate_memo`] plus which path decided it.
+#[inline]
+pub fn predicate_memo_traced<S: SpecIndex>(
+    a: &RunLabel,
+    b: &RunLabel,
+    skeleton: &S,
+    memo: &mut SkeletonMemo,
+) -> (bool, QueryPath) {
+    match context_fast_path((a.q1, a.q2, a.q3), (b.q1, b.q2, b.q3)) {
+        Some(ans) => (ans, QueryPath::ContextOnly),
+        None if skeleton.constant_time_queries() => (
+            skeleton.reaches(a.origin.raw(), b.origin.raw()),
+            QueryPath::Skeleton,
+        ),
+        None => (
+            memo.reaches(a.origin.raw(), b.origin.raw(), skeleton),
+            QueryPath::Skeleton,
+        ),
+    }
+}
+
+/// Counters describing how a batch was decided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Pairs decided by the context encoding alone (`F−`/`L−` LCA).
+    pub context_only: u64,
+    /// Pairs delegated to the skeleton (`+` LCA), memoized or not.
+    pub skeleton: u64,
+    /// Skeleton probes actually performed.
+    pub skeleton_probes: u64,
+    /// Skeleton probes answered from the memo.
+    pub memo_hits: u64,
+}
+
+impl EngineStats {
+    /// Total pairs answered.
+    pub fn total(&self) -> u64 {
+        self.context_only + self.skeleton
+    }
+}
+
+/// A batched reachability engine over one labeled run.
+///
+/// Owns the SoA columns, the skeleton index and a persistent skeleton memo;
+/// answers accumulate into [`QueryEngine::stats`]. Like [`LabeledRun`], an
+/// engine is cheap to share within a thread but not `Sync` — the parallel
+/// evaluator gives each shard its own skeleton and memo instead.
+pub struct QueryEngine<S> {
+    cols: SoaLabels,
+    skeleton: S,
+    memo: RefCell<SkeletonMemo>,
+    context_only: Cell<u64>,
+    skeleton_queries: Cell<u64>,
+}
+
+impl<S: SpecIndex> QueryEngine<S> {
+    /// Builds the engine from a labeled run, taking over its skeleton.
+    pub fn from_labeled(labeled: LabeledRun<S>) -> Self {
+        let (labels, skeleton) = labeled.into_parts();
+        Self::from_labels(&labels, skeleton)
+    }
+
+    /// Builds the engine from raw labels (e.g. decoded from a label file)
+    /// plus the skeleton index they delegate to. The memo is left empty
+    /// when the skeleton's probes are already constant-time — the batch
+    /// kernel never consults it in that case.
+    pub fn from_labels(labels: &[RunLabel], skeleton: S) -> Self {
+        let cols = SoaLabels::from_labels(labels);
+        let memo = SkeletonMemo::for_skeleton(&skeleton, || cols.origin_bound());
+        QueryEngine {
+            cols,
+            skeleton,
+            memo: RefCell::new(memo),
+            context_only: Cell::new(0),
+            skeleton_queries: Cell::new(0),
+        }
+    }
+
+    /// Number of labeled vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The SoA label columns.
+    pub fn columns(&self) -> &SoaLabels {
+        &self.cols
+    }
+
+    /// The skeleton index queries delegate to.
+    pub fn skeleton(&self) -> &S {
+        &self.skeleton
+    }
+
+    /// Cumulative decision statistics (all batches plus scalar answers).
+    pub fn stats(&self) -> EngineStats {
+        let memo = self.memo.borrow();
+        EngineStats {
+            context_only: self.context_only.get(),
+            skeleton: self.skeleton_queries.get(),
+            skeleton_probes: memo.probes(),
+            memo_hits: memo.hits(),
+        }
+    }
+
+    /// Whether `u ⇝ v` — the scalar entry point, sharing the engine's memo.
+    #[inline]
+    pub fn answer(&self, u: RunVertexId, v: RunVertexId) -> bool {
+        let (ans, path) = predicate_memo_traced(
+            &self.cols.label(u),
+            &self.cols.label(v),
+            &self.skeleton,
+            &mut self.memo.borrow_mut(),
+        );
+        match path {
+            QueryPath::ContextOnly => self.context_only.set(self.context_only.get() + 1),
+            QueryPath::Skeleton => self.skeleton_queries.set(self.skeleton_queries.get() + 1),
+        }
+        ans
+    }
+
+    /// Answers every pair of `pairs` in order.
+    pub fn answer_batch(&self, pairs: &[(RunVertexId, RunVertexId)]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.answer_batch_into(pairs, &mut out);
+        out
+    }
+
+    /// [`answer_batch`](Self::answer_batch) into a caller-owned buffer
+    /// (cleared first), returning it as a slice. Lets steady-state callers
+    /// reuse one allocation across batches.
+    pub fn answer_batch_into<'o>(
+        &self,
+        pairs: &[(RunVertexId, RunVertexId)],
+        out: &'o mut Vec<bool>,
+    ) -> &'o [bool] {
+        out.clear();
+        out.reserve(pairs.len());
+        let memo = &mut *self.memo.borrow_mut();
+        let (ctx, skel) = answer_into(&self.cols, &self.skeleton, memo, pairs, out);
+        self.context_only.set(self.context_only.get() + ctx);
+        self.skeleton_queries.set(self.skeleton_queries.get() + skel);
+        out
+    }
+
+    /// Answers `pairs` with up to `threads` shards (clamped to 64), each
+    /// owning a clone of the engine's skeleton and a private memo (cloning
+    /// an index is a memcpy of its label arrays; rebuilding one would
+    /// repeat the full construction sweep per shard, cf. [`crate::batch`]).
+    /// Results are in input
+    /// order and identical to [`answer_batch`](Self::answer_batch) — the
+    /// evaluation is deterministic regardless of scheduling. The
+    /// scheduling-independent decision counts fold into
+    /// [`stats`](Self::stats); shard-private memo probe/hit counts do not.
+    pub fn answer_batch_parallel(
+        &self,
+        pairs: &[(RunVertexId, RunVertexId)],
+        threads: usize,
+    ) -> Vec<bool>
+    where
+        S: Clone + Send,
+    {
+        // Clamp the user-supplied shard count: each shard costs an OS
+        // thread, a skeleton index and a memo, and a runaway value (a CLI
+        // typo) must degrade to a bounded fan-out, not a spawn failure.
+        const MAX_SHARDS: usize = 64;
+        let threads = threads.clamp(1, MAX_SHARDS).min(pairs.len().max(1));
+        // Fixed-size chunks pulled from a shared cursor: big enough to
+        // amortize the per-chunk send, small enough to balance shards.
+        let chunk = (pairs.len().div_ceil(threads.max(1) * 8)).clamp(1024, 1 << 20);
+        let chunk_count = pairs.len().div_ceil(chunk);
+        // A shard beyond the chunk count would clone a skeleton and build
+        // a memo only to find the cursor already exhausted.
+        let threads = threads.min(chunk_count);
+        if threads <= 1 {
+            return self.answer_batch(pairs);
+        }
+        let cursor = AtomicUsize::new(0);
+        let cols = &self.cols;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (mut ctx_total, mut skel_total) = (0u64, 0u64);
+        let mut out = vec![false; pairs.len()];
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let skeleton = self.skeleton.clone();
+                scope.spawn(move || {
+                    let mut memo =
+                        SkeletonMemo::for_skeleton(&skeleton, || cols.origin_bound());
+                    let mut buf: Vec<bool> = Vec::with_capacity(chunk);
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= chunk_count {
+                            break;
+                        }
+                        let start = idx * chunk;
+                        let end = (start + chunk).min(pairs.len());
+                        buf.clear();
+                        let (ctx, skel) =
+                            answer_into(cols, &skeleton, &mut memo, &pairs[start..end], &mut buf);
+                        if tx.send((start, std::mem::take(&mut buf), ctx, skel)).is_err() {
+                            break;
+                        }
+                        buf = Vec::with_capacity(chunk);
+                    }
+                });
+            }
+            drop(tx);
+            for (start, answers, ctx, skel) in rx {
+                out[start..start + answers.len()].copy_from_slice(&answers);
+                ctx_total += ctx;
+                skel_total += skel;
+            }
+        });
+        // Shard-private memo probe/hit counts die with their shards; only
+        // the scheduling-independent decision counts fold into the stats.
+        self.context_only.set(self.context_only.get() + ctx_total);
+        self.skeleton_queries
+            .set(self.skeleton_queries.get() + skel_total);
+        out
+    }
+}
+
+/// The shared batch kernel: answers `pairs` over the columns, appending to
+/// `out`. Returns `(context_only, skeleton)` decision counts.
+///
+/// Skeletons whose probes are already constant-time bit lookups
+/// ([`SpecIndex::constant_time_queries`], e.g. TCM) are probed directly —
+/// for them the memo's byte-matrix round trip costs more than the probe it
+/// would save. Those direct probes do not appear in the memo's
+/// probe/hit counters.
+#[inline]
+fn answer_into<S: SpecIndex>(
+    cols: &SoaLabels,
+    skeleton: &S,
+    memo: &mut SkeletonMemo,
+    pairs: &[(RunVertexId, RunVertexId)],
+    out: &mut Vec<bool>,
+) -> (u64, u64) {
+    // Equal-length sub-slices + one explicit range check per pair let the
+    // compiler elide the per-column bounds checks in the gathers below.
+    let n = cols.q1.len();
+    let (q1, q2, q3, origin) = (
+        &cols.q1[..n],
+        &cols.q2[..n],
+        &cols.q3[..n],
+        &cols.origin[..n],
+    );
+    let mut ctx = 0u64;
+    let mut skel = 0u64;
+    let memoize = !skeleton.constant_time_queries();
+    out.extend(pairs.iter().map(|&(u, v)| {
+        let (a, b) = (u.index(), v.index());
+        assert!(a < n && b < n, "query vertex out of range");
+        match context_fast_path((q1[a], q2[a], q3[a]), (q1[b], q2[b], q3[b])) {
+            Some(ans) => {
+                ctx += 1;
+                ans
+            }
+            None if memoize => {
+                skel += 1;
+                memo.reaches(origin[a], origin[b], skeleton)
+            }
+            None => {
+                skel += 1;
+                skeleton.reaches(origin[a], origin[b])
+            }
+        }
+    }));
+    (ctx, skel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::predicate;
+    use wfp_graph::TransitiveClosure;
+    use wfp_model::fixtures::{paper_run, paper_spec};
+    use wfp_speclabel::{SchemeKind, SpecScheme};
+
+    fn paper_engine(kind: SchemeKind) -> (wfp_model::Run, QueryEngine<SpecScheme>) {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let labeled =
+            LabeledRun::build(&spec, SpecScheme::build(kind, spec.graph()), &run).unwrap();
+        (run, QueryEngine::from_labeled(labeled))
+    }
+
+    fn all_pairs(run: &wfp_model::Run) -> Vec<(RunVertexId, RunVertexId)> {
+        run.vertices()
+            .flat_map(|u| run.vertices().map(move |v| (u, v)))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_the_bfs_oracle_under_every_scheme() {
+        for &kind in &SchemeKind::ALL {
+            let (run, engine) = paper_engine(kind);
+            let oracle = TransitiveClosure::build(run.graph());
+            let pairs = all_pairs(&run);
+            let answers = engine.answer_batch(&pairs);
+            for (&(u, v), &ans) in pairs.iter().zip(&answers) {
+                assert_eq!(ans, oracle.reaches(u.raw(), v.raw()), "{kind} ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_predicate_and_scalar_answer() {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let labeled = LabeledRun::build(
+            &spec,
+            SpecScheme::build(SchemeKind::Dfs, spec.graph()),
+            &run,
+        )
+        .unwrap();
+        let pairs = all_pairs(&run);
+        let scalar: Vec<bool> = pairs
+            .iter()
+            .map(|&(u, v)| predicate(labeled.label(u), labeled.label(v), labeled.skeleton()))
+            .collect();
+        let engine = QueryEngine::from_labeled(labeled);
+        assert_eq!(engine.answer_batch(&pairs), scalar);
+        for (&(u, v), &expected) in pairs.iter().zip(&scalar) {
+            assert_eq!(engine.answer(u, v), expected);
+        }
+    }
+
+    #[test]
+    fn memo_amortizes_repeated_origin_pairs() {
+        let (run, engine) = paper_engine(SchemeKind::Bfs);
+        let pairs = all_pairs(&run);
+        engine.answer_batch(&pairs);
+        let first = engine.stats();
+        assert_eq!(first.total(), pairs.len() as u64);
+        assert!(first.skeleton_probes > 0);
+        // A warm second pass probes the skeleton zero more times.
+        engine.answer_batch(&pairs);
+        let second = engine.stats();
+        assert_eq!(second.total(), 2 * pairs.len() as u64);
+        assert_eq!(second.skeleton_probes, first.skeleton_probes);
+        assert!(second.memo_hits > first.memo_hits);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_is_deterministic() {
+        // TCM bypasses the shard memos, BFS exercises them: both paths
+        // must agree with the sequential batch across interleaved chunks.
+        for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+            let (run, engine) = paper_engine(kind);
+            // Repeat the pair set to cross the chunking threshold.
+            let mut pairs = Vec::new();
+            for _ in 0..40 {
+                pairs.extend(all_pairs(&run));
+            }
+            let sequential = engine.answer_batch(&pairs);
+            for threads in [2usize, 3, 8] {
+                let parallel = engine.answer_batch_parallel(&pairs, threads);
+                assert_eq!(parallel, sequential, "{kind}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_labels() {
+        let (_, engine) = paper_engine(SchemeKind::Tcm);
+        assert!(engine.answer_batch(&[]).is_empty());
+        assert_eq!(engine.stats().total(), 0);
+
+        let g = wfp_graph::DiGraph::with_vertices(1);
+        let empty = QueryEngine::from_labels(&[], SpecScheme::build(SchemeKind::Tcm, &g));
+        assert_eq!(empty.vertex_count(), 0);
+        assert!(empty.columns().is_empty());
+        assert_eq!(empty.columns().origin_bound(), 0);
+        assert!(empty.answer_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn from_labels_round_trips_columns() {
+        let (run, engine) = paper_engine(SchemeKind::Chain);
+        let spec = paper_spec();
+        let labeled = LabeledRun::build(
+            &spec,
+            SpecScheme::build(SchemeKind::Chain, spec.graph()),
+            &run,
+        )
+        .unwrap();
+        for v in run.vertices() {
+            assert_eq!(&engine.columns().label(v), labeled.label(v));
+        }
+        assert_eq!(engine.vertex_count(), run.vertex_count());
+    }
+
+    #[test]
+    fn memo_out_of_bound_pairs_probe_directly() {
+        let mut g = wfp_graph::DiGraph::with_vertices(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let skeleton = SpecScheme::build(SchemeKind::Tcm, &g);
+        let mut memo = SkeletonMemo::new(1); // covers only origin 0
+        assert!(memo.reaches(0, 0, &skeleton));
+        assert!(memo.reaches(1, 2, &skeleton)); // out of bound: direct probe
+        assert!(memo.reaches(1, 2, &skeleton)); // probed again, not memoized
+        assert_eq!(memo.probes(), 3);
+        assert_eq!(memo.hits(), 0);
+        assert!(memo.reaches(0, 0, &skeleton));
+        assert_eq!(memo.hits(), 1);
+    }
+}

@@ -46,6 +46,27 @@ pub fn predicate<S: SpecIndex>(a: &RunLabel, b: &RunLabel, skeleton: &S) -> bool
     predicate_traced(a, b, skeleton).0
 }
 
+/// The context fast path of πr (Lemma 4.5), shared by every evaluator in
+/// this crate (scalar, memoized, batched): `Some(answer)` when the LCA of
+/// the contexts is an `F−`/`L−` node and the three-comparison test decides
+/// the query, `None` when the query must consult the skeleton.
+#[inline]
+pub(crate) fn context_fast_path(
+    (a_q1, a_q2, a_q3): (u32, u32, u32),
+    (b_q1, b_q2, b_q3): (u32, u32, u32),
+) -> Option<bool> {
+    // `d2 · d3 < 0` (Algorithm 3) expressed as a sign test: the products of
+    // two full u32 deltas can exceed i64 (labels may come from untrusted
+    // bytes), while the comparisons below are overflow-free and equivalent.
+    let d2_neg = a_q2 < b_q2;
+    let d3_neg = a_q3 < b_q3;
+    if d2_neg != d3_neg && a_q2 != b_q2 && a_q3 != b_q3 {
+        Some(a_q1 < b_q1 && a_q3 > b_q3)
+    } else {
+        None
+    }
+}
+
 /// πr plus which path decided it.
 #[inline]
 pub fn predicate_traced<S: SpecIndex>(
@@ -53,17 +74,14 @@ pub fn predicate_traced<S: SpecIndex>(
     b: &RunLabel,
     skeleton: &S,
 ) -> (bool, QueryPath) {
-    let d2 = a.q2 as i64 - b.q2 as i64;
-    let d3 = a.q3 as i64 - b.q3 as i64;
-    if d2 * d3 < 0 {
+    match context_fast_path((a.q1, a.q2, a.q3), (b.q1, b.q2, b.q3)) {
         // The LCA of the contexts is an F− or L− node (Lemma 4.5): the
         // answer is decided without touching the skeleton labels.
-        (a.q1 < b.q1 && a.q3 > b.q3, QueryPath::ContextOnly)
-    } else {
-        (
+        Some(ans) => (ans, QueryPath::ContextOnly),
+        None => (
             skeleton.reaches(a.origin.raw(), b.origin.raw()),
             QueryPath::Skeleton,
-        )
+        ),
     }
 }
 
@@ -158,6 +176,12 @@ impl<S: SpecIndex> LabeledRun<S> {
     /// The skeleton index queries delegate to.
     pub fn skeleton(&self) -> &S {
         &self.skeleton
+    }
+
+    /// Decomposes the labeled run into its labels and skeleton — the raw
+    /// material of a [`crate::engine::QueryEngine`].
+    pub fn into_parts(self) -> (Vec<RunLabel>, S) {
+        (self.labels, self.skeleton)
     }
 
     /// Number of nonempty `+` nodes `n⁺_T` in the underlying plan.
@@ -320,7 +344,7 @@ impl EncodedLabels {
         let n_g = word(&bytes[14..18]);
         let bit_len = u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes")) as usize;
         let payload = &bytes[26..];
-        if !payload.len().is_multiple_of(8) || payload.len() * 8 < bit_len {
+        if payload.len() % 8 != 0 || payload.len() * 8 < bit_len {
             return Err("truncated label payload".into());
         }
         let words = payload

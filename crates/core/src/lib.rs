@@ -36,6 +36,7 @@
 pub mod batch;
 pub mod bits;
 pub mod construct;
+pub mod engine;
 pub mod label;
 pub mod online;
 pub mod orders;
@@ -45,6 +46,7 @@ pub use batch::label_runs_parallel;
 pub use construct::{
     construct_plan, construct_plan_with_stats, ConstructError, ConstructStats, Issue,
 };
+pub use engine::{predicate_memo, EngineStats, QueryEngine, SkeletonMemo, SoaLabels};
 pub use label::{predicate, predicate_traced, EncodedLabels, LabeledRun, QueryPath, RunLabel};
 pub use online::{OnlineError, OnlineLabeler};
 pub use orders::{generate_three_orders, ContextEncoding};

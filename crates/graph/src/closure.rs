@@ -12,6 +12,7 @@ use crate::topo::topo_order;
 use crate::FixedBitSet;
 
 /// Full transitive-closure matrix of a DAG.
+#[derive(Clone)]
 pub struct TransitiveClosure {
     rows: Vec<FixedBitSet>,
 }

@@ -12,6 +12,7 @@ use crate::digraph::{DiGraph, VertexIdx};
 use crate::FixedBitSet;
 
 /// A visited set over `0..n` that can be reset in O(1) via epoch stamping.
+#[derive(Clone)]
 pub struct VisitMap {
     stamps: Vec<u32>,
     epoch: u32,

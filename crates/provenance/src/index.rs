@@ -14,7 +14,7 @@
 //! reports the actual sizes.
 
 use wfp_model::RunVertexId;
-use wfp_skl::{predicate, LabeledRun, RunLabel};
+use wfp_skl::{predicate, predicate_memo, LabeledRun, RunLabel, SkeletonMemo};
 use wfp_speclabel::SpecIndex;
 
 use crate::data::{DataItemId, RunData};
@@ -33,6 +33,12 @@ pub struct DataLabel {
 pub struct ProvenanceIndex<'a, S> {
     labeled: &'a LabeledRun<S>,
     labels: Vec<DataLabel>,
+    /// memo side for the `*_batch` paths, computed once at build time
+    /// (0 under constant-time skeletons, whose memos are never consulted);
+    /// the memo itself is per call, keeping the index free of interior
+    /// mutability and therefore shareable across threads when `S` is
+    /// `Sync`
+    origin_bound: u32,
 }
 
 impl<'a, S: SpecIndex> ProvenanceIndex<'a, S> {
@@ -49,7 +55,16 @@ impl<'a, S: SpecIndex> ProvenanceIndex<'a, S> {
                     .collect(),
             })
             .collect();
-        ProvenanceIndex { labeled, labels }
+        let origin_bound = if labeled.skeleton().constant_time_queries() {
+            0
+        } else {
+            SkeletonMemo::origin_bound_of(labeled.labels())
+        };
+        ProvenanceIndex {
+            labeled,
+            labels,
+            origin_bound,
+        }
     }
 
     /// The label of item `x`.
@@ -89,6 +104,68 @@ impl<'a, S: SpecIndex> ProvenanceIndex<'a, S> {
             .inputs
             .iter()
             .any(|u| predicate(u, target, self.labeled.skeleton()))
+    }
+
+    // ---------------- bulk dependency queries --------------------------
+
+    /// A skeleton memo for one `*_batch` call, sized from the bound cached
+    /// at build time; empty (and never consulted, see [`predicate_memo`])
+    /// under constant-time skeletons.
+    fn memo(&self) -> SkeletonMemo {
+        SkeletonMemo::for_skeleton(self.labeled.skeleton(), || self.origin_bound)
+    }
+
+    /// Bulk [`data_depends_on_data`](Self::data_depends_on_data): answers
+    /// every `(x, x')` pair in order, sharing one skeleton memo across the
+    /// whole batch. Item pairs expand to `k` module-label predicates each,
+    /// and their origins repeat heavily, so the memo amortizes the skeleton
+    /// probes the way [`wfp_skl::QueryEngine`] does for vertex pairs.
+    pub fn data_depends_on_data_batch(&self, pairs: &[(DataItemId, DataItemId)]) -> Vec<bool> {
+        let mut memo = self.memo();
+        let skeleton = self.labeled.skeleton();
+        pairs
+            .iter()
+            .map(|&(x, x_prime)| {
+                let out = &self.labels[x.index()].output;
+                self.labels[x_prime.index()]
+                    .inputs
+                    .iter()
+                    .any(|v| predicate_memo(v, out, skeleton, &mut memo))
+            })
+            .collect()
+    }
+
+    /// Bulk [`data_depends_on_module`](Self::data_depends_on_module).
+    pub fn data_depends_on_module_batch(&self, pairs: &[(DataItemId, RunVertexId)]) -> Vec<bool> {
+        let mut memo = self.memo();
+        let skeleton = self.labeled.skeleton();
+        pairs
+            .iter()
+            .map(|&(x, v)| {
+                predicate_memo(
+                    self.labeled.label(v),
+                    &self.labels[x.index()].output,
+                    skeleton,
+                    &mut memo,
+                )
+            })
+            .collect()
+    }
+
+    /// Bulk [`module_depends_on_data`](Self::module_depends_on_data).
+    pub fn module_depends_on_data_batch(&self, pairs: &[(RunVertexId, DataItemId)]) -> Vec<bool> {
+        let mut memo = self.memo();
+        let skeleton = self.labeled.skeleton();
+        pairs
+            .iter()
+            .map(|&(v, x)| {
+                let target = self.labeled.label(v);
+                self.labels[x.index()]
+                    .inputs
+                    .iter()
+                    .any(|u| predicate_memo(u, target, skeleton, &mut memo))
+            })
+            .collect()
     }
 
     /// Size in bits of item `x`'s label: `(|Inputs(x)| + 1) ×` the run's
@@ -193,6 +270,36 @@ mod tests {
         // h1 depends on x6 (consumes it); b1 does not
         assert!(idx.module_depends_on_data(h1, x6));
         assert!(!idx.module_depends_on_data(b1, x6));
+    }
+
+    #[test]
+    fn batch_queries_agree_with_scalar() {
+        let (spec, run, data, ids) = figure_11();
+        let labeled = build_index(&spec, &run);
+        let idx = ProvenanceIndex::build(&labeled, &data);
+        // data-on-data over the full cross product
+        let dd_pairs: Vec<_> = ids
+            .iter()
+            .flat_map(|&x| ids.iter().map(move |&y| (x, y)))
+            .collect();
+        let batch = idx.data_depends_on_data_batch(&dd_pairs);
+        for (&(x, y), &ans) in dd_pairs.iter().zip(&batch) {
+            assert_eq!(ans, idx.data_depends_on_data(x, y), "({x}, {y})");
+        }
+        // data-on-module and module-on-data over every (item, vertex) pair
+        let dm_pairs: Vec<_> = ids
+            .iter()
+            .flat_map(|&x| run.vertices().map(move |v| (x, v)))
+            .collect();
+        let batch = idx.data_depends_on_module_batch(&dm_pairs);
+        for (&(x, v), &ans) in dm_pairs.iter().zip(&batch) {
+            assert_eq!(ans, idx.data_depends_on_module(x, v), "({x}, {v})");
+        }
+        let md_pairs: Vec<_> = dm_pairs.iter().map(|&(x, v)| (v, x)).collect();
+        let batch = idx.module_depends_on_data_batch(&md_pairs);
+        for (&(v, x), &ans) in md_pairs.iter().zip(&batch) {
+            assert_eq!(ans, idx.module_depends_on_data(v, x), "({v}, {x})");
+        }
     }
 
     #[test]

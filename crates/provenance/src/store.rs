@@ -8,7 +8,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use wfp_model::ModuleId;
-use wfp_skl::{predicate, LabeledRun, RunLabel};
+use wfp_skl::{predicate, predicate_memo, LabeledRun, RunLabel, SkeletonMemo};
 use wfp_speclabel::SpecIndex;
 
 use crate::data::{DataItemId, RunData};
@@ -86,6 +86,8 @@ pub fn serialize<S: SpecIndex>(labeled: &LabeledRun<S>, data: &RunData) -> Bytes
 /// A provenance store loaded from bytes: data labels only, no run graph.
 pub struct StoredProvenance {
     items: Vec<(String, DataLabel)>,
+    /// memo side for the batch path, computed once at deserialize time
+    origin_bound: u32,
 }
 
 impl StoredProvenance {
@@ -126,7 +128,12 @@ impl StoredProvenance {
             }
             items.push((name, DataLabel { output, inputs }));
         }
-        Ok(StoredProvenance { items })
+        let origin_bound = SkeletonMemo::origin_bound_of(
+            items
+                .iter()
+                .flat_map(|(_, l)| std::iter::once(&l.output).chain(l.inputs.iter())),
+        );
+        Ok(StoredProvenance { items, origin_bound })
     }
 
     /// Number of stored items.
@@ -177,6 +184,38 @@ impl StoredProvenance {
     ) -> bool {
         predicate(module_label, &self.items[x.index()].1.output, skeleton)
     }
+
+    /// A skeleton memo sized for every origin appearing in the store —
+    /// built per batch call, *not* persisted: unlike [`ProvenanceIndex`],
+    /// the skeleton here is caller-supplied and may differ between calls,
+    /// so cross-call caching would serve stale answers. Empty (and never
+    /// consulted, see [`predicate_memo`]) under constant-time skeletons.
+    fn memo<S: SpecIndex>(&self, skeleton: &S) -> SkeletonMemo {
+        SkeletonMemo::for_skeleton(skeleton, || self.origin_bound)
+    }
+
+    /// Bulk [`data_depends_on_data`](Self::data_depends_on_data): answers
+    /// every `(x, x')` pair in order from stored labels alone, sharing one
+    /// skeleton memo across the batch — the store-side counterpart of
+    /// [`wfp_skl::QueryEngine::answer_batch`].
+    pub fn data_depends_on_data_batch<S: SpecIndex>(
+        &self,
+        pairs: &[(DataItemId, DataItemId)],
+        skeleton: &S,
+    ) -> Vec<bool> {
+        let mut memo = self.memo(skeleton);
+        pairs
+            .iter()
+            .map(|&(x, x_prime)| {
+                let out = &self.items[x.index()].1.output;
+                self.items[x_prime.index()]
+                    .1
+                    .inputs
+                    .iter()
+                    .any(|v| predicate_memo(v, out, skeleton, &mut memo))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +254,15 @@ mod tests {
                     "({x}, {y})"
                 );
             }
+        }
+        // ... and between the store's scalar and batch paths
+        let pairs: Vec<_> = data
+            .items()
+            .flat_map(|(x, _)| data.items().map(move |(y, _)| (x, y)))
+            .collect();
+        let batch = stored.data_depends_on_data_batch(&pairs, skeleton);
+        for (&(x, y), &ans) in pairs.iter().zip(&batch) {
+            assert_eq!(ans, stored.data_depends_on_data(x, y, skeleton), "({x}, {y})");
         }
     }
 

@@ -18,6 +18,7 @@ use crate::SpecIndex;
 const INF: u32 = u32::MAX;
 
 /// Chain-decomposition index.
+#[derive(Clone)]
 pub struct ChainDecomposition {
     /// chain id per vertex
     chain: Vec<u32>,
@@ -109,6 +110,10 @@ impl SpecIndex for ChainDecomposition {
     fn reaches(&self, u: u32, v: u32) -> bool {
         let c = self.chain[v as usize] as usize;
         self.min_pos[u as usize * self.k + c] <= self.pos[v as usize]
+    }
+
+    fn constant_time_queries(&self) -> bool {
+        true // three array loads and a comparison
     }
 
     fn label_bits(&self, _v: u32) -> usize {

@@ -16,6 +16,7 @@ use wfp_graph::{topo, DiGraph};
 use crate::SpecIndex;
 
 /// Pruned 2-hop (hub) labeling index.
+#[derive(Clone)]
 pub struct Hop2 {
     /// per vertex: sorted hub ranks reachable from it
     out_labels: Vec<Vec<u32>>,

@@ -55,6 +55,14 @@ pub trait SpecIndex {
     /// Whether `u ⇝ v` (reflexive).
     fn reaches(&self, u: u32, v: u32) -> bool;
 
+    /// Whether one [`reaches`](Self::reaches) probe is already a
+    /// constant-time, cache-resident lookup (e.g. TCM's bit probe), making
+    /// an external memo pure overhead. Batch evaluators consult this to
+    /// decide whether memoizing `(u, v)` probes is worthwhile.
+    fn constant_time_queries(&self) -> bool {
+        false
+    }
+
     /// Length in bits of vertex `v`'s label under the paper's accounting
     /// (TCM: `n_G`; search schemes: 0 — "we can treat the label length and
     /// construction time to be zero", §7).
@@ -112,6 +120,7 @@ impl std::fmt::Display for SchemeKind {
 }
 
 /// A dynamically chosen specification index.
+#[derive(Clone)]
 pub enum SpecScheme {
     /// Transitive-closure matrix.
     Tcm(Tcm),
@@ -169,6 +178,16 @@ impl SpecIndex for SpecScheme {
             SpecScheme::TreeCover(i) => i.reaches(u, v),
             SpecScheme::Chain(i) => i.reaches(u, v),
             SpecScheme::Hop2(i) => i.reaches(u, v),
+        }
+    }
+
+    fn constant_time_queries(&self) -> bool {
+        match self {
+            SpecScheme::Tcm(i) => i.constant_time_queries(),
+            SpecScheme::Search(i) => i.constant_time_queries(),
+            SpecScheme::TreeCover(i) => i.constant_time_queries(),
+            SpecScheme::Chain(i) => i.constant_time_queries(),
+            SpecScheme::Hop2(i) => i.constant_time_queries(),
         }
     }
 

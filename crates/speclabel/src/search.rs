@@ -24,6 +24,7 @@ pub enum SearchFlavor {
     Dfs,
 }
 
+#[derive(Clone)]
 struct Scratch {
     visit: VisitMap,
     queue: VecDeque<u32>,
@@ -31,6 +32,7 @@ struct Scratch {
 }
 
 /// Query-time graph search over a stored copy of the specification.
+#[derive(Clone)]
 pub struct GraphSearch {
     graph: DiGraph,
     flavor: SearchFlavor,

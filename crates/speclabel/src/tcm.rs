@@ -9,6 +9,7 @@ use wfp_graph::{DiGraph, TransitiveClosure};
 use crate::SpecIndex;
 
 /// Transitive-closure-matrix index.
+#[derive(Clone)]
 pub struct Tcm {
     closure: TransitiveClosure,
 }
@@ -30,6 +31,10 @@ impl SpecIndex for Tcm {
     #[inline]
     fn reaches(&self, u: u32, v: u32) -> bool {
         self.closure.reaches(u, v)
+    }
+
+    fn constant_time_queries(&self) -> bool {
+        true
     }
 
     fn label_bits(&self, _v: u32) -> usize {

@@ -19,6 +19,7 @@ use wfp_graph::{topo, DiGraph, NIL};
 use crate::SpecIndex;
 
 /// Interval tree-cover index.
+#[derive(Clone)]
 pub struct TreeCover {
     /// postorder number per vertex
     post: Vec<u32>,

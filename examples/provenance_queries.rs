@@ -5,7 +5,9 @@
 //! fork in parallel. Afterwards she asks the two classic provenance
 //! questions: *"this final hit looks wrong — which inputs produced it?"*
 //! and *"this input file was corrupt — which downstream results are
-//! tainted?"* — both answered in constant time from labels.
+//! tainted?"* — both answered in constant time from labels, with the bulk
+//! forms going through the `*_batch` APIs (which share one skeleton memo
+//! across the whole workload).
 //!
 //! ```sh
 //! cargo run --example provenance_queries
@@ -86,15 +88,30 @@ fn main() {
         prov.data_depends_on_data(final_item, first_blast_item)
     );
 
-    // ---- query 2: forward taint ----------------------------------------
+    // ---- query 2: forward taint (one batch, not |V| scalar calls) ------
     println!("\nforward: which module executions are tainted by that BLAST output?");
+    let taint_pairs: Vec<_> = run.vertices().map(|v| (v, first_blast_item)).collect();
+    let taint = prov.module_depends_on_data_batch(&taint_pairs);
     let mut tainted: Vec<&str> = run
         .vertices()
-        .filter(|&v| prov.module_depends_on_data(v, first_blast_item))
-        .map(|v| names[v.index()].as_str())
+        .zip(&taint)
+        .filter(|&(_, &dep)| dep)
+        .map(|(v, _)| names[v.index()].as_str())
         .collect();
     tainted.sort();
     println!("  {} of {} executions: {:?}", tainted.len(), run.vertex_count(), tainted);
+
+    // ---- bulk: the full item-dependency matrix in one batch -------------
+    let all_pairs: Vec<_> = data
+        .items()
+        .flat_map(|(x, _)| data.items().map(move |(y, _)| (x, y)))
+        .collect();
+    let matrix = prov.data_depends_on_data_batch(&all_pairs);
+    println!(
+        "\nbulk: {} item-dependency queries answered in one batch, {} positive",
+        all_pairs.len(),
+        matrix.iter().filter(|&&d| d).count()
+    );
 
     // ---- query 3: data ↔ module ----------------------------------------
     let scan2 = run

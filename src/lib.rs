@@ -88,6 +88,6 @@ pub mod prelude {
     pub use wfp_provenance::{
         attach_data, DataItemId, ProvenanceIndex, RunData, RunDataBuilder, StoredProvenance,
     };
-    pub use wfp_skl::{construct_plan, LabeledRun, QueryPath, RunLabel};
+    pub use wfp_skl::{construct_plan, LabeledRun, QueryEngine, QueryPath, RunLabel};
     pub use wfp_speclabel::{SchemeKind, SpecIndex, SpecScheme};
 }

@@ -1,0 +1,109 @@
+//! Differential property suite: the batched [`QueryEngine`] must agree
+//! with the scalar predicate πr on every pair, under every specification
+//! scheme, on every evaluation path — cold memo, warm memo (repeated
+//! batches), the scalar `answer` entry point, and the sharded parallel
+//! evaluator.
+
+use proptest::prelude::*;
+use workflow_provenance::prelude::*;
+use workflow_provenance::skl::predicate;
+
+/// Strategy over feasible generator configurations (mirrors
+/// `tests/properties.rs`).
+fn spec_config() -> impl Strategy<Value = SpecGenConfig> {
+    (2usize..=8, any::<u64>(), 0usize..30, 0usize..25).prop_flat_map(
+        |(size, seed, extra_v, extra_e)| {
+            let depth = 2usize..=size.min(4);
+            depth.prop_map(move |depth| {
+                let modules = 2 + 2 * (size - 1) + size + extra_v; // safely feasible
+                SpecGenConfig {
+                    modules,
+                    edges: modules + extra_e,
+                    hierarchy_size: size,
+                    hierarchy_depth: depth,
+                    seed,
+                }
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `answer_batch` ≡ scalar `predicate`, across every scheme kind, with
+    /// the memo both cold and warm, and through the scalar `answer` path.
+    #[test]
+    fn batch_agrees_with_scalar_predicate(
+        cfg in spec_config(),
+        run_seed in any::<u64>(),
+        scheme_idx in 0usize..SchemeKind::ALL.len(),
+        pair_seed in any::<u64>(),
+    ) {
+        let spec = generate_spec_clamped(&cfg).unwrap();
+        let GeneratedRun { run, .. } = generate_run(&spec, &RunGenConfig {
+            seed: run_seed,
+            counts: CountDistribution::GeometricMean(0.8),
+        });
+        let kind = SchemeKind::ALL[scheme_idx];
+        let labeled = LabeledRun::build(
+            &spec,
+            SpecScheme::build(kind, spec.graph()),
+            &run,
+        ).unwrap();
+
+        // Duplicate the pair set so repeated (origin, origin) keys exercise
+        // the memo's hit path within one batch.
+        let mut pairs = random_pairs(&run, 150, pair_seed);
+        let dup = pairs.clone();
+        pairs.extend(dup);
+
+        let scalar: Vec<bool> = pairs
+            .iter()
+            .map(|&(u, v)| predicate(labeled.label(u), labeled.label(v), labeled.skeleton()))
+            .collect();
+
+        let engine = QueryEngine::from_labeled(labeled);
+        // cold batch
+        prop_assert_eq!(&engine.answer_batch(&pairs), &scalar, "cold batch under {}", kind);
+        // warm batch: the memo now holds every skeleton sub-answer
+        prop_assert_eq!(&engine.answer_batch(&pairs), &scalar, "warm batch under {}", kind);
+        // scalar entry point, sharing the warm memo
+        for (&(u, v), &expected) in pairs.iter().zip(&scalar) {
+            prop_assert_eq!(engine.answer(u, v), expected, "answer({}, {}) under {}", u, v, kind);
+        }
+        // the engine accounted for every pair it answered
+        let stats = engine.stats();
+        prop_assert_eq!(stats.total(), 3 * pairs.len() as u64);
+    }
+
+    /// The sharded parallel evaluator returns exactly the sequential
+    /// answers, for any shard count, on every scheme.
+    #[test]
+    fn parallel_shards_agree_with_sequential(
+        cfg in spec_config(),
+        run_seed in any::<u64>(),
+        scheme_idx in 0usize..SchemeKind::ALL.len(),
+        pair_seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        let spec = generate_spec_clamped(&cfg).unwrap();
+        let GeneratedRun { run, .. } = generate_run(&spec, &RunGenConfig {
+            seed: run_seed,
+            counts: CountDistribution::GeometricMean(1.0),
+        });
+        let kind = SchemeKind::ALL[scheme_idx];
+        let labeled = LabeledRun::build(
+            &spec,
+            SpecScheme::build(kind, spec.graph()),
+            &run,
+        ).unwrap();
+        // 5000 pairs crosses the parallel evaluator's 1024-pair chunk
+        // floor, so multiple chunks (and shards) genuinely interleave.
+        let pairs = random_pairs(&run, 5000, pair_seed);
+        let engine = QueryEngine::from_labeled(labeled);
+        let sequential = engine.answer_batch(&pairs);
+        let parallel = engine.answer_batch_parallel(&pairs, threads);
+        prop_assert_eq!(parallel, sequential, "{} with {} shards", kind, threads);
+    }
+}

@@ -746,7 +746,8 @@ mod tests {
             let total: usize = xs.iter().sum();
             prop_assert!(total <= 100 * xs.len());
             if flip {
-                prop_assert_eq!(xs.len(), xs.iter().count());
+                let evens = xs.iter().filter(|x| *x % 2 == 0).count();
+                prop_assert!(evens <= xs.len());
             }
         }
     }
