@@ -1,0 +1,58 @@
+//! Criterion bench: the live ingestion engine (PR 3 tentpole) — event
+//! replay throughput, mid-stream probe latency, and the frozen engine on
+//! identical probes. `repro -- live_ingest` produces the committed table;
+//! this bench is the fast regression guard for the three hot paths.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wfp_bench::experiments::{live_ingest_workload, replay};
+use wfp_skl::LiveRun;
+use wfp_speclabel::{SchemeKind, SpecScheme};
+
+fn bench_live_ingest(c: &mut Criterion) {
+    let (spec, _run, events, _mapping, batches) = live_ingest_workload(true);
+    let (mid_at, mid_pairs) = &batches[batches.len() / 2];
+
+    let mut group = c.benchmark_group("live_ingest");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    // full-stream replay (no probes): pure ingestion throughput
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("replay_full_stream", |b| {
+        b.iter(|| {
+            let mut live = LiveRun::new(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()));
+            replay(&mut live, &events);
+            black_box(live.vertex_count())
+        })
+    });
+
+    group.throughput(Throughput::Elements(mid_pairs.len() as u64));
+    for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+        // probes answered mid-stream, over the half-ingested run
+        let mut live = LiveRun::new(&spec, SpecScheme::build(kind, spec.graph()));
+        replay(&mut live, &events[..*mid_at]);
+        let mut out = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "live_mid_stream"),
+            mid_pairs,
+            |b, pairs| b.iter(|| black_box(live.answer_batch_into(pairs, &mut out).len())),
+        );
+
+        // the same probes against the frozen engine (completed run)
+        let mut live = LiveRun::new(&spec, SpecScheme::build(kind, spec.graph()));
+        replay(&mut live, &events);
+        let engine = live.freeze().expect("generated runs freeze");
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "frozen"),
+            mid_pairs,
+            |b, pairs| b.iter(|| black_box(engine.answer_batch_into(pairs, &mut out).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_live_ingest);
+criterion_main!(benches);

@@ -12,8 +12,9 @@ use wfp_gen::{
 };
 use wfp_graph::TransitiveClosure;
 use wfp_speclabel::TreeExpansion;
+use wfp_model::io::{plan_to_events, RunEvent};
 use wfp_model::{Run, RunVertexId, Specification};
-use wfp_skl::{LabeledRun, QueryEngine};
+use wfp_skl::{LabeledRun, LiveRun, QueryEngine};
 use wfp_speclabel::{SchemeKind, SpecIndex, SpecScheme};
 
 use crate::options::ReproOptions;
@@ -611,6 +612,186 @@ pub fn throughput(opts: &ReproOptions) -> Table {
     if threads == 1 {
         t.note("host exposes a single core: parallel sharding degenerates to the batched path");
     }
+    t
+}
+
+// ======================================================================
+// Live ingestion — query-while-running vs freeze-then-query (PR 3)
+// ======================================================================
+
+/// The canonical live-ingestion workload: one §8.2 synthetic run
+/// linearized into its event stream, plus probe batches placed at evenly
+/// spaced points of the stream, each over vertices already executed at
+/// that point (in *exec order* — `mapping[i]` is the offline run vertex of
+/// the `i`-th execution). Shared by the [`live_ingest`] experiment and the
+/// `live_ingest` criterion bench.
+#[allow(clippy::type_complexity)]
+pub fn live_ingest_workload(
+    quick: bool,
+) -> (
+    Specification,
+    Run,
+    Vec<RunEvent>,
+    Vec<RunVertexId>,
+    Vec<(usize, Vec<(RunVertexId, RunVertexId)>)>,
+) {
+    let spec = synthetic_spec(100);
+    let size = if quick { 12_800 } else { 25_600 };
+    let gen = generate_run_with_target(&spec, 2, size);
+    let (events, mapping) = plan_to_events(&gen.run, &gen.plan);
+
+    // exec count per event offset, to size each batch's vertex universe
+    let mut execs_before = Vec::with_capacity(events.len() + 1);
+    let mut execs = 0usize;
+    for ev in &events {
+        execs_before.push(execs);
+        execs += matches!(ev, RunEvent::Exec(_)) as usize;
+    }
+    execs_before.push(execs);
+
+    let checkpoints = 8usize;
+    let per_batch = if quick { 50_000 } else { 125_000 };
+    let mut rng = wfp_graph::rng::Xoshiro256::seed_from_u64(0x5DEE_CE66);
+    let batches = (1..=checkpoints)
+        .filter_map(|j| {
+            let at = j * events.len() / (checkpoints + 1);
+            // skip checkpoints before two executions exist — probing
+            // unexecuted vertices would trip the engine's range assert
+            let n = execs_before[at];
+            if n < 2 {
+                return None;
+            }
+            let pairs = (0..per_batch)
+                .map(|_| {
+                    (
+                        RunVertexId(rng.gen_usize(n) as u32),
+                        RunVertexId(rng.gen_usize(n) as u32),
+                    )
+                })
+                .collect();
+            Some((at, pairs))
+        })
+        .collect();
+    (spec, gen.run, events, mapping, batches)
+}
+
+/// Replays `events[from..to)` into `live`, panicking on protocol errors
+/// (generated streams are valid by construction).
+pub fn replay<S: SpecIndex>(live: &mut LiveRun<'_, S>, events: &[RunEvent]) {
+    for ev in events {
+        match *ev {
+            RunEvent::BeginGroup(sg) => live.begin_group(sg).unwrap(),
+            RunEvent::BeginCopy => live.begin_copy().unwrap(),
+            RunEvent::Exec(m) => {
+                live.exec(m).unwrap();
+            }
+            RunEvent::EndCopy => live.end_copy().unwrap(),
+            RunEvent::EndGroup => live.end_group().unwrap(),
+        }
+    }
+}
+
+/// Live ingestion: per-probe latency of intermediate queries answered
+/// **while the run streams** against the same probes under
+/// freeze-then-query — the §9 scenario. The baseline is the genuine
+/// "wait for completion" strategy: the offline pipeline labels the
+/// finished run from scratch and answers the identical batches with its
+/// own cold memo (probes translated through the exec-order mapping). The
+/// headline column is `live/frozen ×`: the per-probe price of *not*
+/// waiting for the workflow to finish. `freeze ms` vs `label ms` shows
+/// what the zero-re-labeling handoff saves when the run does complete.
+pub fn live_ingest(opts: &ReproOptions) -> Table {
+    let (spec, run, events, mapping, batches) = live_ingest_workload(opts.quick);
+    let total_probes: usize = batches.iter().map(|(_, b)| b.len()).sum();
+    let mut t = Table::new(
+        format!(
+            "Live ingestion: query-while-running vs freeze-then-query \
+             ({} events, {} probes in {} mid-stream batches)",
+            events.len(),
+            total_probes,
+            batches.len()
+        ),
+        &[
+            "scheme",
+            "ingest ms",
+            "live ns/probe",
+            "freeze ms",
+            "label ms",
+            "frozen ns/probe",
+            "live/frozen x",
+        ],
+    );
+    for kind in [SchemeKind::Tcm, SchemeKind::Bfs, SchemeKind::Dfs] {
+        let mut live = LiveRun::new(&spec, SpecScheme::build(kind, spec.graph()));
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        let mut ingest_s = 0.0f64;
+        let mut live_probe_s = 0.0f64;
+        let mut live_answers: Vec<Vec<bool>> = Vec::with_capacity(batches.len());
+        for (at, pairs) in &batches {
+            let started = std::time::Instant::now();
+            replay(&mut live, &events[cursor..*at]);
+            ingest_s += started.elapsed().as_secs_f64();
+            cursor = *at;
+            let started = std::time::Instant::now();
+            let answers = live.answer_batch_into(pairs, &mut out);
+            live_probe_s += started.elapsed().as_secs_f64();
+            live_answers.push(answers.to_vec());
+        }
+        let started = std::time::Instant::now();
+        replay(&mut live, &events[cursor..]);
+        let ingest_ms = (ingest_s + started.elapsed().as_secs_f64()) * 1e3;
+
+        // the zero-re-labeling handoff (labels extracted from the bracket
+        // lists, skeleton and memo carried over) …
+        let freeze_started = std::time::Instant::now();
+        let handoff = live.freeze().expect("generated runs freeze");
+        let freeze_ms = freeze_started.elapsed().as_secs_f64() * 1e3;
+
+        // … versus the wait-for-completion baseline: label the finished
+        // run from scratch and answer the same probes with a cold memo.
+        let label_started = std::time::Instant::now();
+        let labeled =
+            LabeledRun::build(&spec, SpecScheme::build(kind, spec.graph()), &run).unwrap();
+        let engine = QueryEngine::from_labeled(labeled);
+        let label_ms = label_started.elapsed().as_secs_f64() * 1e3;
+
+        let mut frozen_probe_s = 0.0f64;
+        for ((_, pairs), live_ans) in batches.iter().zip(&live_answers) {
+            let offline: Vec<_> = pairs
+                .iter()
+                .map(|&(u, v)| (mapping[u.index()], mapping[v.index()]))
+                .collect();
+            let started = std::time::Instant::now();
+            let answers = engine.answer_batch_into(&offline, &mut out);
+            frozen_probe_s += started.elapsed().as_secs_f64();
+            assert_eq!(answers, &live_ans[..], "live diverged from offline under {kind}");
+            // the handoff engine agrees too, on live exec-order ids
+            debug_assert_eq!(handoff.answer_batch(pairs), live_ans.clone());
+        }
+        // outside debug builds, spot-check the handoff on the last batch
+        let (_, last) = batches.last().expect("at least one batch");
+        assert_eq!(
+            handoff.answer_batch(last),
+            live_answers.last().cloned().unwrap(),
+            "freeze handoff diverged under {kind}"
+        );
+
+        let live_ns = live_probe_s * 1e9 / total_probes as f64;
+        let frozen_ns = frozen_probe_s * 1e9 / total_probes as f64;
+        t.row(vec![
+            format!("{kind}+SKL"),
+            fmt_f64(ingest_ms),
+            fmt_f64(live_ns),
+            fmt_f64(freeze_ms),
+            fmt_f64(label_ms),
+            fmt_f64(frozen_ns),
+            format!("{:.2}", live_ns / frozen_ns.max(1e-9)),
+        ]);
+    }
+    t.note("identical probe batches per strategy (frozen side translated to offline vertex ids);");
+    t.note("live answers mid-stream over tag columns; frozen = offline relabel + cold memo");
+    t.note("expected shape: live within ~2x of frozen per probe; freeze() far below label ms");
     t
 }
 

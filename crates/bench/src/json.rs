@@ -1,4 +1,4 @@
-//! Machine-readable benchmark output (`BENCH_PR2.json`).
+//! Machine-readable benchmark output (`BENCH_PR3.json`).
 //!
 //! Every `repro` invocation serializes the tables it produced — with their
 //! per-experiment wall-clock timings and full cell grids (the `throughput`
@@ -13,8 +13,10 @@ use std::path::Path;
 
 use crate::table::Table;
 
-/// The file name every invocation writes under the results directory.
-pub const BENCH_JSON_FILE: &str = "BENCH_PR2.json";
+/// The file name every invocation writes under the results directory
+/// (bumped per PR so trajectories diff cleanly: PR 2 wrote
+/// `BENCH_PR2.json`).
+pub const BENCH_JSON_FILE: &str = "BENCH_PR3.json";
 
 /// JSON string escaping (quotes, backslashes, control characters).
 fn escape(s: &str) -> String {

@@ -15,15 +15,21 @@ usage:
   wfp inspect  <spec.xml>
   wfp gen-spec -n MODULES -m EDGES -k HIERARCHY -d DEPTH [--seed S] -o OUT
   wfp gen-run  <spec.xml> --target VERTICES [--seed S] -o OUT
+  wfp gen-events <spec.xml> --target VERTICES [--seed S] -o OUT
+               [--probes K --probe-out FILE]
   wfp plan     <spec.xml> <run.xml>
   wfp label    <spec.xml> <run.xml> [--scheme KIND] [-o OUT.wfpl]
   wfp query    <spec.xml> <run.xml> <from> <to> [--scheme KIND]
   wfp query    <spec.xml> <run.xml> --pairs FILE [--threads N] [--scheme KIND]
+  wfp ingest   <spec.xml> <events.log> [--scheme KIND] [--probe FILE]
 
 KIND: tcm | bfs | dfs | treecover | chain | 2hop   (default: tcm)
 vertex names use the paper's numbered form, e.g. b3 = third execution of b;
 --pairs batch mode reads one \"from to\" query per line (#-comments allowed)
-and answers all of them through the batched query engine";
+and answers all of them through the batched query engine.
+ingest replays a line-based event log through the live (query-while-running)
+engine; --probe FILE schedules \"EVENT# FROM TO\" queries answered mid-stream,
+then re-checked against the frozen labels when the run completes";
 
 struct Args {
     positional: Vec<String>,
@@ -120,6 +126,31 @@ fn run() -> Result<String, CliError> {
                 &out,
             )
         }
+        "gen-events" => {
+            let out = args
+                .flags
+                .get("o")
+                .map(PathBuf::from)
+                .ok_or("missing -o OUT")?;
+            let probes = match (args.num::<usize>("probes")?, args.flags.get("probe-out")) {
+                (Some(k), Some(p)) => Some((k, PathBuf::from(p))),
+                (None, None) => None,
+                _ => return Err("--probes and --probe-out go together".into()),
+            };
+            cmd_gen_events(
+                &args.path(0)?,
+                args.required_num("target")?,
+                args.num("seed")?.unwrap_or(0),
+                &out,
+                probes.as_ref().map(|(k, p)| (*k, p.as_path())),
+            )
+        }
+        "ingest" => cmd_ingest(
+            &args.path(0)?,
+            &args.path(1)?,
+            args.scheme()?,
+            args.flags.get("probe").map(PathBuf::from).as_deref(),
+        ),
         "plan" => cmd_plan(&args.path(0)?, &args.path(1)?),
         "label" => cmd_label(
             &args.path(0)?,

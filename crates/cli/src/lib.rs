@@ -8,10 +8,12 @@
 //! wfp inspect  spec.xml                 # characteristics + hierarchy
 //! wfp gen-spec -n 100 -m 200 -k 10 -d 4 --seed 1 -o spec.xml
 //! wfp gen-run  spec.xml --target 10000 --seed 2 -o run.xml
+//! wfp gen-events spec.xml --target 10000 -o run.events   # streaming log
 //! wfp plan     spec.xml run.xml         # recovered execution-plan stats
 //! wfp label    spec.xml run.xml -o labels.wfpl [--scheme tcm]
 //! wfp query    spec.xml run.xml b3 h1   # reachability between executions
 //! wfp query    spec.xml run.xml --pairs pairs.txt [--threads 8]  # batch mode
+//! wfp ingest   spec.xml run.events --probe probes.txt   # query-while-running
 //! ```
 //!
 //! All command logic lives in this library (returning strings/errors) so it
@@ -25,9 +27,12 @@ use std::fs;
 use std::path::Path;
 
 use wfp_gen::{generate_run_with_target, generate_spec, GeneratedRun, SpecGenConfig};
-use wfp_model::io::{run_from_xml, run_to_xml, spec_from_xml, spec_to_xml};
+use wfp_model::io::{
+    events_from_log, events_to_log, plan_to_events, run_from_xml, run_to_xml, spec_from_xml,
+    spec_to_xml, RunEvent,
+};
 use wfp_model::{Run, RunVertexId, Specification};
-use wfp_skl::{construct_plan_with_stats, LabeledRun, QueryEngine, QueryPath};
+use wfp_skl::{construct_plan_with_stats, LabeledRun, LiveRun, QueryEngine, QueryPath};
 use wfp_speclabel::{SchemeKind, SpecScheme};
 
 /// A CLI failure, printed to stderr with exit code 1.
@@ -282,6 +287,13 @@ pub fn cmd_query_batch(
         pairs.push((resolve(from)?, resolve(to)?));
         echo.push((from, to));
     }
+    if pairs.is_empty() {
+        return Err(format!(
+            "{}: no queries (the pairs file is empty or all comments)",
+            pairs_path.display()
+        )
+        .into());
+    }
 
     let labeled = LabeledRun::build(&spec, SpecScheme::build(scheme, spec.graph()), &run)?;
     let engine = QueryEngine::from_labeled(labeled);
@@ -310,6 +322,251 @@ pub fn cmd_query_batch(
         pairs.len() as f64 / elapsed.max(1e-9),
     )?;
     Ok(out)
+}
+
+// ======================================================================
+// Live ingestion (§9 query-while-running)
+// ======================================================================
+
+/// One scheduled probe: answer `from ⇝ to` once `at` events have been
+/// ingested.
+struct Probe {
+    at: usize,
+    from: String,
+    to: String,
+}
+
+/// Parses a probe file: one `EVENT# FROM TO` line per probe (blank lines
+/// and `#`-comments skipped), FROM/TO in streaming numbered-name form
+/// (`b3` = third execution of module `b`, in event order).
+fn parse_probes(path: &Path) -> Result<Vec<Probe>, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut probes = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(at), Some(from), Some(to), None) => {
+                let at: usize = at.parse().map_err(|_| {
+                    format!(
+                        "{}:{}: bad event number {at:?}",
+                        path.display(),
+                        lineno + 1
+                    )
+                })?;
+                probes.push(Probe {
+                    at,
+                    from: from.to_string(),
+                    to: to.to_string(),
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "{}:{}: expected \"EVENT# FROM TO\", got {line:?}",
+                    path.display(),
+                    lineno + 1
+                )
+                .into())
+            }
+        }
+    }
+    probes.sort_by_key(|p| p.at);
+    Ok(probes)
+}
+
+/// `wfp ingest <spec.xml> <events.log> [--scheme KIND] [--probe FILE]`
+///
+/// Replays a line-based event log (`wfp-model::io` format, see
+/// `gen-events`) through the live engine and answers the probe file's
+/// queries **mid-stream**, at the exact event offsets they name — the §9
+/// scenario: provenance queries on intermediate data before the workflow
+/// completes. Vertices are addressed by streaming numbered names (`b3` =
+/// third `exec b` of the log). After the last event, if the run is
+/// structurally complete, the engine freezes (zero re-labeling) and every
+/// probe is re-answered against the frozen labels as a parity check.
+pub fn cmd_ingest(
+    spec_path: &Path,
+    events_path: &Path,
+    scheme: SchemeKind,
+    probe_path: Option<&Path>,
+) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    let text = fs::read_to_string(events_path)
+        .map_err(|e| format!("cannot read {}: {e}", events_path.display()))?;
+    let events = events_from_log(&text, &spec)?;
+    let probes = match probe_path {
+        Some(p) => parse_probes(p)?,
+        None => Vec::new(),
+    };
+
+    let mut live = LiveRun::new(&spec, SpecScheme::build(scheme, spec.graph()));
+    // streaming numbered names, assigned in exec order
+    let mut counters = vec![0u32; spec.module_count()];
+    let mut vertex_by_name: std::collections::HashMap<String, RunVertexId> =
+        std::collections::HashMap::new();
+
+    let mut out = String::new();
+    let mut answered: Vec<(usize, RunVertexId, RunVertexId, bool)> = Vec::new();
+    let mut next_probe = 0usize;
+    let total = events.len();
+
+    let answer_due = |live: &LiveRun<SpecScheme>,
+                          vertex_by_name: &std::collections::HashMap<String, RunVertexId>,
+                          processed: usize,
+                          out: &mut String,
+                          answered: &mut Vec<(usize, RunVertexId, RunVertexId, bool)>,
+                          next_probe: &mut usize|
+     -> Result<(), CliError> {
+        while *next_probe < probes.len()
+            && (probes[*next_probe].at <= processed
+                || (processed == total && probes[*next_probe].at > total))
+        {
+            let p = &probes[*next_probe];
+            let resolve = |name: &str| {
+                vertex_by_name.get(name).copied().ok_or_else(|| {
+                    format!(
+                        "probe at event {}: vertex {name:?} has not executed yet \
+                         ({} executions so far)",
+                        p.at,
+                        live.vertex_count()
+                    )
+                })
+            };
+            let (u, v) = (resolve(&p.from)?, resolve(&p.to)?);
+            let ans = live.answer(u, v);
+            let late = if p.at > total { " (clamped to end)" } else { "" };
+            writeln!(out, "@{} {} {} {ans}{late}", p.at.min(total), p.from, p.to)?;
+            answered.push((p.at, u, v, ans));
+            *next_probe += 1;
+        }
+        Ok(())
+    };
+
+    answer_due(&live, &vertex_by_name, 0, &mut out, &mut answered, &mut next_probe)?;
+    for (i, ev) in events.iter().enumerate() {
+        let result = match *ev {
+            RunEvent::BeginGroup(sg) => live.begin_group(sg),
+            RunEvent::BeginCopy => live.begin_copy(),
+            RunEvent::Exec(m) => live.exec(m).map(|v| {
+                counters[m.index()] += 1;
+                let name = format!("{}{}", spec.name(m), counters[m.index()]);
+                // First-wins on colliding numbered names (module "b" run
+                // 11 vs module "b1" run 1 both print as "b11"), matching
+                // `cmd_query_batch`'s resolution policy.
+                vertex_by_name.entry(name).or_insert(v);
+            }),
+            RunEvent::EndCopy => live.end_copy(),
+            RunEvent::EndGroup => live.end_group(),
+        };
+        result.map_err(|e| format!("event #{} ({ev:?}): {e}", i + 1))?;
+        answer_due(&live, &vertex_by_name, i + 1, &mut out, &mut answered, &mut next_probe)?;
+    }
+
+    let stats = live.stats();
+    writeln!(
+        out,
+        "# ingested {} events: {} executions, {} probes answered live \
+         ({} context-only, {} skeleton; {} tag repairs)",
+        total,
+        live.vertex_count(),
+        answered.len(),
+        stats.engine.context_only,
+        stats.engine.skeleton,
+        stats.tag_repairs,
+    )?;
+    if live.at_root() {
+        match live.freeze() {
+            Ok(engine) => {
+                let agree = answered
+                    .iter()
+                    .filter(|&&(_, u, v, live_ans)| engine.answer(u, v) == live_ans)
+                    .count();
+                write!(
+                    out,
+                    "# frozen: {} labels; parity check {agree}/{} probes agree",
+                    engine.vertex_count(),
+                    answered.len()
+                )?;
+                if agree != answered.len() {
+                    return Err("live/frozen parity check failed".into());
+                }
+            }
+            Err(e) => write!(out, "# run incomplete at end of log ({e}): freeze skipped")?,
+        }
+    } else {
+        write!(out, "# run still open at end of log: freeze skipped")?;
+    }
+    Ok(out)
+}
+
+/// `wfp gen-events <spec.xml> --target N [--seed S] -o OUT
+///  [--probes K --probe-out FILE]`
+///
+/// Simulates a run (like `gen-run`) and writes it as a streaming event log
+/// instead of a completed XML run — the input `wfp ingest` replays.
+/// Optionally also writes `K` probe queries spread evenly across the
+/// stream, each over vertices that have already executed at its offset.
+pub fn cmd_gen_events(
+    spec_path: &Path,
+    target: usize,
+    seed: u64,
+    out: &Path,
+    probes: Option<(usize, &Path)>,
+) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    let gen = generate_run_with_target(&spec, seed, target);
+    let (events, _mapping) = plan_to_events(&gen.run, &gen.plan);
+    fs::write(out, events_to_log(&events, &spec))?;
+    let mut msg = format!(
+        "wrote {} ({} events, {} executions)",
+        out.display(),
+        events.len(),
+        gen.run.vertex_count()
+    );
+
+    if let Some((count, probe_out)) = probes {
+        // streaming numbered names per exec-ordered vertex
+        let mut counters = vec![0u32; spec.module_count()];
+        let mut names = Vec::new();
+        let mut execs_before = Vec::with_capacity(events.len() + 1); // per event offset
+        let mut execs = 0usize;
+        for ev in &events {
+            execs_before.push(execs);
+            if let RunEvent::Exec(m) = *ev {
+                counters[m.index()] += 1;
+                names.push(format!("{}{}", spec.name(m), counters[m.index()]));
+                execs += 1;
+            }
+        }
+        execs_before.push(execs);
+
+        let mut rng = wfp_graph::rng::Xoshiro256::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut lines = String::from("# EVENT# FROM TO (streaming numbered names)\n");
+        let mut placed = 0usize;
+        for j in 0..count {
+            // evenly spaced offsets, skipping ones with < 2 executions
+            let at = ((j + 1) * events.len()) / (count + 1);
+            let n = execs_before[at];
+            if n < 2 {
+                continue;
+            }
+            let (a, b) = (rng.gen_usize(n), rng.gen_usize(n));
+            lines.push_str(&format!("{at} {} {}\n", names[a], names[b]));
+            placed += 1;
+        }
+        fs::write(probe_out, lines)?;
+        write!(
+            msg,
+            "\nwrote {} ({placed} probes over {} offsets)",
+            probe_out.display(),
+            count
+        )?;
+    }
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -445,6 +702,100 @@ mod tests {
             cmd_query_batch(&sp, &rp, Path::new("/nonexistent/p.txt"), SchemeKind::Tcm, 1)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn query_batch_rejects_empty_pairs_file() {
+        let (sp, rp) = write_paper_files();
+        let empty = tmp("empty-pairs.txt");
+        fs::write(&empty, "# only a comment\n\n").unwrap();
+        let err = cmd_query_batch(&sp, &rp, &empty, SchemeKind::Tcm, 1)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("no queries"), "{err}");
+    }
+
+    #[test]
+    fn gen_events_then_ingest_round_trips_with_probes() {
+        let sp = tmp("live-spec.xml");
+        let cfg = SpecGenConfig {
+            modules: 40,
+            edges: 60,
+            hierarchy_size: 6,
+            hierarchy_depth: 3,
+            seed: 5,
+        };
+        cmd_gen_spec(&cfg, &sp).unwrap();
+        let ep = tmp("live.events");
+        let pp = tmp("live.probes");
+        let msg = cmd_gen_events(&sp, 400, 3, &ep, Some((8, &pp))).unwrap();
+        assert!(msg.contains("events"), "{msg}");
+        assert!(msg.contains("probes"), "{msg}");
+
+        let out = cmd_ingest(&sp, &ep, SchemeKind::Tcm, Some(&pp)).unwrap();
+        assert!(out.contains("probes answered live"), "{out}");
+        assert!(out.contains("parity check"), "{out}");
+        // every scheduled probe produced an @EVENT# line
+        let probe_lines = out.lines().filter(|l| l.starts_with('@')).count();
+        assert!(probe_lines > 0, "{out}");
+        assert!(out.contains(&format!("{probe_lines}/{probe_lines} probes agree")), "{out}");
+
+        // ingest without probes also works
+        let out = cmd_ingest(&sp, &ep, SchemeKind::Bfs, None).unwrap();
+        assert!(out.contains("0 probes answered live"), "{out}");
+    }
+
+    #[test]
+    fn ingest_answers_probes_mid_stream_on_the_paper_run() {
+        let (sp, _) = write_paper_files();
+        let ep = tmp("paper.events");
+        // the paper's Figure 3 structure: a, F1(2 copies of L2...), d, ...
+        // Use a prefix: probes must answer while groups are still open.
+        fs::write(
+            &ep,
+            "exec a\nbegin-group 0\nbegin-copy\nbegin-group 1\nbegin-copy\n\
+             exec b\nexec c\nend-copy\nend-group\nend-copy\nend-group\nexec d\n",
+        )
+        .unwrap();
+        let pp = tmp("paper.probes");
+        // event 7 = right after `exec c`: b1 and c1 exist, run mid-flight
+        fs::write(&pp, "7 a1 c1\n7 c1 b1\n").unwrap();
+        let out = cmd_ingest(&sp, &ep, SchemeKind::Tcm, Some(&pp)).unwrap();
+        assert!(out.contains("@7 a1 c1 true"), "{out}");
+        assert!(out.contains("@7 c1 b1 false"), "{out}");
+        // incomplete run (only part of the paper run): freeze is skipped
+        assert!(out.contains("freeze skipped"), "{out}");
+    }
+
+    #[test]
+    fn ingest_rejects_bad_inputs() {
+        let (sp, _) = write_paper_files();
+        let ep = tmp("bad.events");
+        fs::write(&ep, "exec nosuch\n").unwrap();
+        assert!(cmd_ingest(&sp, &ep, SchemeKind::Tcm, None).is_err());
+
+        // protocol violation: exec outside the module's home copy
+        fs::write(&ep, "exec b\n").unwrap();
+        let err = cmd_ingest(&sp, &ep, SchemeKind::Tcm, None)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("event #1"), "{err}");
+
+        // probe naming a vertex that has not executed yet
+        fs::write(&ep, "exec a\n").unwrap();
+        let pp = tmp("bad.probes");
+        fs::write(&pp, "1 a1 zz9\n").unwrap();
+        let err = cmd_ingest(&sp, &ep, SchemeKind::Tcm, Some(&pp))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("zz9"), "{err}");
+        // malformed probe line
+        fs::write(&pp, "not-a-number a1 a1\n").unwrap();
+        assert!(cmd_ingest(&sp, &ep, SchemeKind::Tcm, Some(&pp)).is_err());
+        fs::write(&pp, "1 a1\n").unwrap();
+        assert!(cmd_ingest(&sp, &ep, SchemeKind::Tcm, Some(&pp)).is_err());
+        // missing files
+        assert!(cmd_ingest(&sp, Path::new("/nonexistent/e.log"), SchemeKind::Tcm, None).is_err());
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Error-path tests against the real `wfp` binary: every malformed input
+//! must exit non-zero with a diagnostic on stderr (and nothing fatal on
+//! stdout), because scripted pipelines branch on exactly that contract.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use wfp_model::fixtures::{paper_run, paper_spec};
+use wfp_model::io::{run_to_xml, spec_to_xml};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("wfp-cli-bin-tests");
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn paper_files() -> (PathBuf, PathBuf) {
+    let spec = paper_spec();
+    let run = paper_run(&spec);
+    let sp = tmp("spec.xml");
+    let rp = tmp("run.xml");
+    fs::write(&sp, spec_to_xml(&spec)).unwrap();
+    fs::write(&rp, run_to_xml(&run)).unwrap();
+    (sp, rp)
+}
+
+fn wfp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wfp"))
+        .args(args)
+        .output()
+        .expect("wfp binary runs")
+}
+
+/// Asserts non-zero exit and that stderr mentions every needle.
+fn assert_fails(args: &[&str], needles: &[&str]) {
+    let out = wfp(args);
+    assert!(
+        !out.status.success(),
+        "{args:?} must exit non-zero; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.trim().is_empty(), "{args:?} must print a diagnostic");
+    for needle in needles {
+        assert!(
+            stderr.contains(needle),
+            "{args:?}: stderr {stderr:?} must mention {needle:?}"
+        );
+    }
+}
+
+// ---------------- wfp query --pairs ----------------------------------
+
+#[test]
+fn query_pairs_malformed_line() {
+    let (sp, rp) = paper_files();
+    let pf = tmp("arity.txt");
+    fs::write(&pf, "b1 c1\nb1 b2 b3\n").unwrap();
+    assert_fails(
+        &["query", sp.to_str().unwrap(), rp.to_str().unwrap(), "--pairs", pf.to_str().unwrap()],
+        &[":2:", "expected two vertex names"],
+    );
+}
+
+#[test]
+fn query_pairs_out_of_range_vertex() {
+    let (sp, rp) = paper_files();
+    let pf = tmp("range.txt");
+    // b9 is out of range: the paper run executes b three times
+    fs::write(&pf, "b1 b9\n").unwrap();
+    assert_fails(
+        &["query", sp.to_str().unwrap(), rp.to_str().unwrap(), "--pairs", pf.to_str().unwrap()],
+        &["b9", "no vertex"],
+    );
+}
+
+#[test]
+fn query_pairs_empty_file() {
+    let (sp, rp) = paper_files();
+    let pf = tmp("empty.txt");
+    fs::write(&pf, "# nothing but comments\n\n").unwrap();
+    assert_fails(
+        &["query", sp.to_str().unwrap(), rp.to_str().unwrap(), "--pairs", pf.to_str().unwrap()],
+        &["no queries"],
+    );
+}
+
+#[test]
+fn query_pairs_missing_file() {
+    let (sp, rp) = paper_files();
+    assert_fails(
+        &["query", sp.to_str().unwrap(), rp.to_str().unwrap(), "--pairs", "/nonexistent/p.txt"],
+        &["cannot read"],
+    );
+}
+
+// ---------------- wfp ingest -----------------------------------------
+
+#[test]
+fn ingest_unknown_module_in_log() {
+    let (sp, _) = paper_files();
+    let ep = tmp("unknown.events");
+    fs::write(&ep, "exec nosuchmodule\n").unwrap();
+    assert_fails(
+        &["ingest", sp.to_str().unwrap(), ep.to_str().unwrap()],
+        &["line 1", "nosuchmodule"],
+    );
+}
+
+#[test]
+fn ingest_protocol_violation_names_the_event() {
+    let (sp, _) = paper_files();
+    let ep = tmp("protocol.events");
+    // module b executes inside L2, not at the root: WrongHome
+    fs::write(&ep, "exec a\nexec b\n").unwrap();
+    assert_fails(
+        &["ingest", sp.to_str().unwrap(), ep.to_str().unwrap()],
+        &["event #2", "foreign copy"],
+    );
+}
+
+#[test]
+fn ingest_probe_on_unexecuted_vertex() {
+    let (sp, _) = paper_files();
+    let ep = tmp("short.events");
+    fs::write(&ep, "exec a\n").unwrap();
+    let pp = tmp("early.probes");
+    fs::write(&pp, "1 a1 h1\n").unwrap();
+    assert_fails(
+        &[
+            "ingest",
+            sp.to_str().unwrap(),
+            ep.to_str().unwrap(),
+            "--probe",
+            pp.to_str().unwrap(),
+        ],
+        &["h1", "not executed"],
+    );
+}
+
+#[test]
+fn ingest_malformed_probe_line() {
+    let (sp, _) = paper_files();
+    let ep = tmp("ok.events");
+    fs::write(&ep, "exec a\n").unwrap();
+    let pp = tmp("bad.probes");
+    fs::write(&pp, "soon a1 a1\n").unwrap();
+    assert_fails(
+        &[
+            "ingest",
+            sp.to_str().unwrap(),
+            ep.to_str().unwrap(),
+            "--probe",
+            pp.to_str().unwrap(),
+        ],
+        &["bad event number"],
+    );
+}
+
+#[test]
+fn ingest_missing_event_log() {
+    let (sp, _) = paper_files();
+    assert_fails(
+        &["ingest", sp.to_str().unwrap(), "/nonexistent/run.events"],
+        &["cannot read"],
+    );
+}
+
+// ---------------- sanity: the happy path stays green ------------------
+
+#[test]
+fn ingest_happy_path_exits_zero() {
+    let (sp, _) = paper_files();
+    let ep = tmp("happy.events");
+    fs::write(
+        &ep,
+        "exec a\nbegin-group 0\nbegin-copy\nbegin-group 1\nbegin-copy\n\
+         exec b\nexec c\nend-copy\nend-group\nend-copy\nend-group\nexec d\n",
+    )
+    .unwrap();
+    let pp = tmp("happy.probes");
+    fs::write(&pp, "7 b1 c1\n").unwrap();
+    let out = wfp(&[
+        "ingest",
+        sp.to_str().unwrap(),
+        ep.to_str().unwrap(),
+        "--probe",
+        pp.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("@7 b1 c1 true"), "{stdout}");
+}

@@ -49,37 +49,53 @@ use wfp_speclabel::SpecIndex;
 
 use crate::label::{context_fast_path, LabeledRun, QueryPath, RunLabel};
 
-/// Struct-of-arrays run-label storage: four parallel `u32` columns.
+/// Struct-of-arrays label storage: three coordinate columns plus an origin
+/// column, generic over the coordinate type.
 ///
-/// Indexed by [`RunVertexId`], exactly like [`LabeledRun::labels`].
-#[derive(Clone, Debug, Default)]
-pub struct SoaLabels {
-    q1: Vec<u32>,
-    q2: Vec<u32>,
-    q3: Vec<u32>,
+/// `Q = u32` ([`SoaLabels`]) holds the offline scheme's preorder positions;
+/// the live engine ([`crate::live`]) instantiates `Q = u64` with the
+/// order-maintenance tags of the three bracket lists, which compare — and
+/// therefore decide πr — exactly like positions. Indexed by
+/// [`RunVertexId`], exactly like [`LabeledRun::labels`].
+#[derive(Clone, Debug)]
+pub struct SoaColumns<Q> {
+    q1: Vec<Q>,
+    q2: Vec<Q>,
+    q3: Vec<Q>,
     origin: Vec<u32>,
     /// exclusive upper bound on the stored origin ids (0 when empty)
     origin_bound: u32,
 }
 
-impl SoaLabels {
-    /// Transposes an array-of-structs label slice into columns.
-    pub fn from_labels(labels: &[RunLabel]) -> Self {
-        let mut cols = SoaLabels {
-            q1: Vec::with_capacity(labels.len()),
-            q2: Vec::with_capacity(labels.len()),
-            q3: Vec::with_capacity(labels.len()),
-            origin: Vec::with_capacity(labels.len()),
+/// The offline engine's columns: `u32` preorder positions.
+pub type SoaLabels = SoaColumns<u32>;
+
+impl<Q> Default for SoaColumns<Q> {
+    fn default() -> Self {
+        SoaColumns {
+            q1: Vec::new(),
+            q2: Vec::new(),
+            q3: Vec::new(),
+            origin: Vec::new(),
             origin_bound: 0,
-        };
-        for l in labels {
-            cols.q1.push(l.q1);
-            cols.q2.push(l.q2);
-            cols.q3.push(l.q3);
-            cols.origin.push(l.origin.raw());
-            cols.origin_bound = cols.origin_bound.max(l.origin.raw().saturating_add(1));
         }
-        cols
+    }
+}
+
+impl<Q: Copy + Ord> SoaColumns<Q> {
+    /// Empty columns, ready for incremental [`push`](Self::push)es.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one label row — the incremental path used by the live
+    /// engine, where labels arrive one `exec` event at a time.
+    pub fn push(&mut self, q1: Q, q2: Q, q3: Q, origin: u32) {
+        self.q1.push(q1);
+        self.q2.push(q2);
+        self.q3.push(q3);
+        self.origin.push(origin);
+        self.origin_bound = self.origin_bound.max(origin.saturating_add(1));
     }
 
     /// Number of stored labels.
@@ -96,6 +112,36 @@ impl SoaLabels {
     /// the side of the dense [`SkeletonMemo`] that covers them.
     pub fn origin_bound(&self) -> u32 {
         self.origin_bound
+    }
+
+    /// Overwrites one coordinate column in place via `tag(row)` — the live
+    /// engine's repair path when an order-maintenance list retags itself
+    /// (`which` is 0/1/2 for `q1`/`q2`/`q3`).
+    pub(crate) fn repair_column(&mut self, which: usize, tag: impl Fn(usize) -> Q) {
+        let col = match which {
+            0 => &mut self.q1,
+            1 => &mut self.q2,
+            2 => &mut self.q3,
+            _ => unreachable!("three coordinate columns"),
+        };
+        for (row, slot) in col.iter_mut().enumerate() {
+            *slot = tag(row);
+        }
+    }
+}
+
+impl SoaLabels {
+    /// Transposes an array-of-structs label slice into columns.
+    pub fn from_labels(labels: &[RunLabel]) -> Self {
+        let mut cols = SoaLabels::new();
+        cols.q1.reserve(labels.len());
+        cols.q2.reserve(labels.len());
+        cols.q3.reserve(labels.len());
+        cols.origin.reserve(labels.len());
+        for l in labels {
+            cols.push(l.q1, l.q2, l.q3, l.origin.raw());
+        }
+        cols
     }
 
     /// Re-gathers the label of vertex `v` (for spot checks; the batch paths
@@ -208,6 +254,32 @@ impl SkeletonMemo {
         }
     }
 
+    /// The covered side (exclusive origin bound) of the matrix.
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// Grows the matrix to cover origins `0..bound.min(SIDE_CAP)`,
+    /// preserving every already-memoized cell — the live engine's lazy
+    /// extension path, taken when a newly executed vertex introduces an
+    /// origin beyond the current side. No-op when the memo already covers
+    /// `bound`.
+    pub fn grow(&mut self, bound: u32) {
+        let side = bound.min(Self::SIDE_CAP);
+        if side <= self.side {
+            return;
+        }
+        let mut cells = vec![MEMO_UNKNOWN; side as usize * side as usize];
+        for a in 0..self.side as usize {
+            let old = a * self.side as usize;
+            let new = a * side as usize;
+            cells[new..new + self.side as usize]
+                .copy_from_slice(&self.cells[old..old + self.side as usize]);
+        }
+        self.cells = cells;
+        self.side = side;
+    }
+
     /// Skeleton probes actually performed (memo misses + out-of-bound pairs).
     pub fn probes(&self) -> u64 {
         self.probes
@@ -305,6 +377,30 @@ impl<S: SpecIndex> QueryEngine<S> {
     pub fn from_labels(labels: &[RunLabel], skeleton: S) -> Self {
         let cols = SoaLabels::from_labels(labels);
         let memo = SkeletonMemo::for_skeleton(&skeleton, || cols.origin_bound());
+        QueryEngine {
+            cols,
+            skeleton,
+            memo: RefCell::new(memo),
+            context_only: Cell::new(0),
+            skeleton_queries: Cell::new(0),
+        }
+    }
+
+    /// [`from_labels`](Self::from_labels) adopting an already-warm skeleton
+    /// memo — the [`crate::live::LiveRun::freeze`] handoff, which carries
+    /// every `(origin, origin)` sub-answer accumulated during the run into
+    /// the frozen engine instead of re-probing the skeleton. The memo must
+    /// have been filled against the *same* skeleton; it is grown (never
+    /// shrunk) to cover the labels' origins.
+    pub fn from_labels_with_memo(
+        labels: &[RunLabel],
+        skeleton: S,
+        mut memo: SkeletonMemo,
+    ) -> Self {
+        let cols = SoaLabels::from_labels(labels);
+        if !skeleton.constant_time_queries() {
+            memo.grow(cols.origin_bound());
+        }
         QueryEngine {
             cols,
             skeleton,
@@ -468,8 +564,8 @@ impl<S: SpecIndex> QueryEngine<S> {
 /// would save. Those direct probes do not appear in the memo's
 /// probe/hit counters.
 #[inline]
-fn answer_into<S: SpecIndex>(
-    cols: &SoaLabels,
+pub(crate) fn answer_into<Q: Copy + Ord, S: SpecIndex>(
+    cols: &SoaColumns<Q>,
     skeleton: &S,
     memo: &mut SkeletonMemo,
     pairs: &[(RunVertexId, RunVertexId)],

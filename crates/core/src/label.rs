@@ -47,13 +47,18 @@ pub fn predicate<S: SpecIndex>(a: &RunLabel, b: &RunLabel, skeleton: &S) -> bool
 }
 
 /// The context fast path of πr (Lemma 4.5), shared by every evaluator in
-/// this crate (scalar, memoized, batched): `Some(answer)` when the LCA of
-/// the contexts is an `F−`/`L−` node and the three-comparison test decides
-/// the query, `None` when the query must consult the skeleton.
+/// this crate (scalar, memoized, batched, live): `Some(answer)` when the
+/// LCA of the contexts is an `F−`/`L−` node and the three-comparison test
+/// decides the query, `None` when the query must consult the skeleton.
+///
+/// Generic over the coordinate type because the test only *compares*
+/// coordinates: the offline scheme passes `u32` preorder positions, the
+/// live engine ([`crate::live`]) passes the `u64` order-maintenance tags
+/// of the three bracket lists, which order contexts identically.
 #[inline]
-pub(crate) fn context_fast_path(
-    (a_q1, a_q2, a_q3): (u32, u32, u32),
-    (b_q1, b_q2, b_q3): (u32, u32, u32),
+pub(crate) fn context_fast_path<Q: Copy + Ord>(
+    (a_q1, a_q2, a_q3): (Q, Q, Q),
+    (b_q1, b_q2, b_q3): (Q, Q, Q),
 ) -> Option<bool> {
     // `d2 · d3 < 0` (Algorithm 3) expressed as a sign test: the products of
     // two full u32 deltas can exceed i64 (labels may come from untrusted

@@ -38,6 +38,7 @@ pub mod bits;
 pub mod construct;
 pub mod engine;
 pub mod label;
+pub mod live;
 pub mod online;
 pub mod orders;
 pub mod origin;
@@ -46,7 +47,8 @@ pub use batch::label_runs_parallel;
 pub use construct::{
     construct_plan, construct_plan_with_stats, ConstructError, ConstructStats, Issue,
 };
-pub use engine::{predicate_memo, EngineStats, QueryEngine, SkeletonMemo, SoaLabels};
+pub use engine::{predicate_memo, EngineStats, QueryEngine, SkeletonMemo, SoaColumns, SoaLabels};
+pub use live::{LiveRun, LiveStats};
 pub use label::{predicate, predicate_traced, EncodedLabels, LabeledRun, QueryPath, RunLabel};
 pub use online::{OnlineError, OnlineLabeler};
 pub use orders::{generate_three_orders, ContextEncoding};

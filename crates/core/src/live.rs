@@ -1,0 +1,466 @@
+//! Query-while-running: the live ingestion engine over the online labeler.
+//!
+//! The paper's conclusion (§9) asks for labels assigned "as soon as it is
+//! generated … enabling efficient provenance queries on intermediate data
+//! results even before the workflow completes". [`crate::online`] supplies
+//! the labeler half of that program; this module supplies the *serving*
+//! half: a [`LiveRun`] ingests the event stream of an in-flight workflow
+//! and answers reachability queries **at any intermediate moment** with the
+//! same O(1) three-comparison predicate — and the same batched,
+//! struct-of-arrays evaluation — that [`crate::engine::QueryEngine`] uses
+//! for completed runs.
+//!
+//! The key observation: Algorithm 3 never reads the *values* of the three
+//! coordinates, only their *order*. Offline, the coordinates are preorder
+//! positions; online, each bracket list ([`wfp_graph::OrderList`]) already
+//! carries a `u64` tag per bracket that increases strictly along the list.
+//! A [`LiveRun`] therefore keeps an incrementally-appended
+//! [`SoaColumns<u64>`] of the tags of each vertex's context — appended once
+//! per [`exec`](LiveRun::exec) event — and runs the *identical* batch
+//! kernel over them:
+//!
+//! * the `F−`/`L−` fast path is three tag comparisons (Lemma 4.5 holds at
+//!   every intermediate moment, because the relative order of existing
+//!   brackets never changes);
+//! * `+`-LCA pairs delegate to the skeleton through a **lazily-extended**
+//!   [`SkeletonMemo`] that grows as newly executed vertices introduce new
+//!   origins, so repeated probes amortize mid-run exactly as they do
+//!   offline.
+//!
+//! Order-maintenance lists occasionally retag themselves globally
+//! (amortized O(1) per insertion); the engine watches each order's rebuild
+//! counter and repairs the affected column in one linear sweep — queries
+//! between repairs stay branch-free.
+//!
+//! When the run completes, [`LiveRun::freeze`] extracts the offline
+//! scheme's exact integer labels from the bracket lists and hands them —
+//! together with the skeleton index *and the warm memo* — to a
+//! [`QueryEngine`], with zero re-labeling: no plan reconstruction, no
+//! skeleton rebuild, no repeated probes.
+//!
+//! ```
+//! use wfp_model::fixtures;
+//! use wfp_skl::live::LiveRun;
+//! use wfp_speclabel::{SchemeKind, SpecScheme};
+//!
+//! let spec = fixtures::paper_spec();
+//! let f1 = fixtures::paper_subgraph(&spec, "F1");
+//! let l2 = fixtures::paper_subgraph(&spec, "L2");
+//! let m = |n: &str| spec.module_by_name(n).unwrap();
+//!
+//! let mut live = LiveRun::new(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()));
+//! let a1 = live.exec(m("a")).unwrap();
+//! live.begin_group(f1).unwrap();
+//! live.begin_copy().unwrap();
+//! live.begin_group(l2).unwrap();
+//! live.begin_copy().unwrap();
+//! let b1 = live.exec(m("b")).unwrap();
+//! let c1 = live.exec(m("c")).unwrap();
+//! live.end_copy().unwrap();
+//!
+//! // the workflow is still running — queries answer anyway
+//! assert_eq!(live.answer_batch(&[(a1, c1), (c1, b1)]), vec![true, false]);
+//! ```
+
+use std::cell::{Cell, RefCell};
+
+use wfp_model::{ModuleId, RunVertexId, Specification, SubgraphId};
+use wfp_speclabel::SpecIndex;
+
+use crate::engine::{answer_into, EngineStats, QueryEngine, SkeletonMemo, SoaColumns};
+use crate::online::{OnlineError, OnlineLabeler};
+
+/// Counters describing a live run's ingestion and query work so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Structural events accepted (`begin_*`/`end_*`/`exec`).
+    pub events: u64,
+    /// Column repairs after an order-maintenance retagging (each repairs
+    /// one column in one linear sweep; amortized O(1) per event).
+    pub tag_repairs: u64,
+    /// Query-decision counters, shaped like the frozen engine's.
+    pub engine: EngineStats,
+}
+
+/// A workflow run being labeled *while it executes*, queryable at every
+/// intermediate moment. See the module docs for the design.
+///
+/// Events are forwarded to the wrapped [`OnlineLabeler`] (and validated by
+/// it — a rejected event leaves both the labeler and the column store
+/// untouched); queries run over the incrementally-maintained tag columns.
+pub struct LiveRun<'s, S> {
+    labeler: OnlineLabeler<'s, S>,
+    /// tag columns, one row per executed vertex, in exec order
+    cols: SoaColumns<u64>,
+    /// context plan node per executed vertex (for column repairs)
+    ctx: Vec<u32>,
+    /// per-order retagging counters at the last sync
+    rebuilds: [usize; 3],
+    memo: RefCell<SkeletonMemo>,
+    context_only: Cell<u64>,
+    skeleton_queries: Cell<u64>,
+    events: u64,
+    tag_repairs: u64,
+}
+
+impl<'s, S: SpecIndex> LiveRun<'s, S> {
+    /// Starts ingesting a run of `spec`, delegating `+`-LCA queries to
+    /// `skeleton`.
+    pub fn new(spec: &'s Specification, skeleton: S) -> Self {
+        let labeler = OnlineLabeler::new(spec, skeleton);
+        let rebuilds = labeler.rebuild_counts();
+        LiveRun {
+            labeler,
+            cols: SoaColumns::new(),
+            ctx: Vec::new(),
+            rebuilds,
+            // empty; grown lazily as executed origins appear (and never
+            // consulted under constant-time skeletons)
+            memo: RefCell::new(SkeletonMemo::new(0)),
+            context_only: Cell::new(0),
+            skeleton_queries: Cell::new(0),
+            events: 0,
+            tag_repairs: 0,
+        }
+    }
+
+    // ---------------- event ingestion ----------------------------------
+
+    /// After any event that inserted brackets, refresh columns whose order
+    /// retagged itself since the last sync.
+    fn sync_tags(&mut self) {
+        let now = self.labeler.rebuild_counts();
+        for which in 0..3 {
+            if now[which] != self.rebuilds[which] {
+                let labeler = &self.labeler;
+                let ctx = &self.ctx;
+                self.cols.repair_column(which, |row| {
+                    let tags = labeler.order_tags(ctx[row] as usize);
+                    [tags.0, tags.1, tags.2][which]
+                });
+                self.tag_repairs += 1;
+            }
+        }
+        self.rebuilds = now;
+    }
+
+    /// Opens an execution group for `sg` inside the current copy.
+    pub fn begin_group(&mut self, sg: SubgraphId) -> Result<(), OnlineError> {
+        self.labeler.begin_group(sg)?;
+        self.events += 1;
+        self.sync_tags();
+        Ok(())
+    }
+
+    /// Opens the next copy of the innermost open group.
+    pub fn begin_copy(&mut self) -> Result<(), OnlineError> {
+        self.labeler.begin_copy()?;
+        self.events += 1;
+        self.sync_tags();
+        Ok(())
+    }
+
+    /// Records a module execution; the returned vertex is immediately
+    /// queryable. Appends one row to the tag columns — the only growth the
+    /// column store ever sees.
+    pub fn exec(&mut self, module: ModuleId) -> Result<RunVertexId, OnlineError> {
+        let v = self.labeler.exec(module)?;
+        self.events += 1;
+        let node = self.labeler.context_node(v);
+        let (t1, t2, t3) = self.labeler.order_tags(node);
+        self.cols.push(t1, t2, t3, module.raw());
+        self.ctx.push(node as u32);
+        Ok(v)
+    }
+
+    /// Closes the current copy (validated for completeness).
+    pub fn end_copy(&mut self) -> Result<(), OnlineError> {
+        self.labeler.end_copy()?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Closes the innermost open group.
+    pub fn end_group(&mut self) -> Result<(), OnlineError> {
+        self.labeler.end_group()?;
+        self.events += 1;
+        Ok(())
+    }
+
+    // ---------------- live queries -------------------------------------
+
+    /// The memo, lazily grown to cover every origin executed so far.
+    fn memo_for_batch(&self) -> std::cell::RefMut<'_, SkeletonMemo> {
+        let mut memo = self.memo.borrow_mut();
+        if !self.labeler.skeleton().constant_time_queries() {
+            memo.grow(self.cols.origin_bound());
+        }
+        memo
+    }
+
+    /// Whether `u ⇝ v` among the vertices executed so far — the scalar
+    /// entry point. Panics if either vertex has not executed yet.
+    #[inline]
+    pub fn answer(&self, u: RunVertexId, v: RunVertexId) -> bool {
+        self.answer_batch_into(&[(u, v)], &mut Vec::with_capacity(1))[0]
+    }
+
+    /// Answers every pair in order, over the current intermediate state.
+    pub fn answer_batch(&self, pairs: &[(RunVertexId, RunVertexId)]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.answer_batch_into(pairs, &mut out);
+        out
+    }
+
+    /// [`answer_batch`](Self::answer_batch) into a caller-owned buffer
+    /// (cleared first) — the steady-state monitoring path, one allocation
+    /// for the whole run.
+    pub fn answer_batch_into<'o>(
+        &self,
+        pairs: &[(RunVertexId, RunVertexId)],
+        out: &'o mut Vec<bool>,
+    ) -> &'o [bool] {
+        out.clear();
+        out.reserve(pairs.len());
+        let memo = &mut *self.memo_for_batch();
+        let (ctx, skel) = answer_into(&self.cols, self.labeler.skeleton(), memo, pairs, out);
+        self.context_only.set(self.context_only.get() + ctx);
+        self.skeleton_queries.set(self.skeleton_queries.get() + skel);
+        out
+    }
+
+    // ---------------- introspection ------------------------------------
+
+    /// Number of module executions so far (valid query vertices are
+    /// `0..vertex_count`).
+    pub fn vertex_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the run is structurally complete (only the root scope is
+    /// open; root completeness itself is checked by
+    /// [`freeze`](Self::freeze)).
+    pub fn at_root(&self) -> bool {
+        self.labeler.at_root()
+    }
+
+    /// The wrapped event-validating labeler.
+    pub fn labeler(&self) -> &OnlineLabeler<'s, S> {
+        &self.labeler
+    }
+
+    /// The skeleton index `+`-LCA queries delegate to.
+    pub fn skeleton(&self) -> &S {
+        self.labeler.skeleton()
+    }
+
+    /// Ingestion and query counters.
+    pub fn stats(&self) -> LiveStats {
+        let memo = self.memo.borrow();
+        LiveStats {
+            events: self.events,
+            tag_repairs: self.tag_repairs,
+            engine: EngineStats {
+                context_only: self.context_only.get(),
+                skeleton: self.skeleton_queries.get(),
+                skeleton_probes: memo.probes(),
+                memo_hits: memo.hits(),
+            },
+        }
+    }
+
+    // ---------------- freeze handoff -----------------------------------
+
+    /// Completes the run and hands off to a frozen [`QueryEngine`] with
+    /// zero re-labeling: the exact offline integer labels are extracted
+    /// from the bracket lists ([`OnlineLabeler::freeze_into_parts`]), the
+    /// skeleton index moves over unchanged, and the live memo — already
+    /// holding every `(origin, origin)` sub-answer probed during the run —
+    /// seeds the engine's memo.
+    pub fn freeze(self) -> Result<QueryEngine<S>, OnlineError> {
+        let (labels, _n_plus, skeleton) = self.labeler.freeze_into_parts()?;
+        Ok(QueryEngine::from_labels_with_memo(
+            &labels,
+            skeleton,
+            self.memo.into_inner(),
+        ))
+    }
+
+    /// The offline scheme's exact labels plus `n⁺` and the skeleton — for
+    /// callers that want the raw parts rather than an engine.
+    pub fn freeze_into_parts(self) -> Result<(Vec<crate::RunLabel>, u32, S), OnlineError> {
+        self.labeler.freeze_into_parts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::predicate;
+    use wfp_model::fixtures::{paper_spec, paper_subgraph};
+    use wfp_speclabel::{SchemeKind, SpecScheme};
+
+    fn scheme(spec: &Specification, kind: SchemeKind) -> SpecScheme {
+        SpecScheme::build(kind, spec.graph())
+    }
+
+    /// Streams the paper's Figure 3 run, checking live answers against the
+    /// wrapped labeler's own (order-list) predicate at every exec.
+    fn stream_paper_run(live: &mut LiveRun<'_, SpecScheme>) -> Vec<RunVertexId> {
+        let spec = live.labeler().spec();
+        let m = |n: &str| spec.module_by_name(n).unwrap();
+        let f1 = paper_subgraph(spec, "F1");
+        let f2 = paper_subgraph(spec, "F2");
+        let l1 = paper_subgraph(spec, "L1");
+        let l2 = paper_subgraph(spec, "L2");
+        let mut vs = Vec::new();
+        vs.push(live.exec(m("a")).unwrap());
+        live.begin_group(f1).unwrap();
+        for copies in [2usize, 1] {
+            live.begin_copy().unwrap();
+            live.begin_group(l2).unwrap();
+            for _ in 0..copies {
+                live.begin_copy().unwrap();
+                vs.push(live.exec(m("b")).unwrap());
+                vs.push(live.exec(m("c")).unwrap());
+                live.end_copy().unwrap();
+            }
+            live.end_group().unwrap();
+            live.end_copy().unwrap();
+        }
+        live.end_group().unwrap();
+        vs.push(live.exec(m("d")).unwrap());
+        live.begin_group(l1).unwrap();
+        for copies in [1usize, 2] {
+            live.begin_copy().unwrap();
+            vs.push(live.exec(m("e")).unwrap());
+            live.begin_group(f2).unwrap();
+            for _ in 0..copies {
+                live.begin_copy().unwrap();
+                vs.push(live.exec(m("f")).unwrap());
+                live.end_copy().unwrap();
+            }
+            live.end_group().unwrap();
+            vs.push(live.exec(m("g")).unwrap());
+            live.end_copy().unwrap();
+        }
+        live.end_group().unwrap();
+        vs.push(live.exec(m("h")).unwrap());
+        vs
+    }
+
+    #[test]
+    fn live_agrees_with_the_labeler_at_every_prefix() {
+        for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+            let spec = paper_spec();
+            let mut live = LiveRun::new(&spec, scheme(&spec, kind));
+            let vs = stream_paper_run(&mut live);
+            // the labeler's own order-list predicate is the mid-run oracle
+            for &u in &vs {
+                for &v in &vs {
+                    assert_eq!(
+                        live.answer(u, v),
+                        live.labeler().reaches(u, v),
+                        "({u}, {v}) under {kind}"
+                    );
+                }
+            }
+            let stats = live.stats();
+            assert_eq!(stats.engine.total(), (vs.len() * vs.len()) as u64);
+            assert!(stats.events > 0);
+        }
+    }
+
+    #[test]
+    fn freeze_hands_off_identical_answers_and_a_warm_memo() {
+        let spec = paper_spec();
+        let mut live = LiveRun::new(&spec, scheme(&spec, SchemeKind::Bfs));
+        let vs = stream_paper_run(&mut live);
+        let pairs: Vec<_> = vs
+            .iter()
+            .flat_map(|&u| vs.iter().map(move |&v| (u, v)))
+            .collect();
+        let live_answers = live.answer_batch(&pairs);
+        let probes_before = live.stats().engine.skeleton_probes;
+        assert!(probes_before > 0, "BFS must have probed the skeleton");
+
+        let engine = live.freeze().unwrap();
+        // the probe counter travels with the memo across the handoff …
+        assert_eq!(engine.stats().skeleton_probes, probes_before);
+        assert_eq!(engine.answer_batch(&pairs), live_answers);
+        // … and the frozen engine answered the whole matrix without one
+        // new skeleton probe: every sub-answer came from the carried memo
+        assert_eq!(engine.stats().skeleton_probes, probes_before);
+    }
+
+    #[test]
+    fn frozen_labels_match_the_labelers_freeze() {
+        let spec = paper_spec();
+        let mut live = LiveRun::new(&spec, scheme(&spec, SchemeKind::Tcm));
+        let vs = stream_paper_run(&mut live);
+        let (labels, n_plus, _) = live.freeze_into_parts().unwrap();
+        assert_eq!(labels.len(), vs.len());
+        assert_eq!(n_plus, 9);
+        // and the labels answer like the scalar predicate
+        let skeleton = scheme(&spec, SchemeKind::Tcm);
+        assert!(predicate(&labels[0], &labels[labels.len() - 1], &skeleton));
+    }
+
+    #[test]
+    fn rejected_events_leave_the_columns_untouched() {
+        let spec = paper_spec();
+        let m = |n: &str| spec.module_by_name(n).unwrap();
+        let mut live = LiveRun::new(&spec, scheme(&spec, SchemeKind::Tcm));
+        let a = live.exec(m("a")).unwrap();
+        let before = live.vertex_count();
+        assert!(live.exec(m("a")).is_err()); // duplicate in the root copy
+        assert!(live.exec(m("b")).is_err()); // wrong home
+        assert!(live.begin_copy().is_err()); // no open group
+        assert_eq!(live.vertex_count(), before);
+        assert!(live.answer(a, a), "queries still work after rejections");
+    }
+
+    #[test]
+    fn tag_repairs_keep_answers_correct_under_heavy_retagging() {
+        // A long serial loop inserts every new copy at the *front* of O3,
+        // which is the OrderList's pathological retagging case.
+        let mut sb = wfp_model::SpecBuilder::new();
+        let s = sb.add_module("s").unwrap();
+        let a = sb.add_module("a").unwrap();
+        let b = sb.add_module("b").unwrap();
+        let t = sb.add_module("t").unwrap();
+        sb.add_edge(s, a).unwrap();
+        sb.add_edge(a, b).unwrap();
+        sb.add_edge(b, t).unwrap();
+        sb.add_loop_over(&[a, b]);
+        let spec = sb.build().unwrap();
+        let lp = spec.subgraphs().next().unwrap().0;
+
+        let mut live = LiveRun::new(&spec, scheme(&spec, SchemeKind::Tcm));
+        live.exec(s).unwrap();
+        live.begin_group(lp).unwrap();
+        let mut xs = Vec::new();
+        for _ in 0..4000 {
+            live.begin_copy().unwrap();
+            xs.push(live.exec(a).unwrap());
+            live.exec(b).unwrap();
+            live.end_copy().unwrap();
+        }
+        live.end_group().unwrap();
+        live.exec(t).unwrap();
+        assert!(
+            live.stats().tag_repairs > 0,
+            "4000 front insertions must retag at least once"
+        );
+        // serial copies: earlier reaches later, never the reverse
+        for w in xs.windows(2) {
+            assert!(live.answer(w[0], w[1]));
+            assert!(!live.answer(w[1], w[0]));
+        }
+        // and the frozen engine still agrees on a sample
+        let pairs: Vec<_> = xs.windows(2).map(|w| (w[0], w[1])).collect();
+        let live_ans = live.answer_batch(&pairs);
+        let engine = live.freeze().unwrap();
+        assert_eq!(engine.answer_batch(&pairs), live_ans);
+    }
+}

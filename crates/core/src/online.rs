@@ -146,6 +146,21 @@ impl BracketOrder {
     fn before(&self, a: usize, b: usize) -> bool {
         self.list.before(self.enter[a], self.enter[b])
     }
+
+    /// Current order-maintenance tag of `node`'s opening bracket. Valid
+    /// until the list's next global retagging (see
+    /// [`rebuilds`](Self::rebuilds)).
+    #[inline]
+    fn tag(&self, node: usize) -> u64 {
+        self.list.key(self.enter[node])
+    }
+
+    /// How many global retaggings this order has performed — cached tags
+    /// are stale once this advances.
+    #[inline]
+    fn rebuilds(&self) -> usize {
+        self.list.rebuild_count()
+    }
 }
 
 /// Kind of an online plan node.
@@ -403,6 +418,11 @@ impl<'s, S: SpecIndex> OnlineLabeler<'s, S> {
         &self.skeleton
     }
 
+    /// The specification this run conforms to.
+    pub fn spec(&self) -> &'s Specification {
+        self.spec
+    }
+
     /// Reachability between two executed vertices — valid at *any* moment,
     /// including mid-run on intermediate data (reflexive).
     pub fn reaches(&self, u: RunVertexId, v: RunVertexId) -> bool {
@@ -433,9 +453,37 @@ impl<'s, S: SpecIndex> OnlineLabeler<'s, S> {
         }
     }
 
+    /// Context plan node of executed vertex `v` (for the live engine's
+    /// column store).
+    #[inline]
+    pub(crate) fn context_node(&self, v: RunVertexId) -> usize {
+        self.vertices[v.index()].0
+    }
+
+    /// Current `(O1, O2, O3)` tags of plan node `node`'s opening brackets.
+    #[inline]
+    pub(crate) fn order_tags(&self, node: usize) -> (u64, u64, u64) {
+        (self.o1.tag(node), self.o2.tag(node), self.o3.tag(node))
+    }
+
+    /// Per-order global-retagging counters — a cached tag column is stale
+    /// for order `k` once slot `k` advances.
+    #[inline]
+    pub(crate) fn rebuild_counts(&self) -> [usize; 3] {
+        [self.o1.rebuilds(), self.o2.rebuilds(), self.o3.rebuilds()]
+    }
+
     /// Completes the run and extracts the offline scheme's exact integer
     /// labels (positions in the three orders) plus `n⁺`.
     pub fn freeze(self) -> Result<(Vec<RunLabel>, u32), OnlineError> {
+        self.freeze_into_parts().map(|(labels, n_plus, _)| (labels, n_plus))
+    }
+
+    /// [`freeze`](Self::freeze) that also returns the skeleton index — the
+    /// zero-re-labeling handoff used by [`crate::live::LiveRun::freeze`] to
+    /// assemble a [`crate::engine::QueryEngine`] without rebuilding the
+    /// specification labels.
+    pub fn freeze_into_parts(self) -> Result<(Vec<RunLabel>, u32, S), OnlineError> {
         if self.stack.len() != 1 {
             return Err(OnlineError::RunStillOpen);
         }
@@ -488,7 +536,7 @@ impl<'s, S: SpecIndex> OnlineLabeler<'s, S> {
                 origin,
             })
             .collect();
-        Ok((labels, n_plus))
+        Ok((labels, n_plus, self.skeleton))
     }
 }
 

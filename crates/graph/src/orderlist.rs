@@ -159,6 +159,16 @@ impl OrderList {
         }
     }
 
+    /// The current tag of element `id`. Tags increase strictly along the
+    /// list, so two tags compare like the handles they came from — but a
+    /// tag is only valid until the next [`rebuild`](Self::rebuild_count)
+    /// (callers caching tags must refresh them when `rebuild_count`
+    /// advances).
+    #[inline]
+    pub fn key(&self, id: u32) -> u64 {
+        self.key[id as usize]
+    }
+
     /// Compares two elements by list order in O(1).
     #[inline]
     pub fn cmp(&self, a: u32, b: u32) -> std::cmp::Ordering {

@@ -54,6 +54,9 @@ pub enum DataError {
     DuplicateName(String),
     /// An edge id is out of range for the run.
     BadEdge(RunEdgeId),
+    /// A vertex reference is out of range (live registration: the vertex
+    /// has not executed yet).
+    BadVertex(RunVertexId),
 }
 
 impl std::fmt::Display for DataError {
@@ -65,6 +68,9 @@ impl std::fmt::Display for DataError {
             }
             DataError::DuplicateName(n) => write!(f, "duplicate data item name {n:?}"),
             DataError::BadEdge(e) => write!(f, "edge {e} out of range"),
+            DataError::BadVertex(v) => {
+                write!(f, "vertex {v} out of range (not executed yet)")
+            }
         }
     }
 }

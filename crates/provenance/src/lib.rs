@@ -8,6 +8,8 @@
 //!
 //! * [`data`] — the `Data(e)` model: items, producers, consumers.
 //! * [`index`] — data labels and the three dependency predicates.
+//! * [`live`] — §6 queries over a run that is *still executing* (the §9
+//!   query-while-running scenario), with registration as modules execute.
 //! * [`store`] — a byte-serialized provenance store answering queries
 //!   without the run graph (the "store labels in a database" scenario that
 //!   motivates the paper).
@@ -19,9 +21,11 @@
 pub mod data;
 pub mod gen;
 pub mod index;
+pub mod live;
 pub mod store;
 
 pub use data::{DataError, DataItem, DataItemId, RunData, RunDataBuilder};
 pub use gen::attach_data;
 pub use index::{DataLabel, ProvenanceIndex};
+pub use live::LiveIndex;
 pub use store::{serialize, StoreError, StoredProvenance};

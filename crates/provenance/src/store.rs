@@ -104,6 +104,14 @@ impl StoredProvenance {
             return Err(StoreError::BadVersion(version));
         }
         let count = buf.get_u32_le() as usize;
+        // The count field is untrusted: a flipped high bit must not size a
+        // multi-gigabyte preallocation. Every item costs at least 20 bytes
+        // (name length + output label + input count), so a count the
+        // remaining payload cannot possibly hold is already truncation.
+        const MIN_ITEM_BYTES: usize = 2 + 16 + 2;
+        if buf.remaining() < count.saturating_mul(MIN_ITEM_BYTES) {
+            return Err(StoreError::Truncated);
+        }
         let mut items = Vec::with_capacity(count);
         for _ in 0..count {
             if buf.remaining() < 2 {
@@ -122,6 +130,10 @@ impl StoredProvenance {
                 return Err(StoreError::Truncated);
             }
             let k = buf.get_u16_le() as usize;
+            // same rule for the per-item input count (16 bytes per label)
+            if buf.remaining() < k.saturating_mul(16) {
+                return Err(StoreError::Truncated);
+            }
             let mut inputs = Vec::with_capacity(k);
             for _ in 0..k {
                 inputs.push(get_label(&mut buf)?);

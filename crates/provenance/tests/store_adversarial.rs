@@ -1,0 +1,133 @@
+//! Adversarial inputs for [`StoredProvenance::deserialize`]: the store
+//! parses byte buffers that may come from a corrupted database page or an
+//! attacker-controlled file, so *every* malformed input must come back as
+//! a [`StoreError`] — never a panic, and never an attacker-sized
+//! allocation.
+
+use wfp_model::fixtures::{paper_run, paper_spec};
+use wfp_provenance::{attach_data, serialize, StoreError, StoredProvenance};
+use wfp_skl::LabeledRun;
+use wfp_speclabel::{SchemeKind, SpecScheme};
+
+fn valid_store_bytes() -> Vec<u8> {
+    let spec = paper_spec();
+    let run = paper_run(&spec);
+    let labeled = LabeledRun::build(
+        &spec,
+        SpecScheme::build(SchemeKind::Tcm, spec.graph()),
+        &run,
+    )
+    .unwrap();
+    let data = attach_data(&run, 13, 1.5);
+    serialize(&labeled, &data).to_vec()
+}
+
+/// Truncation at every byte offset: each prefix must decode to an error
+/// (the full buffer to `Ok`), with no panic anywhere in between.
+#[test]
+fn truncation_at_every_offset_errors_cleanly() {
+    let bytes = valid_store_bytes();
+    assert!(StoredProvenance::deserialize(&bytes).is_ok());
+    for len in 0..bytes.len() {
+        match StoredProvenance::deserialize(&bytes[..len]) {
+            Err(_) => {}
+            Ok(store) => panic!(
+                "prefix of {len}/{} bytes decoded to {} items",
+                bytes.len(),
+                store.item_count()
+            ),
+        }
+    }
+}
+
+/// Single-bit flips over the whole buffer: decoding may succeed (the
+/// flipped bit may sit in a label payload) or fail, but must never panic.
+/// Flips in the magic/version words must fail with the matching error.
+#[test]
+fn bit_flips_never_panic() {
+    let bytes = valid_store_bytes();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut fuzzed = bytes.clone();
+            fuzzed[byte] ^= 1 << bit;
+            let result = StoredProvenance::deserialize(&fuzzed);
+            if byte < 4 {
+                assert!(
+                    matches!(result, Err(StoreError::BadMagic)),
+                    "magic flip at {byte}:{bit} must be BadMagic"
+                );
+            } else if byte < 6 {
+                assert!(
+                    matches!(result, Err(StoreError::BadVersion(_))),
+                    "version flip at {byte}:{bit} must be BadVersion"
+                );
+            }
+            // all other flips: Ok or Err, both fine — reaching here
+            // without a panic is the property
+        }
+    }
+}
+
+/// An oversized item-count field must be rejected as truncation *before*
+/// sizing any allocation: a u32::MAX count over a tiny payload would
+/// otherwise reserve gigabytes.
+#[test]
+fn oversized_count_field_is_rejected_without_allocating() {
+    let bytes = valid_store_bytes();
+    for count in [u32::MAX, u32::MAX / 2, 1 << 24] {
+        let mut fuzzed = bytes.clone();
+        fuzzed[6..10].copy_from_slice(&count.to_le_bytes());
+        assert!(
+            matches!(
+                StoredProvenance::deserialize(&fuzzed),
+                Err(StoreError::Truncated)
+            ),
+            "count {count} must be truncation"
+        );
+    }
+}
+
+/// An oversized name-length field walks the cursor past the payload and
+/// must be reported as truncation, not read out of bounds.
+#[test]
+fn oversized_name_length_is_rejected() {
+    let bytes = valid_store_bytes();
+    let mut fuzzed = bytes.clone();
+    // first item's name-length field sits right after the 10-byte header
+    fuzzed[10..12].copy_from_slice(&u16::MAX.to_le_bytes());
+    assert!(matches!(
+        StoredProvenance::deserialize(&fuzzed),
+        Err(StoreError::Truncated)
+    ));
+}
+
+/// An oversized per-item input-count field must likewise fail as
+/// truncation before reserving `k` labels.
+#[test]
+fn oversized_input_count_is_rejected() {
+    let bytes = valid_store_bytes();
+    // locate the first item's input-count field: header(10) + namelen(2)
+    // + name + output label(16)
+    let name_len = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
+    let k_at = 10 + 2 + name_len + 16;
+    let mut fuzzed = bytes.clone();
+    fuzzed[k_at..k_at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+    assert!(matches!(
+        StoredProvenance::deserialize(&fuzzed),
+        Err(StoreError::Truncated)
+    ));
+}
+
+/// Non-UTF-8 item names are a distinct, catchable error.
+#[test]
+fn invalid_utf8_name_is_bad_name() {
+    let bytes = valid_store_bytes();
+    let name_len = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
+    assert!(name_len > 0, "generated items have names");
+    let mut fuzzed = bytes.clone();
+    fuzzed[12] = 0xFF; // a lone 0xFF is never valid UTF-8
+    assert!(matches!(
+        StoredProvenance::deserialize(&fuzzed),
+        Err(StoreError::BadName)
+    ));
+}

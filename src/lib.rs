@@ -86,8 +86,9 @@ pub mod prelude {
         SpecEdgeId, Specification, SubgraphId, SubgraphKind,
     };
     pub use wfp_provenance::{
-        attach_data, DataItemId, ProvenanceIndex, RunData, RunDataBuilder, StoredProvenance,
+        attach_data, DataItemId, LiveIndex, ProvenanceIndex, RunData, RunDataBuilder,
+        StoredProvenance,
     };
-    pub use wfp_skl::{construct_plan, LabeledRun, QueryEngine, QueryPath, RunLabel};
+    pub use wfp_skl::{construct_plan, LabeledRun, LiveRun, QueryEngine, QueryPath, RunLabel};
     pub use wfp_speclabel::{SchemeKind, SpecIndex, SpecScheme};
 }

@@ -1,0 +1,161 @@
+//! Differential property suite for the live ingestion engine: streaming a
+//! random generated run's event log through [`LiveRun`] must answer πr
+//! exactly like the offline pipeline **after every event prefix**, and
+//! `freeze()` must reproduce the offline labels byte for byte.
+//!
+//! The offline oracle is `LabeledRun::build_with_plan` over the
+//! generator's ground-truth plan — the same sibling order the event log
+//! linearizes — so positions (not just answers) must coincide. A second
+//! property checks answers against the fully offline pipeline (plan
+//! *recovered* from the bare run), where sibling order may differ but πr
+//! may not.
+
+use proptest::prelude::*;
+use workflow_provenance::model::io::{plan_to_events, RunEvent};
+use workflow_provenance::model::RunVertexId;
+use workflow_provenance::prelude::*;
+use workflow_provenance::skl::LiveRun;
+
+/// Strategy over feasible generator configurations (mirrors
+/// `tests/engine_differential.rs`, scaled down: the prefix sweep is
+/// quadratic in run size).
+fn spec_config() -> impl Strategy<Value = SpecGenConfig> {
+    (2usize..=6, any::<u64>(), 0usize..16, 0usize..12).prop_flat_map(
+        |(size, seed, extra_v, extra_e)| {
+            let depth = 2usize..=size.min(4);
+            depth.prop_map(move |depth| {
+                let modules = 2 + 2 * (size - 1) + size + extra_v;
+                SpecGenConfig {
+                    modules,
+                    edges: modules + extra_e,
+                    hierarchy_size: size,
+                    hierarchy_depth: depth,
+                    seed,
+                }
+            })
+        },
+    )
+}
+
+fn apply(live: &mut LiveRun<'_, SpecScheme>, ev: RunEvent) {
+    match ev {
+        RunEvent::BeginGroup(sg) => live.begin_group(sg).unwrap(),
+        RunEvent::BeginCopy => live.begin_copy().unwrap(),
+        RunEvent::Exec(m) => {
+            live.exec(m).unwrap();
+        }
+        RunEvent::EndCopy => live.end_copy().unwrap(),
+        RunEvent::EndGroup => live.end_group().unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// After **every** event prefix, every live answer over the executed
+    /// vertices equals the offline predicate on the completed run — the
+    /// mid-run answers are final, never provisional. Afterwards, frozen
+    /// labels are byte-identical to the ground-truth offline labeling.
+    #[test]
+    fn live_matches_offline_after_every_event_prefix(
+        cfg in spec_config(),
+        run_seed in any::<u64>(),
+        scheme_idx in 0usize..SchemeKind::ALL.len(),
+    ) {
+        let spec = generate_spec_clamped(&cfg).unwrap();
+        let gen = generate_run(&spec, &RunGenConfig {
+            seed: run_seed,
+            counts: CountDistribution::GeometricMean(0.8),
+        });
+        let kind = SchemeKind::ALL[scheme_idx];
+        let (events, mapping) = plan_to_events(&gen.run, &gen.plan);
+        // ground truth on the same plan the events linearize
+        let offline = LabeledRun::build_with_plan(
+            &spec,
+            SpecScheme::build(kind, spec.graph()),
+            &gen.run,
+            &gen.plan,
+        );
+
+        let mut live = LiveRun::new(&spec, SpecScheme::build(kind, spec.graph()));
+        for &ev in &events {
+            apply(&mut live, ev);
+            // full pair matrix over everything executed so far
+            let n = live.vertex_count();
+            for i in 0..n {
+                for j in 0..n {
+                    let (u, v) = (RunVertexId(i as u32), RunVertexId(j as u32));
+                    prop_assert_eq!(
+                        live.answer(u, v),
+                        offline.reaches(mapping[i], mapping[j]),
+                        "prefix answer ({}, {}) under {} at n = {}",
+                        i, j, kind, n
+                    );
+                }
+            }
+        }
+
+        // freeze: labels byte-identical to the ground-truth labeling
+        prop_assert!(live.at_root());
+        let n = live.vertex_count();
+        prop_assert_eq!(n, gen.run.vertex_count());
+        let (labels, n_plus, _skeleton) = live.freeze_into_parts().unwrap();
+        prop_assert_eq!(n_plus, offline.nonempty_plus_count(), "n+ under {}", kind);
+        for (i, label) in labels.iter().enumerate() {
+            prop_assert_eq!(
+                label,
+                offline.label(mapping[i]),
+                "label of exec #{} under {}",
+                i, kind
+            );
+        }
+    }
+
+    /// The freeze handoff engine answers every pair exactly like the live
+    /// engine did mid-stream, and like the *fully offline* pipeline (plan
+    /// recovered from the bare run — sibling order may legitimately
+    /// differ, answers may not).
+    #[test]
+    fn freeze_handoff_agrees_with_live_and_recovered_offline(
+        cfg in spec_config(),
+        run_seed in any::<u64>(),
+        scheme_idx in 0usize..SchemeKind::ALL.len(),
+    ) {
+        let spec = generate_spec_clamped(&cfg).unwrap();
+        let gen = generate_run(&spec, &RunGenConfig {
+            seed: run_seed,
+            counts: CountDistribution::GeometricMean(1.0),
+        });
+        let kind = SchemeKind::ALL[scheme_idx];
+        let (events, mapping) = plan_to_events(&gen.run, &gen.plan);
+
+        let mut live = LiveRun::new(&spec, SpecScheme::build(kind, spec.graph()));
+        for &ev in &events {
+            apply(&mut live, ev);
+        }
+        let n = live.vertex_count();
+        let pairs: Vec<_> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (RunVertexId(i as u32), RunVertexId(j as u32))))
+            .collect();
+        let live_answers = live.answer_batch(&pairs);
+
+        // recovered-plan offline pipeline: answers must agree
+        let recovered = LabeledRun::build(
+            &spec,
+            SpecScheme::build(kind, spec.graph()),
+            &gen.run,
+        ).unwrap();
+        for (&(u, v), &ans) in pairs.iter().zip(&live_answers) {
+            prop_assert_eq!(
+                ans,
+                recovered.reaches(mapping[u.index()], mapping[v.index()]),
+                "recovered-plan answer ({}, {}) under {}",
+                u, v, kind
+            );
+        }
+
+        // freeze handoff: identical answers through the frozen engine
+        let engine = live.freeze().unwrap();
+        prop_assert_eq!(engine.answer_batch(&pairs), live_answers, "handoff under {}", kind);
+    }
+}
