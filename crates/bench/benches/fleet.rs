@@ -1,0 +1,68 @@
+//! Criterion bench: the fleet engine (one shared skeleton context serving
+//! K runs) vs K independent per-run engines on 10⁶ mixed cross-run probes
+//! (the PR 4 tentpole). `repro -- fleet` produces the committed table;
+//! this bench is the fast regression guard.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wfp_bench::experiments::fleet_workload;
+use wfp_model::RunVertexId;
+use wfp_skl::fleet::{FleetEngine, RunId};
+use wfp_skl::{label_run, QueryEngine};
+use wfp_speclabel::{SchemeKind, SpecScheme};
+
+fn bench_fleet(c: &mut Criterion) {
+    let (spec, runs, probes) = fleet_workload(false);
+
+    let mut group = c.benchmark_group("fleet_1M");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+        let labels: Vec<Vec<wfp_skl::RunLabel>> = runs
+            .iter()
+            .map(|run| label_run(&spec, run).unwrap().0)
+            .collect();
+
+        let mut fleet = FleetEngine::for_spec(&spec, SpecScheme::build(kind, spec.graph()));
+        let ids: Vec<RunId> = labels.iter().map(|l| fleet.register_labels(l)).collect();
+        let traffic: Vec<(RunId, RunVertexId, RunVertexId)> = probes
+            .iter()
+            .map(|&(r, u, v)| (ids[r], u, v))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "fleet-shared-context"),
+            &traffic,
+            |b, traffic| b.iter(|| black_box(fleet.answer_batch(traffic).unwrap().len())),
+        );
+
+        let engines: Vec<QueryEngine<SpecScheme>> = labels
+            .iter()
+            .map(|l| QueryEngine::from_labels(l, SpecScheme::build(kind, spec.graph())))
+            .collect();
+        let mut per: Vec<Vec<(RunVertexId, RunVertexId)>> = vec![Vec::new(); engines.len()];
+        for &(r, u, v) in &probes {
+            per[r].push((u, v));
+        }
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "independent-engines"),
+            &per,
+            |b, per| {
+                let mut buf = Vec::new();
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for (engine, pairs) in engines.iter().zip(per) {
+                        n += engine.answer_batch_into(pairs, &mut buf).len();
+                    }
+                    black_box(n)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

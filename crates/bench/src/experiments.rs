@@ -7,14 +7,15 @@
 //! (Table 2).
 
 use wfp_gen::{
-    generate_run_with_target, generate_spec, random_pairs, real_workflows, stand_in,
-    GeneratedRun, SpecGenConfig,
+    generate_fleet, generate_run_with_target, generate_spec, random_pairs, real_workflows,
+    stand_in, GeneratedRun, SpecGenConfig,
 };
 use wfp_graph::TransitiveClosure;
 use wfp_speclabel::TreeExpansion;
 use wfp_model::io::{plan_to_events, RunEvent};
 use wfp_model::{Run, RunVertexId, Specification};
-use wfp_skl::{LabeledRun, LiveRun, QueryEngine};
+use wfp_skl::fleet::{FleetEngine, RunId};
+use wfp_skl::{label_run, LabeledRun, LiveRun, QueryEngine};
 use wfp_speclabel::{SchemeKind, SpecIndex, SpecScheme};
 
 use crate::options::ReproOptions;
@@ -792,6 +793,156 @@ pub fn live_ingest(opts: &ReproOptions) -> Table {
     t.note("identical probe batches per strategy (frozen side translated to offline vertex ids);");
     t.note("live answers mid-stream over tag columns; frozen = offline relabel + cold memo");
     t.note("expected shape: live within ~2x of frozen per probe; freeze() far below label ms");
+    t
+}
+
+// ======================================================================
+// Fleet — one shared skeleton context serving K runs (PR 4)
+// ======================================================================
+
+/// The canonical fleet workload: `K = 8` runs of the §8.2 synthetic spec
+/// plus 10⁶ mixed cross-run probes, `(run index, u, v)` with both vertices
+/// valid in that run. Shared by the [`fleet`] experiment and the `fleet`
+/// criterion bench.
+#[allow(clippy::type_complexity)]
+pub fn fleet_workload(
+    quick: bool,
+) -> (
+    Specification,
+    Vec<Run>,
+    Vec<(usize, RunVertexId, RunVertexId)>,
+) {
+    let spec = synthetic_spec(100);
+    let k = 8usize;
+    let size = if quick { 3_200 } else { 12_800 };
+    let runs: Vec<Run> = generate_fleet(&spec, 2, k, size)
+        .into_iter()
+        .map(|g| g.run)
+        .collect();
+    let mut rng = wfp_graph::rng::Xoshiro256::seed_from_u64(0x000F_1EE7);
+    let probes = (0..1_000_000usize)
+        .map(|_| {
+            let r = rng.gen_usize(k);
+            let n = runs[r].vertex_count();
+            (
+                r,
+                RunVertexId(rng.gen_usize(n) as u32),
+                RunVertexId(rng.gen_usize(n) as u32),
+            )
+        })
+        .collect();
+    (spec, runs, probes)
+}
+
+/// Answers fleet-shaped probes against per-run independent engines with
+/// the *same* run-grouped evaluation shape as the fleet — so the
+/// comparison isolates what sharing one spec context buys, not batching.
+fn independent_answer(
+    engines: &[QueryEngine<SpecScheme>],
+    probes: &[(usize, RunVertexId, RunVertexId)],
+) -> Vec<bool> {
+    let mut per: Vec<Vec<usize>> = vec![Vec::new(); engines.len()];
+    for (i, &(r, _, _)) in probes.iter().enumerate() {
+        per[r].push(i);
+    }
+    let mut out = vec![false; probes.len()];
+    let mut pairs = Vec::new();
+    let mut buf = Vec::new();
+    for (r, idxs) in per.iter().enumerate() {
+        pairs.clear();
+        pairs.extend(idxs.iter().map(|&i| (probes[i].1, probes[i].2)));
+        engines[r].answer_batch_into(&pairs, &mut buf);
+        for (&i, &a) in idxs.iter().zip(buf.iter()) {
+            out[i] = a;
+        }
+    }
+    out
+}
+
+/// Fleet serving: one shared `SpecContext` (skeleton + concurrent memo)
+/// answering 10⁶ mixed probes over `K = 8` runs, against `K` independent
+/// engines each owning a private skeleton and memo. Answers are asserted
+/// byte-identical; the table reports throughput plus the
+/// shared-vs-duplicated memory split ([`FleetEngine`]'s accounting).
+pub fn fleet(opts: &ReproOptions) -> Table {
+    let (spec, runs, probes) = fleet_workload(opts.quick);
+    let k = runs.len();
+    let mut t = Table::new(
+        format!(
+            "Fleet: one shared skeleton context vs {k} independent engines \
+             ({} probes over {k} runs of ~{} vertices)",
+            probes.len(),
+            runs[0].vertex_count(),
+        ),
+        &[
+            "scheme",
+            "fleet q/s",
+            "indep q/s",
+            "fleet x",
+            "spec state shared",
+            "spec state indep",
+            "memory x",
+        ],
+    );
+    for kind in [SchemeKind::Tcm, SchemeKind::Bfs, SchemeKind::Dfs] {
+        // the fleet: labels only per run (no per-run skeleton), one context
+        let mut fleet = FleetEngine::for_spec(&spec, SpecScheme::build(kind, spec.graph()));
+        let labels: Vec<Vec<wfp_skl::RunLabel>> = runs
+            .iter()
+            .map(|run| label_run(&spec, run).unwrap().0)
+            .collect();
+        let ids: Vec<RunId> = labels.iter().map(|l| fleet.register_labels(l)).collect();
+        let traffic: Vec<(RunId, RunVertexId, RunVertexId)> = probes
+            .iter()
+            .map(|&(r, u, v)| (ids[r], u, v))
+            .collect();
+
+        // K independent engines: each builds (and owns) its own skeleton
+        let engines: Vec<QueryEngine<SpecScheme>> = labels
+            .iter()
+            .map(|l| QueryEngine::from_labels(l, SpecScheme::build(kind, spec.graph())))
+            .collect();
+
+        // agreement first (cold pass both sides), then steady-state timing
+        let fleet_answers = fleet.answer_batch(&traffic).unwrap();
+        let indep_answers = independent_answer(&engines, &probes);
+        assert_eq!(fleet_answers, indep_answers, "fleet diverged under {kind}");
+
+        let fleet_ms = time_ms(opts.time_reps(), || {
+            std::hint::black_box(fleet.answer_batch(&traffic).unwrap());
+        });
+        let indep_ms = time_ms(opts.time_reps(), || {
+            std::hint::black_box(independent_answer(&engines, &probes));
+        });
+        let fleet_qps = probes.len() as f64 / (fleet_ms / 1e3).max(1e-12);
+        let indep_qps = probes.len() as f64 / (indep_ms / 1e3).max(1e-12);
+
+        let stats = fleet.stats();
+        let indep_spec_bytes: usize = engines
+            .iter()
+            .map(|e| e.context().memory_bytes())
+            .sum();
+        t.row(vec![
+            format!("{kind}+SKL"),
+            format!("{fleet_qps:.0}"),
+            format!("{indep_qps:.0}"),
+            format!("{:.2}", fleet_qps / indep_qps),
+            format!("{:.1} KiB", stats.spec_bytes as f64 / 1024.0),
+            format!("{:.1} KiB", indep_spec_bytes as f64 / 1024.0),
+            format!(
+                "{:.1}",
+                indep_spec_bytes as f64 / stats.spec_bytes.max(1) as f64
+            ),
+        ]);
+    }
+    t.note(format!(
+        "both sides answer the identical probe set with the same run-grouped \
+         batch shape; answers asserted byte-identical over all {} probes",
+        probes.len()
+    ));
+    t.note("fleet: K runs share one skeleton + one warm concurrent memo (Arc-counted);");
+    t.note("independent: every run owns a private skeleton index and memo");
+    t.note("expected shape: ~Kx less spec-state memory; throughput at parity or better");
     t
 }
 

@@ -1,4 +1,4 @@
-//! Machine-readable benchmark output (`BENCH_PR3.json`).
+//! Machine-readable benchmark output (`BENCH_PR4.json`).
 //!
 //! Every `repro` invocation serializes the tables it produced — with their
 //! per-experiment wall-clock timings and full cell grids (the `throughput`
@@ -14,9 +14,9 @@ use std::path::Path;
 use crate::table::Table;
 
 /// The file name every invocation writes under the results directory
-/// (bumped per PR so trajectories diff cleanly: PR 2 wrote
-/// `BENCH_PR2.json`).
-pub const BENCH_JSON_FILE: &str = "BENCH_PR3.json";
+/// (bumped per PR so trajectories diff cleanly: PR 3 wrote
+/// `BENCH_PR3.json`).
+pub const BENCH_JSON_FILE: &str = "BENCH_PR4.json";
 
 /// JSON string escaping (quotes, backslashes, control characters).
 fn escape(s: &str) -> String {
@@ -74,7 +74,7 @@ pub fn render(quick: bool, entries: &[(String, f64, Table)]) -> String {
     out
 }
 
-/// Writes [`render`]'s output to `<dir>/BENCH_PR2.json`.
+/// Writes [`render`]'s output to `<dir>/`[`BENCH_JSON_FILE`].
 pub fn emit(dir: &Path, quick: bool, entries: &[(String, f64, Table)]) {
     if let Err(e) = fs::create_dir_all(dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());

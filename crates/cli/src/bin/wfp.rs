@@ -22,6 +22,8 @@ usage:
   wfp query    <spec.xml> <run.xml> <from> <to> [--scheme KIND]
   wfp query    <spec.xml> <run.xml> --pairs FILE [--threads N] [--scheme KIND]
   wfp ingest   <spec.xml> <events.log> [--scheme KIND] [--probe FILE]
+  wfp fleet    <spec.xml> [run.xml...] [--runs K] [--target VERTICES]
+               [--seed S] [--probes M] [--threads N] [--scheme KIND]
 
 KIND: tcm | bfs | dfs | treecover | chain | 2hop   (default: tcm)
 vertex names use the paper's numbered form, e.g. b3 = third execution of b;
@@ -29,7 +31,10 @@ vertex names use the paper's numbered form, e.g. b3 = third execution of b;
 and answers all of them through the batched query engine.
 ingest replays a line-based event log through the live (query-while-running)
 engine; --probe FILE schedules \"EVENT# FROM TO\" queries answered mid-stream,
-then re-checked against the frozen labels when the run completes";
+then re-checked against the frozen labels when the run completes.
+fleet loads the given runs and/or generates --runs more, registers them all
+under one shared skeleton context, answers --probes mixed cross-run queries
+(default 1000000) and reports the shared-vs-duplicated memory accounting";
 
 struct Args {
     positional: Vec<String>,
@@ -177,6 +182,23 @@ fn run() -> Result<String, CliError> {
                 let to = args.positional.get(3).ok_or("missing <to> vertex")?;
                 cmd_query(&args.path(0)?, &args.path(1)?, from, to, args.scheme()?)
             }
+        }
+        "fleet" => {
+            let spec = args.path(0)?;
+            let run_paths: Vec<PathBuf> =
+                args.positional[1..].iter().map(PathBuf::from).collect();
+            let refs: Vec<&std::path::Path> =
+                run_paths.iter().map(PathBuf::as_path).collect();
+            cmd_fleet(
+                &spec,
+                &refs,
+                args.num("runs")?.unwrap_or(0),
+                args.num("target")?.unwrap_or(10_000),
+                args.num("seed")?.unwrap_or(0),
+                args.num("probes")?.unwrap_or(1_000_000),
+                args.scheme()?,
+                args.num("threads")?.unwrap_or(1),
+            )
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),

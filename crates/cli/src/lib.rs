@@ -14,6 +14,7 @@
 //! wfp query    spec.xml run.xml b3 h1   # reachability between executions
 //! wfp query    spec.xml run.xml --pairs pairs.txt [--threads 8]  # batch mode
 //! wfp ingest   spec.xml run.events --probe probes.txt   # query-while-running
+//! wfp fleet    spec.xml --runs 8 --target 10000 --probes 1000000  # multi-run serving
 //! ```
 //!
 //! All command logic lives in this library (returning strings/errors) so it
@@ -26,13 +27,19 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use wfp_gen::{generate_run_with_target, generate_spec, GeneratedRun, SpecGenConfig};
+use wfp_gen::{
+    generate_fleet, generate_run_with_target, generate_spec, GeneratedRun, SpecGenConfig,
+};
 use wfp_model::io::{
     events_from_log, events_to_log, plan_to_events, run_from_xml, run_to_xml, spec_from_xml,
     spec_to_xml, RunEvent,
 };
 use wfp_model::{Run, RunVertexId, Specification};
-use wfp_skl::{construct_plan_with_stats, LabeledRun, LiveRun, QueryEngine, QueryPath};
+use wfp_skl::fleet::{FleetEngine, RunId};
+use wfp_skl::{
+    construct_plan_with_stats, label_run, LabeledRun, LiveRun, QueryEngine, QueryPath,
+    SpecContext,
+};
 use wfp_speclabel::{SchemeKind, SpecScheme};
 
 /// A CLI failure, printed to stderr with exit code 1.
@@ -569,6 +576,136 @@ pub fn cmd_gen_events(
     Ok(msg)
 }
 
+// ======================================================================
+// Fleet serving (spec/run split: one skeleton context, many runs)
+// ======================================================================
+
+fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// `wfp fleet <spec.xml> [run.xml...] [--runs K] [--target N] [--seed S]
+///  [--probes M] [--scheme KIND] [--threads T]`
+///
+/// The multi-run serving scenario the paper's amortization argument is
+/// about: load the given runs and/or generate `K` more (all conforming to
+/// one specification), register them all under **one** shared skeleton
+/// context in a [`FleetEngine`], answer `M` mixed cross-run probes, and
+/// report throughput plus the shared-vs-duplicated memory accounting —
+/// what the fleet holds once versus what `K` independent engines would
+/// hold.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_fleet(
+    spec_path: &Path,
+    run_paths: &[&Path],
+    gen_runs: usize,
+    target: usize,
+    seed: u64,
+    probes: usize,
+    scheme: SchemeKind,
+    threads: usize,
+) -> Result<String, CliError> {
+    let spec = load_spec(spec_path)?;
+    let mut runs: Vec<Run> = Vec::new();
+    for p in run_paths {
+        runs.push(load_run(p, &spec)?);
+    }
+    runs.extend(generate_fleet(&spec, seed, gen_runs, target).into_iter().map(|g| g.run));
+    if runs.is_empty() {
+        return Err("no runs: pass run.xml files and/or --runs K".into());
+    }
+
+    // one spec-level context for the whole fleet
+    let ctx = SpecContext::for_spec(&spec, SpecScheme::build(scheme, spec.graph())).shared();
+    let mut fleet = FleetEngine::new(ctx);
+    let label_started = std::time::Instant::now();
+    let mut ids: Vec<RunId> = Vec::with_capacity(runs.len());
+    let mut sizes: Vec<usize> = Vec::with_capacity(runs.len());
+    for run in &runs {
+        // labels carry only the *pointer* to the skeleton, so labeling a
+        // fleet member never builds (or clones) a per-run skeleton
+        let (labels, _n_plus) = label_run(&spec, run)?;
+        ids.push(fleet.register_labels(&labels));
+        sizes.push(run.vertex_count());
+    }
+    let label_ms = label_started.elapsed().as_secs_f64() * 1e3;
+
+    // mixed probe traffic: uniformly random (run, u, v) triples over the
+    // runs that executed at least one module (a loaded run XML may be
+    // legally empty — it just cannot receive probes)
+    let probeable: Vec<usize> = (0..ids.len()).filter(|&i| sizes[i] > 0).collect();
+    if probes > 0 && probeable.is_empty() {
+        return Err("every run is empty: nothing to probe".into());
+    }
+    let mut rng = wfp_graph::rng::Xoshiro256::seed_from_u64(seed ^ 0xF1EE_7BA7_C0FF_EE00);
+    let traffic: Vec<(RunId, RunVertexId, RunVertexId)> = (0..probes)
+        .map(|_| {
+            let which = probeable[rng.gen_usize(probeable.len())];
+            let n = sizes[which];
+            (
+                ids[which],
+                RunVertexId(rng.gen_usize(n) as u32),
+                RunVertexId(rng.gen_usize(n) as u32),
+            )
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let answers = if threads > 1 {
+        fleet.answer_batch_parallel(&traffic, threads)?
+    } else {
+        fleet.answer_batch(&traffic)?
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let stats = fleet.stats();
+    let reachable = answers.iter().filter(|&&a| a).count();
+    let total_vertices: usize = sizes.iter().sum();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fleet: {} runs ({} loaded, {} generated), {total_vertices} vertices total, \
+         scheme {scheme}",
+        runs.len(),
+        run_paths.len(),
+        gen_runs,
+    )?;
+    writeln!(out, "labeled in {label_ms:.1} ms (no per-run skeletons built)")?;
+    writeln!(
+        out,
+        "{} probes: {} reachable; {} context-only, {} skeleton \
+         ({} probes, {} memo hits); {:.3} ms ({:.0} q/s, {} threads)",
+        traffic.len(),
+        reachable,
+        stats.engine.context_only,
+        stats.engine.skeleton,
+        stats.engine.skeleton_probes,
+        stats.engine.memo_hits,
+        elapsed * 1e3,
+        traffic.len() as f64 / elapsed.max(1e-9),
+        threads.max(1),
+    )?;
+    write!(
+        out,
+        "memory: spec state {} shared once (runs hold {}); \
+         {} independent engines would hold {} — saved {} ({}x sharing, \
+         {} context refs)",
+        fmt_bytes(stats.spec_bytes),
+        fmt_bytes(stats.run_bytes),
+        stats.active(),
+        fmt_bytes(stats.spec_bytes_if_per_run),
+        fmt_bytes(stats.bytes_saved()),
+        stats.active(),
+        stats.context_refs,
+    )?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -796,6 +933,48 @@ mod tests {
         assert!(cmd_ingest(&sp, &ep, SchemeKind::Tcm, Some(&pp)).is_err());
         // missing files
         assert!(cmd_ingest(&sp, Path::new("/nonexistent/e.log"), SchemeKind::Tcm, None).is_err());
+    }
+
+    #[test]
+    fn fleet_serves_loaded_and_generated_runs() {
+        let (sp, rp) = write_paper_files();
+        for threads in [1usize, 4] {
+            let out = cmd_fleet(
+                &sp,
+                &[rp.as_path(), rp.as_path()],
+                6,
+                60,
+                7,
+                5_000,
+                SchemeKind::Bfs,
+                threads,
+            )
+            .unwrap();
+            assert!(out.contains("8 runs (2 loaded, 6 generated)"), "{out}");
+            assert!(out.contains("5000 probes"), "{out}");
+            assert!(out.contains("shared once"), "{out}");
+            assert!(out.contains("8 independent engines would hold"), "{out}");
+        }
+    }
+
+    #[test]
+    fn fleet_rejects_empty_and_bad_inputs() {
+        let (sp, _) = write_paper_files();
+        let err = cmd_fleet(&sp, &[], 0, 100, 0, 10, SchemeKind::Tcm, 1)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("no runs"), "{err}");
+        assert!(cmd_fleet(
+            Path::new("/nonexistent/spec.xml"),
+            &[],
+            2,
+            100,
+            0,
+            10,
+            SchemeKind::Tcm,
+            1
+        )
+        .is_err());
     }
 
     #[test]

@@ -11,14 +11,21 @@
 //!   `origin` coordinates live in four parallel `u32` columns, so the
 //!   three-comparison fast path of Algorithm 3 streams through dense cache
 //!   lines instead of striding over 16-byte structs.
-//! * **Skeleton memoization** ([`SkeletonMemo`]): only `+`-LCA queries
-//!   consult the skeleton, and their answer depends *only* on the two origin
-//!   modules. Origins repeat heavily (every copy of a module shares one), so
-//!   a dense `n_G × n_G` memo turns repeated skeleton probes — a full BFS
-//!   under the search schemes — into one byte load.
+//! * **Skeleton memoization** ([`SharedMemo`]):
+//!   only `+`-LCA queries consult the skeleton, and their answer depends
+//!   *only* on the two origin modules. Origins repeat heavily (every copy
+//!   of a module shares one), so the memo turns repeated skeleton probes —
+//!   a full BFS under the search schemes — into one atomic byte load.
 //! * **Batched entry points** ([`QueryEngine::answer_batch`]) and a
 //!   **sharded parallel evaluator** ([`QueryEngine::answer_batch_parallel`],
 //!   mirroring [`crate::batch`]) for million-pair workloads.
+//!
+//! A [`QueryEngine`] is a thin view over the spec/run split of
+//! [`crate::context`]: an `Arc`-shared [`SpecContext`] (skeleton + memo,
+//! one per specification) paired with a slim per-run [`RunHandle`] (label
+//! columns only). Engines built over the same context share its memo —
+//! and [`crate::fleet::FleetEngine`] serves whole populations of runs over
+//! one context.
 //!
 //! The engine is *exactly* πr: `answer_batch` agrees with the scalar
 //! [`predicate`](crate::predicate) on every pair (see the differential
@@ -41,12 +48,13 @@
 //! assert_eq!(engine.answer_batch(&[(b1, c3), (c3, c3)]), vec![false, true]);
 //! ```
 
-use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use wfp_model::RunVertexId;
 use wfp_speclabel::SpecIndex;
 
+use crate::context::{RunHandle, SharedMemo, SpecContext};
 use crate::label::{context_fast_path, LabeledRun, QueryPath, RunLabel};
 
 /// Struct-of-arrays label storage: three coordinate columns plus an origin
@@ -109,7 +117,7 @@ impl<Q: Copy + Ord> SoaColumns<Q> {
     }
 
     /// Exclusive upper bound on the origin ids appearing in the columns —
-    /// the side of the dense [`SkeletonMemo`] that covers them.
+    /// the snapshot side a memo needs to keep them all in its dense tier.
     pub fn origin_bound(&self) -> u32 {
         self.origin_bound
     }
@@ -157,153 +165,21 @@ impl SoaLabels {
     }
 }
 
-/// Answer of one memo cell: unknown / known-false / known-true.
-const MEMO_UNKNOWN: u8 = 0;
-const MEMO_FALSE: u8 = 1;
-const MEMO_TRUE: u8 = 2;
-
-/// A dense memo over `(origin_a, origin_b)` skeleton probes.
-///
-/// The skeleton-delegated branch of πr depends only on the two origin
-/// modules, and `n_G` is small (the paper's specifications have 58–200
-/// modules), so a byte matrix amortizes *every* repeated probe — crucial
-/// for the search schemes, where one probe is a BFS over the specification.
-///
-/// Pairs outside the configured bound fall through to a direct probe, so a
-/// memo never changes answers, only their cost.
-#[derive(Clone, Debug)]
-pub struct SkeletonMemo {
-    side: u32,
-    cells: Vec<u8>,
-    probes: u64,
-    hits: u64,
-}
-
-impl SkeletonMemo {
-    /// Hard cap on the memo side: the matrix costs `side²` bytes, and
-    /// origin ids can come from *untrusted* label bytes (a decoded label
-    /// file, a deserialized provenance store), so the requested bound must
-    /// not size an allocation. 4096 (a 16 MiB matrix) covers every
-    /// realistic specification — the paper's largest has 200 modules —
-    /// while out-of-bound pairs simply fall through to direct probes.
-    pub const SIDE_CAP: u32 = 4096;
-
-    /// A memo covering origins `0..bound.min(SIDE_CAP)` (at most
-    /// `SIDE_CAP²` bytes); pairs beyond the side are probed directly.
-    pub fn new(bound: u32) -> Self {
-        let side = bound.min(Self::SIDE_CAP);
-        SkeletonMemo {
-            side,
-            cells: vec![MEMO_UNKNOWN; side as usize * side as usize],
-            probes: 0,
-            hits: 0,
-        }
-    }
-
-    /// Exclusive upper bound on the origins of `labels` — the side a memo
-    /// needs to cover them all.
-    pub fn origin_bound_of<'a>(labels: impl IntoIterator<Item = &'a RunLabel>) -> u32 {
-        labels
-            .into_iter()
-            .map(|l| l.origin.raw().saturating_add(1))
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// A memo sized to cover every origin of `labels` (up to the cap).
-    pub fn for_labels(labels: &[RunLabel]) -> Self {
-        SkeletonMemo::new(Self::origin_bound_of(labels))
-    }
-
-    /// The memo `skeleton` wants: empty when its probes are already
-    /// constant-time ([`SpecIndex::constant_time_queries`] — evaluators
-    /// never consult the memo then, so neither the `bound()` scan nor the
-    /// matrix allocation runs), otherwise sized by `bound()`. The single
-    /// home of the bypass policy for every batch evaluator in the stack.
-    pub fn for_skeleton<S: SpecIndex>(skeleton: &S, bound: impl FnOnce() -> u32) -> Self {
-        if skeleton.constant_time_queries() {
-            SkeletonMemo::new(0)
-        } else {
-            SkeletonMemo::new(bound())
-        }
-    }
-
-    /// `skeleton.reaches(a, b)`, memoized.
-    #[inline]
-    pub fn reaches<S: SpecIndex>(&mut self, a: u32, b: u32, skeleton: &S) -> bool {
-        if a >= self.side || b >= self.side {
-            self.probes += 1;
-            return skeleton.reaches(a, b);
-        }
-        let idx = a as usize * self.side as usize + b as usize; // side ≤ SIDE_CAP: no overflow
-        match self.cells[idx] {
-            MEMO_TRUE => {
-                self.hits += 1;
-                true
-            }
-            MEMO_FALSE => {
-                self.hits += 1;
-                false
-            }
-            _ => {
-                self.probes += 1;
-                let ans = skeleton.reaches(a, b);
-                self.cells[idx] = if ans { MEMO_TRUE } else { MEMO_FALSE };
-                ans
-            }
-        }
-    }
-
-    /// The covered side (exclusive origin bound) of the matrix.
-    pub fn side(&self) -> u32 {
-        self.side
-    }
-
-    /// Grows the matrix to cover origins `0..bound.min(SIDE_CAP)`,
-    /// preserving every already-memoized cell — the live engine's lazy
-    /// extension path, taken when a newly executed vertex introduces an
-    /// origin beyond the current side. No-op when the memo already covers
-    /// `bound`.
-    pub fn grow(&mut self, bound: u32) {
-        let side = bound.min(Self::SIDE_CAP);
-        if side <= self.side {
-            return;
-        }
-        let mut cells = vec![MEMO_UNKNOWN; side as usize * side as usize];
-        for a in 0..self.side as usize {
-            let old = a * self.side as usize;
-            let new = a * side as usize;
-            cells[new..new + self.side as usize]
-                .copy_from_slice(&self.cells[old..old + self.side as usize]);
-        }
-        self.cells = cells;
-        self.side = side;
-    }
-
-    /// Skeleton probes actually performed (memo misses + out-of-bound pairs).
-    pub fn probes(&self) -> u64 {
-        self.probes
-    }
-
-    /// Probes avoided by the memo.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-}
-
-/// πr (Algorithm 3) with the skeleton branch memoized.
+/// πr (Algorithm 3) with the skeleton branch memoized through a
+/// [`SharedMemo`].
 ///
 /// Byte-for-byte the same decision procedure as [`crate::predicate`]; the
 /// memo only caches the `skeleton.reaches(origin_a, origin_b)` sub-answers,
 /// and is bypassed entirely for skeletons whose probes are already
 /// constant-time ([`SpecIndex::constant_time_queries`], e.g. TCM) — there
-/// the memo round trip costs more than the probe it would save.
+/// the memo round trip costs more than the probe it would save. The memo
+/// is interior-mutable (`&self`), so callers can share one across threads.
 #[inline]
 pub fn predicate_memo<S: SpecIndex>(
     a: &RunLabel,
     b: &RunLabel,
     skeleton: &S,
-    memo: &mut SkeletonMemo,
+    memo: &SharedMemo,
 ) -> bool {
     predicate_memo_traced(a, b, skeleton, memo).0
 }
@@ -314,7 +190,7 @@ pub fn predicate_memo_traced<S: SpecIndex>(
     a: &RunLabel,
     b: &RunLabel,
     skeleton: &S,
-    memo: &mut SkeletonMemo,
+    memo: &SharedMemo,
 ) -> (bool, QueryPath) {
     match context_fast_path((a.q1, a.q2, a.q3), (b.q1, b.q2, b.q3)) {
         Some(ans) => (ans, QueryPath::ContextOnly),
@@ -336,9 +212,11 @@ pub struct EngineStats {
     pub context_only: u64,
     /// Pairs delegated to the skeleton (`+` LCA), memoized or not.
     pub skeleton: u64,
-    /// Skeleton probes actually performed.
+    /// Skeleton probes actually performed (shared-memo misses). Counted on
+    /// the run's [`SpecContext`], so engines sharing one context report
+    /// context-wide totals.
     pub skeleton_probes: u64,
-    /// Skeleton probes answered from the memo.
+    /// Skeleton probes answered from the shared memo.
     pub memo_hits: u64,
 }
 
@@ -349,105 +227,92 @@ impl EngineStats {
     }
 }
 
-/// A batched reachability engine over one labeled run.
+/// A batched reachability engine over one labeled run — a thin view
+/// pairing an `Arc`-shared [`SpecContext`] (skeleton + concurrent memo,
+/// one per specification) with a slim per-run [`RunHandle`] (label
+/// columns).
 ///
-/// Owns the SoA columns, the skeleton index and a persistent skeleton memo;
-/// answers accumulate into [`QueryEngine::stats`]. Like [`LabeledRun`], an
-/// engine is cheap to share within a thread but not `Sync` — the parallel
-/// evaluator gives each shard its own skeleton and memo instead.
+/// Engines built from a common context — by [`QueryEngine::from_parts`],
+/// by [`crate::live::LiveRun::freeze`], or inside a
+/// [`crate::fleet::FleetEngine`] — duplicate *no* spec-level state: the
+/// skeleton and its warm memo are stored once and shared by reference
+/// count. Convenience constructors ([`from_labeled`](Self::from_labeled),
+/// [`from_labels`](Self::from_labels)) create a fresh single-run context.
 pub struct QueryEngine<S> {
-    cols: SoaLabels,
-    skeleton: S,
-    memo: RefCell<SkeletonMemo>,
-    context_only: Cell<u64>,
-    skeleton_queries: Cell<u64>,
+    ctx: Arc<SpecContext<S>>,
+    run: RunHandle,
 }
 
 impl<S: SpecIndex> QueryEngine<S> {
-    /// Builds the engine from a labeled run, taking over its skeleton.
+    /// Builds the engine from a labeled run, taking over its skeleton into
+    /// a fresh single-run context.
     pub fn from_labeled(labeled: LabeledRun<S>) -> Self {
         let (labels, skeleton) = labeled.into_parts();
         Self::from_labels(&labels, skeleton)
     }
 
     /// Builds the engine from raw labels (e.g. decoded from a label file)
-    /// plus the skeleton index they delegate to. The memo is left empty
-    /// when the skeleton's probes are already constant-time — the batch
-    /// kernel never consults it in that case.
+    /// plus the skeleton index they delegate to, wrapped in a fresh
+    /// context whose memo snapshot covers every origin in the labels.
     pub fn from_labels(labels: &[RunLabel], skeleton: S) -> Self {
-        let cols = SoaLabels::from_labels(labels);
-        let memo = SkeletonMemo::for_skeleton(&skeleton, || cols.origin_bound());
-        QueryEngine {
-            cols,
-            skeleton,
-            memo: RefCell::new(memo),
-            context_only: Cell::new(0),
-            skeleton_queries: Cell::new(0),
-        }
+        let run = RunHandle::from_labels(labels);
+        let ctx = SpecContext::new(skeleton, run.columns().origin_bound()).shared();
+        QueryEngine { ctx, run }
     }
 
-    /// [`from_labels`](Self::from_labels) adopting an already-warm skeleton
-    /// memo — the [`crate::live::LiveRun::freeze`] handoff, which carries
-    /// every `(origin, origin)` sub-answer accumulated during the run into
-    /// the frozen engine instead of re-probing the skeleton. The memo must
-    /// have been filled against the *same* skeleton; it is grown (never
-    /// shrunk) to cover the labels' origins.
-    pub fn from_labels_with_memo(
-        labels: &[RunLabel],
-        skeleton: S,
-        mut memo: SkeletonMemo,
-    ) -> Self {
-        let cols = SoaLabels::from_labels(labels);
-        if !skeleton.constant_time_queries() {
-            memo.grow(cols.origin_bound());
-        }
-        QueryEngine {
-            cols,
-            skeleton,
-            memo: RefCell::new(memo),
-            context_only: Cell::new(0),
-            skeleton_queries: Cell::new(0),
-        }
+    /// The spec/run split made explicit: a view over an already-shared
+    /// context and a standalone run handle. This is how the live engine's
+    /// freeze handoff and the fleet serve runs without duplicating the
+    /// skeleton or losing the warm memo.
+    pub fn from_parts(ctx: Arc<SpecContext<S>>, run: RunHandle) -> Self {
+        QueryEngine { ctx, run }
     }
 
     /// Number of labeled vertices.
     pub fn vertex_count(&self) -> usize {
-        self.cols.len()
+        self.run.vertex_count()
     }
 
     /// The SoA label columns.
     pub fn columns(&self) -> &SoaLabels {
-        &self.cols
+        self.run.columns()
+    }
+
+    /// The shared spec-level state this engine answers through.
+    pub fn context(&self) -> &Arc<SpecContext<S>> {
+        &self.ctx
+    }
+
+    /// The per-run label columns and counters.
+    pub fn run(&self) -> &RunHandle {
+        &self.run
     }
 
     /// The skeleton index queries delegate to.
     pub fn skeleton(&self) -> &S {
-        &self.skeleton
+        self.ctx.skeleton()
     }
 
-    /// Cumulative decision statistics (all batches plus scalar answers).
+    /// Cumulative decision statistics: this run's decisions plus the
+    /// shared context's memo counters (context-wide when the context
+    /// serves several runs).
     pub fn stats(&self) -> EngineStats {
-        let memo = self.memo.borrow();
         EngineStats {
-            context_only: self.context_only.get(),
-            skeleton: self.skeleton_queries.get(),
-            skeleton_probes: memo.probes(),
-            memo_hits: memo.hits(),
+            context_only: self.run.context_only(),
+            skeleton: self.run.skeleton_queries(),
+            skeleton_probes: self.ctx.memo().probes(),
+            memo_hits: self.ctx.memo().hits(),
         }
     }
 
-    /// Whether `u ⇝ v` — the scalar entry point, sharing the engine's memo.
+    /// Whether `u ⇝ v` — the scalar entry point, sharing the context memo.
+    /// Allocation-free (unlike the batch paths, which fill a vector).
     #[inline]
     pub fn answer(&self, u: RunVertexId, v: RunVertexId) -> bool {
-        let (ans, path) = predicate_memo_traced(
-            &self.cols.label(u),
-            &self.cols.label(v),
-            &self.skeleton,
-            &mut self.memo.borrow_mut(),
-        );
+        let (ans, path) = answer_one(self.run.columns(), &self.ctx, u, v);
         match path {
-            QueryPath::ContextOnly => self.context_only.set(self.context_only.get() + 1),
-            QueryPath::Skeleton => self.skeleton_queries.set(self.skeleton_queries.get() + 1),
+            QueryPath::ContextOnly => self.run.count(1, 0),
+            QueryPath::Skeleton => self.run.count(0, 1),
         }
         ans
     }
@@ -469,22 +334,25 @@ impl<S: SpecIndex> QueryEngine<S> {
     ) -> &'o [bool] {
         out.clear();
         out.reserve(pairs.len());
-        let memo = &mut *self.memo.borrow_mut();
-        let (ctx, skel) = answer_into(&self.cols, &self.skeleton, memo, pairs, out);
-        self.context_only.set(self.context_only.get() + ctx);
-        self.skeleton_queries.set(self.skeleton_queries.get() + skel);
+        let (ctx, skel) = answer_into(
+            self.run.columns(),
+            self.ctx.skeleton(),
+            self.ctx.probe_memo(),
+            pairs,
+            out,
+        );
+        self.run.count(ctx, skel);
         out
     }
 
-    /// Answers `pairs` with up to `threads` shards (clamped to 64), each
-    /// owning a clone of the engine's skeleton and a private memo (cloning
-    /// an index is a memcpy of its label arrays; rebuilding one would
-    /// repeat the full construction sweep per shard, cf. [`crate::batch`]).
-    /// Results are in input
-    /// order and identical to [`answer_batch`](Self::answer_batch) — the
-    /// evaluation is deterministic regardless of scheduling. The
-    /// scheduling-independent decision counts fold into
-    /// [`stats`](Self::stats); shard-private memo probe/hit counts do not.
+    /// Answers `pairs` with up to `threads` shards (clamped to 64). Every
+    /// shard reads the **same** shared memo (it is concurrent by design —
+    /// sub-answers warmed by one shard are hits for all others) and owns a
+    /// clone of the skeleton for per-probe scratch space (the search
+    /// schemes carry non-`Sync` scratch buffers; cloning an index is a
+    /// memcpy of its label arrays, cf. [`crate::batch`]). Results are in
+    /// input order and identical to [`answer_batch`](Self::answer_batch) —
+    /// the evaluation is deterministic regardless of scheduling.
     pub fn answer_batch_parallel(
         &self,
         pairs: &[(RunVertexId, RunVertexId)],
@@ -494,22 +362,23 @@ impl<S: SpecIndex> QueryEngine<S> {
         S: Clone + Send,
     {
         // Clamp the user-supplied shard count: each shard costs an OS
-        // thread, a skeleton index and a memo, and a runaway value (a CLI
-        // typo) must degrade to a bounded fan-out, not a spawn failure.
+        // thread and a skeleton clone, and a runaway value (a CLI typo)
+        // must degrade to a bounded fan-out, not a spawn failure.
         const MAX_SHARDS: usize = 64;
         let threads = threads.clamp(1, MAX_SHARDS).min(pairs.len().max(1));
         // Fixed-size chunks pulled from a shared cursor: big enough to
         // amortize the per-chunk send, small enough to balance shards.
         let chunk = (pairs.len().div_ceil(threads.max(1) * 8)).clamp(1024, 1 << 20);
         let chunk_count = pairs.len().div_ceil(chunk);
-        // A shard beyond the chunk count would clone a skeleton and build
-        // a memo only to find the cursor already exhausted.
+        // A shard beyond the chunk count would clone a skeleton only to
+        // find the cursor already exhausted.
         let threads = threads.min(chunk_count);
         if threads <= 1 {
             return self.answer_batch(pairs);
         }
         let cursor = AtomicUsize::new(0);
-        let cols = &self.cols;
+        let cols = self.run.columns();
+        let memo = self.ctx.probe_memo();
         let (tx, rx) = std::sync::mpsc::channel();
         let (mut ctx_total, mut skel_total) = (0u64, 0u64);
         let mut out = vec![false; pairs.len()];
@@ -517,10 +386,8 @@ impl<S: SpecIndex> QueryEngine<S> {
             for _ in 0..threads {
                 let tx = tx.clone();
                 let cursor = &cursor;
-                let skeleton = self.skeleton.clone();
+                let skeleton = self.ctx.skeleton().clone();
                 scope.spawn(move || {
-                    let mut memo =
-                        SkeletonMemo::for_skeleton(&skeleton, || cols.origin_bound());
                     let mut buf: Vec<bool> = Vec::with_capacity(chunk);
                     loop {
                         let idx = cursor.fetch_add(1, Ordering::Relaxed);
@@ -531,7 +398,7 @@ impl<S: SpecIndex> QueryEngine<S> {
                         let end = (start + chunk).min(pairs.len());
                         buf.clear();
                         let (ctx, skel) =
-                            answer_into(cols, &skeleton, &mut memo, &pairs[start..end], &mut buf);
+                            answer_into(cols, &skeleton, memo, &pairs[start..end], &mut buf);
                         if tx.send((start, std::mem::take(&mut buf), ctx, skel)).is_err() {
                             break;
                         }
@@ -546,28 +413,41 @@ impl<S: SpecIndex> QueryEngine<S> {
                 skel_total += skel;
             }
         });
-        // Shard-private memo probe/hit counts die with their shards; only
-        // the scheduling-independent decision counts fold into the stats.
-        self.context_only.set(self.context_only.get() + ctx_total);
-        self.skeleton_queries
-            .set(self.skeleton_queries.get() + skel_total);
+        self.run.count(ctx_total, skel_total);
         out
+    }
+}
+
+/// The allocation-free scalar kernel: one pair over `u32` columns through
+/// the context's memo policy. Shared by [`QueryEngine::answer`] and the
+/// fleet's scalar probe path.
+#[inline]
+pub(crate) fn answer_one<S: SpecIndex>(
+    cols: &SoaLabels,
+    ctx: &SpecContext<S>,
+    u: RunVertexId,
+    v: RunVertexId,
+) -> (bool, QueryPath) {
+    let (a, b) = (cols.label(u), cols.label(v));
+    match ctx.probe_memo() {
+        Some(memo) => predicate_memo_traced(&a, &b, ctx.skeleton(), memo),
+        None => crate::label::predicate_traced(&a, &b, ctx.skeleton()),
     }
 }
 
 /// The shared batch kernel: answers `pairs` over the columns, appending to
 /// `out`. Returns `(context_only, skeleton)` decision counts.
 ///
-/// Skeletons whose probes are already constant-time bit lookups
-/// ([`SpecIndex::constant_time_queries`], e.g. TCM) are probed directly —
-/// for them the memo's byte-matrix round trip costs more than the probe it
-/// would save. Those direct probes do not appear in the memo's
-/// probe/hit counters.
+/// `memo` carries the policy decided by [`SpecContext::probe_memo`]:
+/// `None` for skeletons whose probes are already constant-time bit lookups
+/// ([`SpecIndex::constant_time_queries`], e.g. TCM — the memo round trip
+/// costs more than the probe it would save), `Some(shared)` otherwise.
+/// Direct probes under `None` do not appear in the memo's counters.
 #[inline]
 pub(crate) fn answer_into<Q: Copy + Ord, S: SpecIndex>(
     cols: &SoaColumns<Q>,
     skeleton: &S,
-    memo: &mut SkeletonMemo,
+    memo: Option<&SharedMemo>,
     pairs: &[(RunVertexId, RunVertexId)],
     out: &mut Vec<bool>,
 ) -> (u64, u64) {
@@ -582,7 +462,6 @@ pub(crate) fn answer_into<Q: Copy + Ord, S: SpecIndex>(
     );
     let mut ctx = 0u64;
     let mut skel = 0u64;
-    let memoize = !skeleton.constant_time_queries();
     out.extend(pairs.iter().map(|&(u, v)| {
         let (a, b) = (u.index(), v.index());
         assert!(a < n && b < n, "query vertex out of range");
@@ -591,13 +470,12 @@ pub(crate) fn answer_into<Q: Copy + Ord, S: SpecIndex>(
                 ctx += 1;
                 ans
             }
-            None if memoize => {
-                skel += 1;
-                memo.reaches(origin[a], origin[b], skeleton)
-            }
             None => {
                 skel += 1;
-                skeleton.reaches(origin[a], origin[b])
+                match memo {
+                    Some(memo) => memo.reaches(origin[a], origin[b], skeleton),
+                    None => skeleton.reaches(origin[a], origin[b]),
+                }
             }
         }
     }));
@@ -679,8 +557,9 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_and_is_deterministic() {
-        // TCM bypasses the shard memos, BFS exercises them: both paths
-        // must agree with the sequential batch across interleaved chunks.
+        // TCM bypasses the shared memo, BFS exercises it concurrently:
+        // both paths must agree with the sequential batch across
+        // interleaved chunks.
         for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
             let (run, engine) = paper_engine(kind);
             // Repeat the pair set to cross the chunking threshold.
@@ -727,18 +606,32 @@ mod tests {
     }
 
     #[test]
-    fn memo_out_of_bound_pairs_probe_directly() {
-        let mut g = wfp_graph::DiGraph::with_vertices(3);
-        g.add_edge(0, 1);
-        g.add_edge(1, 2);
-        let skeleton = SpecScheme::build(SchemeKind::Tcm, &g);
-        let mut memo = SkeletonMemo::new(1); // covers only origin 0
-        assert!(memo.reaches(0, 0, &skeleton));
-        assert!(memo.reaches(1, 2, &skeleton)); // out of bound: direct probe
-        assert!(memo.reaches(1, 2, &skeleton)); // probed again, not memoized
-        assert_eq!(memo.probes(), 3);
-        assert_eq!(memo.hits(), 0);
-        assert!(memo.reaches(0, 0, &skeleton));
-        assert_eq!(memo.hits(), 1);
+    fn engines_over_one_context_share_the_memo() {
+        // Two engines viewing one Arc<SpecContext>: pairs warmed by the
+        // first are memo hits for the second — the spec/run split's point.
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let labeled = LabeledRun::build(
+            &spec,
+            SpecScheme::build(SchemeKind::Bfs, spec.graph()),
+            &run,
+        )
+        .unwrap();
+        let (labels, skeleton) = labeled.into_parts();
+        let ctx = SpecContext::for_spec(&spec, skeleton).shared();
+        let a = QueryEngine::from_parts(Arc::clone(&ctx), RunHandle::from_labels(&labels));
+        let b = QueryEngine::from_parts(Arc::clone(&ctx), RunHandle::from_labels(&labels));
+        assert_eq!(Arc::strong_count(&ctx), 3);
+
+        let pairs = all_pairs(&run);
+        let first = a.answer_batch(&pairs);
+        let probes_after_a = ctx.memo().probes();
+        assert!(probes_after_a > 0);
+        assert_eq!(b.answer_batch(&pairs), first);
+        assert_eq!(
+            ctx.memo().probes(),
+            probes_after_a,
+            "engine b re-probed the skeleton despite the shared warm memo"
+        );
     }
 }

@@ -1,0 +1,800 @@
+//! Multi-run serving: one [`SpecContext`] answering probe traffic for a
+//! whole fleet of runs.
+//!
+//! The paper's amortization argument (§1, §7) is that the skeleton labels
+//! are paid **once per specification**, not once per run. Production
+//! provenance services see exactly that shape: one workflow spec, executed
+//! thousands of times, queried across runs. A [`FleetEngine`] is the
+//! registry that serves it:
+//!
+//! * it holds a single `Arc`-shared [`SpecContext`] (skeleton index +
+//!   concurrent skeleton memo) and any number of **frozen** runs (slim
+//!   [`RunHandle`] label columns, ~16 bytes/vertex) and **in-flight**
+//!   [`LiveRun`]s — all registered under [`RunId`]s;
+//! * it answers `(run, u, v)` probes scalar or batched; a batch may mix
+//!   runs freely — traffic is sharded **by run** internally (each run's
+//!   probes stream through the SoA kernel together) and results come back
+//!   in input order, deterministically;
+//! * runs can be frozen in place ([`FleetEngine::freeze_run`], the
+//!   zero-re-labeling handoff) and evicted ([`FleetEngine::evict`]);
+//!   evicted ids stay tombstoned so late probes fail loudly instead of
+//!   hitting a recycled slot;
+//! * [`FleetEngine::stats`] accounts the shared-vs-duplicated memory: what
+//!   the fleet holds once versus what `K` independent engines would hold.
+//!
+//! ```
+//! use wfp_model::fixtures;
+//! use wfp_skl::fleet::FleetEngine;
+//! use wfp_skl::LabeledRun;
+//! use wfp_speclabel::{SchemeKind, SpecScheme};
+//!
+//! let spec = fixtures::paper_spec();
+//! let mut fleet = FleetEngine::for_spec(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()));
+//! let run = fixtures::paper_run(&spec);
+//! let labeled = LabeledRun::build(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()), &run)
+//!     .unwrap();
+//! let a = fleet.register_labels(labeled.labels());
+//! let b = fleet.register_labels(labeled.labels()); // another run, same spec
+//!
+//! let b1 = fixtures::paper_vertex(&spec, &run, "b1");
+//! let c3 = fixtures::paper_vertex(&spec, &run, "c3");
+//! let answers = fleet
+//!     .answer_batch(&[(a, c3, c3), (b, b1, c3)])
+//!     .unwrap();
+//! assert_eq!(answers, vec![true, false]);
+//! assert_eq!(fleet.stats().frozen, 2);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use wfp_model::{RunVertexId, Specification};
+use wfp_speclabel::SpecIndex;
+
+use crate::context::{RunHandle, SpecContext};
+use crate::engine::{answer_into, EngineStats};
+use crate::label::{LabeledRun, RunLabel};
+use crate::live::LiveRun;
+use crate::online::OnlineError;
+
+/// Identifier of a run registered in a [`FleetEngine`]. Ids are assigned
+/// densely in registration order and never reused, even after eviction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunId(pub u32);
+
+impl RunId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RunId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "run#{}", self.0)
+    }
+}
+
+/// Errors of the fleet registry.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The run id was never registered in this fleet.
+    UnknownRun(RunId),
+    /// The run was registered but has since been evicted.
+    Evicted(RunId),
+    /// The operation requires an in-flight run, but this one is frozen.
+    NotLive(RunId),
+    /// A [`LiveRun`] built over a *different* [`SpecContext`] was offered
+    /// for registration; its memo and skeleton are not this fleet's.
+    ForeignContext,
+    /// The run is registered, but it has no item with this index (used by
+    /// item-keyed layers such as `wfp_provenance`'s fleet index).
+    UnknownItem {
+        /// The (valid) run the item was looked up in.
+        run: RunId,
+        /// The out-of-range item index.
+        item: u32,
+    },
+    /// Freezing an in-flight run failed (the event stream is incomplete).
+    FreezeFailed(RunId, OnlineError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownRun(r) => write!(f, "{r} was never registered"),
+            FleetError::Evicted(r) => write!(f, "{r} has been evicted"),
+            FleetError::NotLive(r) => write!(f, "{r} is frozen, not in-flight"),
+            FleetError::ForeignContext => {
+                write!(f, "live run belongs to a different specification context")
+            }
+            FleetError::UnknownItem { run, item } => {
+                write!(f, "{run} has no data item #{item}")
+            }
+            FleetError::FreezeFailed(r, e) => write!(f, "cannot freeze {r}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::FreezeFailed(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One registry slot.
+enum Slot<'s, S> {
+    Frozen(RunHandle),
+    Live(Box<LiveRun<'s, S>>),
+    Evicted,
+}
+
+/// Shared-vs-duplicated accounting plus aggregate decision counters for
+/// one fleet. See [`FleetEngine::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Frozen runs currently registered.
+    pub frozen: usize,
+    /// In-flight live runs currently registered.
+    pub live: usize,
+    /// Runs evicted over the fleet's lifetime.
+    pub evicted: usize,
+    /// Strong references to the shared [`SpecContext`] (the fleet itself,
+    /// each live run's labeler, plus any external holders) — direct proof
+    /// that one instance serves every run.
+    pub context_refs: usize,
+    /// Bytes of spec-level state (skeleton + memo), held **once**.
+    pub spec_bytes: usize,
+    /// What the same runs would hold as independent engines: one skeleton
+    /// + memo copy per active run.
+    pub spec_bytes_if_per_run: usize,
+    /// Bytes of per-run label columns across all active runs.
+    pub run_bytes: usize,
+    /// Decision counters summed over all runs; memo counters are the
+    /// shared context's.
+    pub engine: EngineStats,
+}
+
+impl FleetStats {
+    /// Active (non-evicted) runs.
+    pub fn active(&self) -> usize {
+        self.frozen + self.live
+    }
+
+    /// Bytes saved by sharing the spec-level state instead of duplicating
+    /// it per run.
+    pub fn bytes_saved(&self) -> usize {
+        self.spec_bytes_if_per_run.saturating_sub(self.spec_bytes)
+    }
+}
+
+/// A registry of runs — frozen and in-flight — served by one shared
+/// [`SpecContext`]. See the module docs.
+///
+/// The lifetime `'s` is the specification borrow of registered live runs;
+/// a frozen-only fleet can use any lifetime (e.g. the spec's own).
+pub struct FleetEngine<'s, S> {
+    ctx: Arc<SpecContext<S>>,
+    slots: Vec<Slot<'s, S>>,
+    evicted: usize,
+}
+
+impl<'s, S: SpecIndex> FleetEngine<'s, S> {
+    /// A fleet over an already-shared context.
+    pub fn new(ctx: Arc<SpecContext<S>>) -> Self {
+        FleetEngine {
+            ctx,
+            slots: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// A fleet over a fresh context sized for `spec` (see
+    /// [`SpecContext::for_spec`]).
+    pub fn for_spec(spec: &Specification, skeleton: S) -> Self {
+        Self::new(SpecContext::for_spec(spec, skeleton).shared())
+    }
+
+    /// The shared spec-level state every registered run answers through.
+    pub fn context(&self) -> &Arc<SpecContext<S>> {
+        &self.ctx
+    }
+
+    // ---------------- registration -------------------------------------
+
+    fn push(&mut self, slot: Slot<'s, S>) -> RunId {
+        let id = RunId(self.slots.len() as u32);
+        self.slots.push(slot);
+        id
+    }
+
+    /// Registers a frozen run.
+    pub fn register(&mut self, run: RunHandle) -> RunId {
+        self.push(Slot::Frozen(run))
+    }
+
+    /// Registers a frozen run from raw labels.
+    pub fn register_labels(&mut self, labels: &[RunLabel]) -> RunId {
+        self.register(RunHandle::from_labels(labels))
+    }
+
+    /// Registers a frozen run from a [`LabeledRun`], **discarding** its
+    /// privately-owned skeleton in favor of the fleet's shared context —
+    /// the migration path for callers coming from the one-engine-per-run
+    /// world. The labels must have been built against the same
+    /// specification (answers delegate to this fleet's skeleton).
+    pub fn register_labeled(&mut self, labeled: LabeledRun<S>) -> RunId {
+        let (labels, _duplicate_skeleton) = labeled.into_parts();
+        self.register_labels(&labels)
+    }
+
+    /// Registers an in-flight run. The live run must have been created
+    /// over **this fleet's** context ([`LiveRun::with_context`] /
+    /// [`FleetEngine::begin_live`]); a run carrying a foreign context is
+    /// rejected, because its answers would consult a different skeleton.
+    pub fn register_live(&mut self, live: LiveRun<'s, S>) -> Result<RunId, FleetError> {
+        if !Arc::ptr_eq(live.context(), &self.ctx) {
+            return Err(FleetError::ForeignContext);
+        }
+        Ok(self.push(Slot::Live(Box::new(live))))
+    }
+
+    /// Starts a new in-flight run of `spec` under the shared context and
+    /// registers it immediately. Feed it events via
+    /// [`live_mut`](Self::live_mut).
+    pub fn begin_live(&mut self, spec: &'s Specification) -> RunId {
+        let live = LiveRun::with_context(spec, Arc::clone(&self.ctx));
+        self.push(Slot::Live(Box::new(live)))
+    }
+
+    fn slot(&self, run: RunId) -> Result<&Slot<'s, S>, FleetError> {
+        match self.slots.get(run.index()) {
+            None => Err(FleetError::UnknownRun(run)),
+            Some(Slot::Evicted) => Err(FleetError::Evicted(run)),
+            Some(slot) => Ok(slot),
+        }
+    }
+
+    /// Mutable access to an in-flight run, for event ingestion.
+    pub fn live_mut(&mut self, run: RunId) -> Result<&mut LiveRun<'s, S>, FleetError> {
+        match self.slots.get_mut(run.index()) {
+            None => Err(FleetError::UnknownRun(run)),
+            Some(Slot::Evicted) => Err(FleetError::Evicted(run)),
+            Some(Slot::Frozen(_)) => Err(FleetError::NotLive(run)),
+            Some(Slot::Live(live)) => Ok(live),
+        }
+    }
+
+    /// Freezes an in-flight run in place: the exact offline labels replace
+    /// the tag columns (zero re-labeling, [`LiveRun::freeze_handle`]), the
+    /// run id stays valid, and the shared context is untouched. Fails if
+    /// the event stream is structurally incomplete — the run then remains
+    /// registered and live.
+    pub fn freeze_run(&mut self, run: RunId) -> Result<(), FleetError> {
+        let slot = match self.slots.get_mut(run.index()) {
+            None => return Err(FleetError::UnknownRun(run)),
+            Some(Slot::Evicted) => return Err(FleetError::Evicted(run)),
+            Some(Slot::Frozen(_)) => return Err(FleetError::NotLive(run)),
+            Some(slot) => slot,
+        };
+        if let Slot::Live(live) = &*slot {
+            // check before consuming, so a failed freeze leaves the run
+            // registered and live
+            live.check_complete()
+                .map_err(|e| FleetError::FreezeFailed(run, e))?;
+        }
+        let live = match std::mem::replace(slot, Slot::Evicted) {
+            Slot::Live(live) => live,
+            _ => unreachable!("matched Live above"),
+        };
+        // carry the decision counters across the freeze
+        let decisions = live.stats().engine;
+        let (handle, _ctx) = live
+            .freeze_handle()
+            .expect("completeness checked just above");
+        handle.count(decisions.context_only, decisions.skeleton);
+        *slot = Slot::Frozen(handle);
+        Ok(())
+    }
+
+    /// Evicts a run, releasing its label columns. The id stays tombstoned:
+    /// later probes fail with [`FleetError::Evicted`] instead of silently
+    /// hitting a recycled slot.
+    pub fn evict(&mut self, run: RunId) -> Result<(), FleetError> {
+        match self.slots.get_mut(run.index()) {
+            None => Err(FleetError::UnknownRun(run)),
+            Some(Slot::Evicted) => Err(FleetError::Evicted(run)),
+            Some(slot) => {
+                *slot = Slot::Evicted;
+                self.evicted += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether `run` is registered and not evicted.
+    pub fn contains(&self, run: RunId) -> bool {
+        self.slot(run).is_ok()
+    }
+
+    /// Ids of all active (non-evicted) runs, in registration order.
+    pub fn run_ids(&self) -> impl Iterator<Item = RunId> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            (!matches!(s, Slot::Evicted)).then_some(RunId(i as u32))
+        })
+    }
+
+    /// Number of active runs.
+    pub fn run_count(&self) -> usize {
+        self.slots.len() - self.evicted
+    }
+
+    /// Executed-vertex count of a registered run.
+    pub fn vertex_count(&self, run: RunId) -> Result<usize, FleetError> {
+        Ok(match self.slot(run)? {
+            Slot::Frozen(h) => h.vertex_count(),
+            Slot::Live(l) => l.vertex_count(),
+            Slot::Evicted => unreachable!("slot() filtered"),
+        })
+    }
+
+    // ---------------- probes -------------------------------------------
+
+    /// Whether `u ⇝ v` within `run` — the scalar entry point
+    /// (allocation-free for frozen runs).
+    pub fn answer(&self, run: RunId, u: RunVertexId, v: RunVertexId) -> Result<bool, FleetError> {
+        Ok(match self.slot(run)? {
+            Slot::Frozen(h) => {
+                let (ans, path) = crate::engine::answer_one(h.columns(), &self.ctx, u, v);
+                match path {
+                    crate::label::QueryPath::ContextOnly => h.count(1, 0),
+                    crate::label::QueryPath::Skeleton => h.count(0, 1),
+                }
+                ans
+            }
+            Slot::Live(l) => l.answer(u, v),
+            Slot::Evicted => unreachable!("slot() filtered"),
+        })
+    }
+
+    /// Groups probe indexes by run slot, validating every id up front (a
+    /// batch containing one bad id fails as a whole, before any work).
+    fn group(
+        &self,
+        probes: &[(RunId, RunVertexId, RunVertexId)],
+    ) -> Result<Vec<(usize, Vec<usize>)>, FleetError> {
+        let mut per_slot: Vec<Vec<usize>> = vec![Vec::new(); self.slots.len()];
+        for (i, &(run, _, _)) in probes.iter().enumerate() {
+            self.slot(run)?; // validate
+            per_slot[run.index()].push(i);
+        }
+        Ok(per_slot
+            .into_iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .collect())
+    }
+
+    /// Answers a batch of cross-run probes, **sharded by run**: each run's
+    /// probes stream through the SoA batch kernel together (one cache-warm
+    /// pass per run), and answers return in input order regardless of the
+    /// internal grouping — deterministic, byte-identical to answering each
+    /// probe against its run's own engine.
+    pub fn answer_batch(
+        &self,
+        probes: &[(RunId, RunVertexId, RunVertexId)],
+    ) -> Result<Vec<bool>, FleetError> {
+        let groups = self.group(probes)?;
+        let mut out = vec![false; probes.len()];
+        let mut pairs: Vec<(RunVertexId, RunVertexId)> = Vec::new();
+        let mut buf: Vec<bool> = Vec::new();
+        for (slot_idx, idxs) in groups {
+            pairs.clear();
+            pairs.extend(idxs.iter().map(|&i| (probes[i].1, probes[i].2)));
+            buf.clear();
+            match &self.slots[slot_idx] {
+                Slot::Frozen(h) => {
+                    let (c, s) = answer_into(
+                        h.columns(),
+                        self.ctx.skeleton(),
+                        self.ctx.probe_memo(),
+                        &pairs,
+                        &mut buf,
+                    );
+                    h.count(c, s);
+                }
+                Slot::Live(l) => {
+                    let (c, s) = answer_into(
+                        l.columns(),
+                        self.ctx.skeleton(),
+                        self.ctx.probe_memo(),
+                        &pairs,
+                        &mut buf,
+                    );
+                    l.count(c, s);
+                }
+                Slot::Evicted => unreachable!("group() filtered"),
+            }
+            for (&i, &ans) in idxs.iter().zip(&buf) {
+                out[i] = ans;
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`answer_batch`](Self::answer_batch) with frozen-run groups
+    /// fanned out over up to `threads` worker threads (each worker clones
+    /// the skeleton for scratch space and reads the **same** shared memo);
+    /// live-run groups are answered on the calling thread, since an
+    /// in-flight run's column store is single-threaded by design. Results
+    /// are byte-identical to the sequential path, in input order.
+    pub fn answer_batch_parallel(
+        &self,
+        probes: &[(RunId, RunVertexId, RunVertexId)],
+        threads: usize,
+    ) -> Result<Vec<bool>, FleetError>
+    where
+        S: Clone + Send,
+    {
+        const MAX_SHARDS: usize = 64;
+        let groups = self.group(probes)?;
+        // Workers only ever touch frozen runs (a live run's column store is
+        // deliberately single-threaded), so partition into plain
+        // `&RunHandle` references — the worker closures never see the
+        // registry itself.
+        let mut frozen_groups: Vec<(&RunHandle, Vec<usize>)> = Vec::new();
+        let mut live_groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (slot_idx, idxs) in groups {
+            match &self.slots[slot_idx] {
+                Slot::Frozen(h) => frozen_groups.push((h, idxs)),
+                Slot::Live(_) => live_groups.push((slot_idx, idxs)),
+                Slot::Evicted => unreachable!("group() filtered"),
+            }
+        }
+        // Split each run's probe list into bounded chunks, so one hot run
+        // (skewed traffic, or a single-run fleet) still fans out across
+        // workers instead of degrading to one work unit per run.
+        const UNIT: usize = 1 << 15;
+        let units: Vec<(&RunHandle, &[usize])> = frozen_groups
+            .iter()
+            .flat_map(|&(handle, ref idxs)| idxs.chunks(UNIT).map(move |c| (handle, c)))
+            .collect();
+        let threads = threads.clamp(1, MAX_SHARDS).min(units.len().max(1));
+        let mut out = vec![false; probes.len()];
+
+        if threads <= 1 || units.len() <= 1 {
+            // not worth a fan-out: fall back to the sequential path
+            return self.answer_batch(probes);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let memo = self.ctx.probe_memo();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let units = &units;
+                let skeleton = self.ctx.skeleton().clone();
+                scope.spawn(move || {
+                    loop {
+                        let g = cursor.fetch_add(1, Ordering::Relaxed);
+                        if g >= units.len() {
+                            break;
+                        }
+                        let (handle, idxs) = units[g];
+                        let pairs: Vec<(RunVertexId, RunVertexId)> =
+                            idxs.iter().map(|&i| (probes[i].1, probes[i].2)).collect();
+                        let mut buf = Vec::with_capacity(pairs.len());
+                        let (c, s) =
+                            answer_into(handle.columns(), &skeleton, memo, &pairs, &mut buf);
+                        handle.count(c, s);
+                        if tx.send((g, buf)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            // live groups on the calling thread, overlapping the workers
+            let mut pairs: Vec<(RunVertexId, RunVertexId)> = Vec::new();
+            let mut buf: Vec<bool> = Vec::new();
+            for (slot_idx, idxs) in &live_groups {
+                let live = match &self.slots[*slot_idx] {
+                    Slot::Live(l) => l,
+                    _ => unreachable!("partitioned as live"),
+                };
+                pairs.clear();
+                pairs.extend(idxs.iter().map(|&i| (probes[i].1, probes[i].2)));
+                buf.clear();
+                let (c, s) = answer_into(
+                    live.columns(),
+                    self.ctx.skeleton(),
+                    self.ctx.probe_memo(),
+                    &pairs,
+                    &mut buf,
+                );
+                live.count(c, s);
+                for (&i, &ans) in idxs.iter().zip(&buf) {
+                    out[i] = ans;
+                }
+            }
+            for (g, answers) in rx {
+                let (_, idxs) = units[g];
+                for (&i, &ans) in idxs.iter().zip(&answers) {
+                    out[i] = ans;
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    // ---------------- accounting ---------------------------------------
+
+    /// Shared-vs-duplicated memory accounting plus aggregate counters. The
+    /// headline: `spec_bytes` is held once, where `K` independent engines
+    /// would hold `spec_bytes_if_per_run = K × spec_bytes` — and
+    /// `context_refs` (the `Arc` strong count) proves the sharing.
+    pub fn stats(&self) -> FleetStats {
+        let mut stats = FleetStats {
+            evicted: self.evicted,
+            context_refs: Arc::strong_count(&self.ctx),
+            spec_bytes: self.ctx.memory_bytes(),
+            ..FleetStats::default()
+        };
+        for slot in &self.slots {
+            match slot {
+                Slot::Frozen(h) => {
+                    stats.frozen += 1;
+                    stats.run_bytes += h.memory_bytes();
+                    stats.engine.context_only += h.context_only();
+                    stats.engine.skeleton += h.skeleton_queries();
+                }
+                Slot::Live(l) => {
+                    stats.live += 1;
+                    // u64 tag columns: three 8-byte + one 4-byte column
+                    stats.run_bytes += l.vertex_count() * 28;
+                    let e = l.stats().engine;
+                    stats.engine.context_only += e.context_only;
+                    stats.engine.skeleton += e.skeleton;
+                }
+                Slot::Evicted => {}
+            }
+        }
+        stats.spec_bytes_if_per_run = stats.spec_bytes * stats.active().max(1);
+        stats.engine.skeleton_probes = self.ctx.memo().probes();
+        stats.engine.memo_hits = self.ctx.memo().hits();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryEngine;
+    use wfp_model::fixtures::{paper_run, paper_spec, paper_subgraph};
+    use wfp_speclabel::{SchemeKind, SpecScheme};
+
+    fn labels(spec: &Specification, kind: SchemeKind) -> Vec<RunLabel> {
+        let run = paper_run(spec);
+        LabeledRun::build(spec, SpecScheme::build(kind, spec.graph()), &run)
+            .unwrap()
+            .labels()
+            .to_vec()
+    }
+
+    fn all_probes(run: RunId, n: usize) -> Vec<(RunId, RunVertexId, RunVertexId)> {
+        (0..n as u32)
+            .flat_map(|u| {
+                (0..n as u32).map(move |v| (run, RunVertexId(u), RunVertexId(v)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_matches_independent_engines_and_shares_one_context() {
+        let spec = paper_spec();
+        for &kind in &SchemeKind::ALL {
+            let labels = labels(&spec, kind);
+            let mut fleet =
+                FleetEngine::for_spec(&spec, SpecScheme::build(kind, spec.graph()));
+            let k = 8;
+            let ids: Vec<RunId> = (0..k).map(|_| fleet.register_labels(&labels)).collect();
+
+            // interleave the runs' probes to exercise the per-run grouping
+            let mut probes = Vec::new();
+            for u in 0..labels.len() as u32 {
+                for v in 0..labels.len() as u32 {
+                    for &id in &ids {
+                        probes.push((id, RunVertexId(u), RunVertexId(v)));
+                    }
+                }
+            }
+            let fleet_answers = fleet.answer_batch(&probes).unwrap();
+
+            let engine = QueryEngine::from_labels(&labels, SpecScheme::build(kind, spec.graph()));
+            for (&(_, u, v), &ans) in probes.iter().zip(&fleet_answers) {
+                assert_eq!(ans, engine.answer(u, v), "{kind} ({u},{v})");
+            }
+
+            let stats = fleet.stats();
+            assert_eq!(stats.frozen, k);
+            assert_eq!(stats.context_refs, 1, "only the fleet holds the context");
+            assert_eq!(stats.spec_bytes_if_per_run, k * stats.spec_bytes);
+            assert_eq!(stats.engine.total(), probes.len() as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_fleet_batches_are_deterministic() {
+        let spec = paper_spec();
+        for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+            let labels = labels(&spec, kind);
+            let mut fleet =
+                FleetEngine::for_spec(&spec, SpecScheme::build(kind, spec.graph()));
+            let ids: Vec<RunId> = (0..10).map(|_| fleet.register_labels(&labels)).collect();
+            let mut probes = Vec::new();
+            for &id in &ids {
+                probes.extend(all_probes(id, labels.len()));
+            }
+            let sequential = fleet.answer_batch(&probes).unwrap();
+            for threads in [2usize, 4, 16] {
+                let parallel = fleet.answer_batch_parallel(&probes, threads).unwrap();
+                assert_eq!(parallel, sequential, "{kind}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_frozen_and_live_runs_serve_under_one_context() {
+        let spec = paper_spec();
+        let m = |n: &str| spec.module_by_name(n).unwrap();
+        let mut fleet = FleetEngine::for_spec(&spec, SpecScheme::build(SchemeKind::Bfs, spec.graph()));
+        let paper = paper_run(&spec);
+        let frozen = fleet.register_labels(&labels(&spec, SchemeKind::Bfs));
+        let pv = |name: &str| wfp_model::fixtures::paper_vertex(&spec, &paper, name);
+
+        // an in-flight run, mid-stream
+        let live = fleet.begin_live(&spec);
+        let f1 = paper_subgraph(&spec, "F1");
+        let l2 = paper_subgraph(&spec, "L2");
+        {
+            let run = fleet.live_mut(live).unwrap();
+            run.exec(m("a")).unwrap();
+            run.begin_group(f1).unwrap();
+            run.begin_copy().unwrap();
+            run.begin_group(l2).unwrap();
+            run.begin_copy().unwrap();
+            run.exec(m("b")).unwrap();
+            run.exec(m("c")).unwrap();
+            run.end_copy().unwrap();
+        }
+        assert_eq!(fleet.stats().live, 1);
+        assert_eq!(fleet.stats().frozen, 1);
+        // the live labeler holds a second context reference
+        assert_eq!(fleet.stats().context_refs, 2);
+
+        // a batch mixing frozen and live probes; the live run's vertices
+        // are in exec order (a=0, b=1, c=2)
+        let (a, b, c) = (RunVertexId(0), RunVertexId(1), RunVertexId(2));
+        let answers = fleet
+            .answer_batch(&[
+                (frozen, pv("a1"), pv("h1")),
+                (live, a, c),
+                (live, c, b),
+                (frozen, pv("c3"), pv("a1")),
+            ])
+            .unwrap();
+        assert_eq!(answers, vec![true, true, false, false]);
+
+        // freeze errors while incomplete; the run stays live and queryable
+        assert!(matches!(
+            fleet.freeze_run(live),
+            Err(FleetError::FreezeFailed(_, _))
+        ));
+        assert!(fleet.answer(live, a, c).unwrap());
+        assert_eq!(fleet.stats().live, 1);
+    }
+
+    #[test]
+    fn freeze_run_in_place_keeps_answers_and_id() {
+        let spec = paper_spec();
+        let m = |n: &str| spec.module_by_name(n).unwrap();
+        let mut fleet =
+            FleetEngine::for_spec(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()));
+        let id = fleet.begin_live(&spec);
+        {
+            let run = fleet.live_mut(id).unwrap();
+            // a complete (if minimal) paper run: stream everything
+            let subgraphs = ["F1", "L2", "L1", "F2"];
+            let [f1, l2, l1, f2] =
+                subgraphs.map(|n| paper_subgraph(&spec, n));
+            run.exec(m("a")).unwrap();
+            run.begin_group(f1).unwrap();
+            run.begin_copy().unwrap();
+            run.begin_group(l2).unwrap();
+            run.begin_copy().unwrap();
+            run.exec(m("b")).unwrap();
+            run.exec(m("c")).unwrap();
+            run.end_copy().unwrap();
+            run.end_group().unwrap();
+            run.end_copy().unwrap();
+            run.end_group().unwrap();
+            run.exec(m("d")).unwrap();
+            run.begin_group(l1).unwrap();
+            run.begin_copy().unwrap();
+            run.exec(m("e")).unwrap();
+            run.begin_group(f2).unwrap();
+            run.begin_copy().unwrap();
+            run.exec(m("f")).unwrap();
+            run.end_copy().unwrap();
+            run.end_group().unwrap();
+            run.exec(m("g")).unwrap();
+            run.end_copy().unwrap();
+            run.end_group().unwrap();
+            run.exec(m("h")).unwrap();
+        }
+        let n = fleet.vertex_count(id).unwrap();
+        let probes = all_probes(id, n);
+        let live_answers = fleet.answer_batch(&probes).unwrap();
+        let live_decisions = fleet.stats().engine.total();
+
+        fleet.freeze_run(id).unwrap();
+        assert_eq!(fleet.stats().live, 0);
+        assert_eq!(fleet.stats().frozen, 1);
+        assert_eq!(fleet.stats().context_refs, 1, "labeler reference released");
+        assert_eq!(fleet.answer_batch(&probes).unwrap(), live_answers);
+        // decision counters carried across the freeze, then kept growing
+        assert_eq!(
+            fleet.stats().engine.total(),
+            live_decisions + probes.len() as u64
+        );
+        assert!(matches!(fleet.live_mut(id), Err(FleetError::NotLive(_))));
+    }
+
+    #[test]
+    fn eviction_tombstones_ids_and_rejects_foreign_contexts() {
+        let spec = paper_spec();
+        let labels = labels(&spec, SchemeKind::Tcm);
+        let mut fleet =
+            FleetEngine::for_spec(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()));
+        let a = fleet.register_labels(&labels);
+        let b = fleet.register_labels(&labels);
+        assert_eq!(fleet.run_count(), 2);
+        assert_eq!(fleet.run_ids().collect::<Vec<_>>(), vec![a, b]);
+
+        fleet.evict(a).unwrap();
+        assert!(!fleet.contains(a));
+        assert!(fleet.contains(b));
+        assert_eq!(fleet.run_count(), 1);
+        let v = RunVertexId(0);
+        assert!(matches!(fleet.answer(a, v, v), Err(FleetError::Evicted(_))));
+        assert!(matches!(fleet.evict(a), Err(FleetError::Evicted(_))));
+        assert!(matches!(
+            fleet.answer_batch(&[(b, v, v), (a, v, v)]),
+            Err(FleetError::Evicted(_))
+        ));
+        // ids are never reused: a new registration gets a fresh id
+        let c = fleet.register_labels(&labels);
+        assert_ne!(c, a);
+        assert!(fleet.answer(c, v, v).unwrap());
+        // unknown ids are distinguished from evicted ones
+        assert!(matches!(
+            fleet.answer(RunId(99), v, v),
+            Err(FleetError::UnknownRun(_))
+        ));
+        // a live run over its own private context is rejected
+        let foreign = LiveRun::new(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()));
+        assert!(matches!(
+            fleet.register_live(foreign),
+            Err(FleetError::ForeignContext)
+        ));
+        // error values render
+        assert!(FleetError::Evicted(a).to_string().contains("run#0"));
+    }
+}

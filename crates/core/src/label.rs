@@ -12,7 +12,7 @@ use wfp_speclabel::SpecIndex;
 
 use crate::bits::{gamma_bits, BitReader, BitWriter};
 use crate::construct::{construct_plan_with_stats, ConstructError, ConstructStats};
-use crate::orders::{generate_three_orders, ContextEncoding};
+use crate::orders::generate_three_orders;
 use wfp_model::plan::ExecutionPlan;
 
 /// The reachability label of one run vertex.
@@ -90,6 +90,42 @@ pub fn predicate_traced<S: SpecIndex>(
     }
 }
 
+/// Labels `run` without materializing a [`LabeledRun`]: constructs the
+/// execution plan and context (§5), builds the three orders (§4.3) and
+/// returns the raw labels plus `n⁺`. This is the spec/run split's labeling
+/// path — the labels carry only the *pointer* to the skeleton (the origin
+/// id), so no skeleton index is needed or built; pair the result with a
+/// shared `SpecContext` (e.g. via a `RunHandle` in a `FleetEngine`) to
+/// query. [`LabeledRun::build`] is this function plus a privately-owned
+/// skeleton.
+pub fn label_run(spec: &Specification, run: &Run) -> Result<(Vec<RunLabel>, u32), ConstructError> {
+    let (plan, _) = construct_plan_with_stats(spec, run)?;
+    Ok(labels_from_plan(spec, run, &plan))
+}
+
+/// The core of φr: labels from a known plan (no skeleton involved).
+fn labels_from_plan(
+    spec: &Specification,
+    run: &Run,
+    plan: &ExecutionPlan,
+) -> (Vec<RunLabel>, u32) {
+    let enc = generate_three_orders(plan, spec);
+    let labels = run
+        .vertices()
+        .map(|v| {
+            let (q1, q2, q3) = enc.positions(plan.context(v));
+            debug_assert!(q1 >= 1, "contexts are nonempty + nodes");
+            RunLabel {
+                q1,
+                q2,
+                q3,
+                origin: run.origin(v),
+            }
+        })
+        .collect();
+    (labels, enc.nonempty_plus_count())
+}
+
 /// A fully labeled run: the output of the labeling function φr, owning the
 /// skeleton index it delegates to.
 pub struct LabeledRun<S> {
@@ -130,34 +166,11 @@ impl<S: SpecIndex> LabeledRun<S> {
         run: &Run,
         plan: &ExecutionPlan,
     ) -> Self {
-        let enc = generate_three_orders(plan, spec);
-        Self::assemble(spec, skeleton, run, plan, &enc)
-    }
-
-    fn assemble(
-        spec: &Specification,
-        skeleton: S,
-        run: &Run,
-        plan: &ExecutionPlan,
-        enc: &ContextEncoding,
-    ) -> Self {
-        let labels = run
-            .vertices()
-            .map(|v| {
-                let (q1, q2, q3) = enc.positions(plan.context(v));
-                debug_assert!(q1 >= 1, "contexts are nonempty + nodes");
-                RunLabel {
-                    q1,
-                    q2,
-                    q3,
-                    origin: run.origin(v),
-                }
-            })
-            .collect();
+        let (labels, n_plus) = labels_from_plan(spec, run, plan);
         LabeledRun {
             labels,
             skeleton,
-            n_plus: enc.nonempty_plus_count(),
+            n_plus,
             n_g: spec.module_count() as u32,
         }
     }
@@ -282,7 +295,49 @@ fn bits_for(max: u64) -> usize {
     (64 - max.leading_zeros() as usize).max(1)
 }
 
+/// Failures parsing a packed label file ([`EncodedLabels::from_bytes`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bytes do not start with the `WFPL` magic (or are shorter than
+    /// the fixed header).
+    NotALabelFile,
+    /// The payload is not a whole number of 64-bit words.
+    MisalignedPayload {
+        /// Payload length in bytes (after the 26-byte header).
+        len: usize,
+    },
+    /// The header promises more label bits than the payload carries.
+    TruncatedPayload {
+        /// Bits promised by the header.
+        declared_bits: usize,
+        /// Bits actually present.
+        available_bits: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::NotALabelFile => write!(f, "not a packed label file"),
+            DecodeError::MisalignedPayload { len } => {
+                write!(f, "label payload of {len} bytes is not word-aligned")
+            }
+            DecodeError::TruncatedPayload {
+                declared_bits,
+                available_bits,
+            } => write!(
+                f,
+                "label payload truncated: header declares {declared_bits} bits, \
+                 only {available_bits} present"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// A packed label array, decodable without the original run.
+#[derive(Debug)]
 pub struct EncodedLabels {
     words: Vec<u64>,
     bit_len: usize,
@@ -339,9 +394,9 @@ impl EncodedLabels {
     }
 
     /// Parses the output of [`to_bytes`](Self::to_bytes).
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         if bytes.len() < 26 || &bytes[..6] != b"WFPL\x01\x00" {
-            return Err("not a packed label file".into());
+            return Err(DecodeError::NotALabelFile);
         }
         let word = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4 bytes"));
         let count = word(&bytes[6..10]);
@@ -349,8 +404,14 @@ impl EncodedLabels {
         let n_g = word(&bytes[14..18]);
         let bit_len = u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes")) as usize;
         let payload = &bytes[26..];
-        if payload.len() % 8 != 0 || payload.len() * 8 < bit_len {
-            return Err("truncated label payload".into());
+        if payload.len() % 8 != 0 {
+            return Err(DecodeError::MisalignedPayload { len: payload.len() });
+        }
+        if payload.len() * 8 < bit_len {
+            return Err(DecodeError::TruncatedPayload {
+                declared_bits: bit_len,
+                available_bits: payload.len() * 8,
+            });
         }
         let words = payload
             .chunks_exact(8)
@@ -467,9 +528,34 @@ mod tests {
         let back = EncodedLabels::from_bytes(&bytes).unwrap();
         assert_eq!(back.decode(), labeled.labels().to_vec());
         assert_eq!(back.len(), enc.len());
-        // corruption is detected
-        assert!(EncodedLabels::from_bytes(&bytes[..10]).is_err());
-        assert!(EncodedLabels::from_bytes(b"garbage___________________").is_err());
+        // corruption is detected, with typed causes
+        assert_eq!(
+            EncodedLabels::from_bytes(&bytes[..10]).unwrap_err(),
+            DecodeError::NotALabelFile
+        );
+        assert_eq!(
+            EncodedLabels::from_bytes(b"garbage___________________").unwrap_err(),
+            DecodeError::NotALabelFile
+        );
+        assert!(matches!(
+            EncodedLabels::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err(),
+            DecodeError::MisalignedPayload { .. }
+        ));
+        assert!(matches!(
+            EncodedLabels::from_bytes(&bytes[..bytes.len() - 8]).unwrap_err(),
+            DecodeError::TruncatedPayload { .. }
+        ));
+        // decode errors implement std::error::Error and render
+        let e: Box<dyn std::error::Error> = Box::new(DecodeError::NotALabelFile);
+        assert!(e.to_string().contains("label file"));
+    }
+
+    #[test]
+    fn label_run_matches_labeled_run() {
+        let (spec, run, labeled) = labeled_paper_run(SchemeKind::Tcm);
+        let (labels, n_plus) = label_run(&spec, &run).unwrap();
+        assert_eq!(labels, labeled.labels().to_vec());
+        assert_eq!(n_plus, labeled.nonempty_plus_count());
     }
 
     #[test]

@@ -36,7 +36,9 @@
 pub mod batch;
 pub mod bits;
 pub mod construct;
+pub mod context;
 pub mod engine;
+pub mod fleet;
 pub mod label;
 pub mod live;
 pub mod online;
@@ -47,9 +49,14 @@ pub use batch::label_runs_parallel;
 pub use construct::{
     construct_plan, construct_plan_with_stats, ConstructError, ConstructStats, Issue,
 };
-pub use engine::{predicate_memo, EngineStats, QueryEngine, SkeletonMemo, SoaColumns, SoaLabels};
+pub use context::{RunHandle, SharedMemo, SpecContext};
+pub use engine::{predicate_memo, EngineStats, QueryEngine, SoaColumns, SoaLabels};
+pub use fleet::{FleetEngine, FleetError, FleetStats, RunId};
 pub use live::{LiveRun, LiveStats};
-pub use label::{predicate, predicate_traced, EncodedLabels, LabeledRun, QueryPath, RunLabel};
+pub use label::{
+    label_run, predicate, predicate_traced, DecodeError, EncodedLabels, LabeledRun, QueryPath,
+    RunLabel,
+};
 pub use online::{OnlineError, OnlineLabeler};
 pub use orders::{generate_three_orders, ContextEncoding};
 pub use origin::{compute_origins, compute_origins_numbered, OriginError};

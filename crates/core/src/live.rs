@@ -22,10 +22,10 @@
 //! * the `F−`/`L−` fast path is three tag comparisons (Lemma 4.5 holds at
 //!   every intermediate moment, because the relative order of existing
 //!   brackets never changes);
-//! * `+`-LCA pairs delegate to the skeleton through a **lazily-extended**
-//!   [`SkeletonMemo`] that grows as newly executed vertices introduce new
-//!   origins, so repeated probes amortize mid-run exactly as they do
-//!   offline.
+//! * `+`-LCA pairs delegate to the skeleton through the specification's
+//!   **shared** [`SpecContext`] memo, so repeated probes amortize mid-run
+//!   exactly as they do offline — and across every other run of the same
+//!   spec holding the same context.
 //!
 //! Order-maintenance lists occasionally retag themselves globally
 //! (amortized O(1) per insertion); the engine watches each order's rebuild
@@ -33,10 +33,11 @@
 //! between repairs stay branch-free.
 //!
 //! When the run completes, [`LiveRun::freeze`] extracts the offline
-//! scheme's exact integer labels from the bracket lists and hands them —
-//! together with the skeleton index *and the warm memo* — to a
-//! [`QueryEngine`], with zero re-labeling: no plan reconstruction, no
-//! skeleton rebuild, no repeated probes.
+//! scheme's exact integer labels from the bracket lists and pairs them —
+//! as a slim [`RunHandle`] — with the *same* `Arc`-shared context, so the
+//! frozen [`QueryEngine`] starts with every `(origin, origin)` sub-answer
+//! accumulated during the run: no plan reconstruction, no skeleton
+//! rebuild, no repeated probes.
 //!
 //! ```
 //! use wfp_model::fixtures;
@@ -62,12 +63,14 @@
 //! assert_eq!(live.answer_batch(&[(a1, c1), (c1, b1)]), vec![true, false]);
 //! ```
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
+use std::sync::Arc;
 
 use wfp_model::{ModuleId, RunVertexId, Specification, SubgraphId};
 use wfp_speclabel::SpecIndex;
 
-use crate::engine::{answer_into, EngineStats, QueryEngine, SkeletonMemo, SoaColumns};
+use crate::context::{RunHandle, SpecContext};
+use crate::engine::{answer_into, EngineStats, QueryEngine, SoaColumns};
 use crate::online::{OnlineError, OnlineLabeler};
 
 /// Counters describing a live run's ingestion and query work so far.
@@ -78,7 +81,9 @@ pub struct LiveStats {
     /// Column repairs after an order-maintenance retagging (each repairs
     /// one column in one linear sweep; amortized O(1) per event).
     pub tag_repairs: u64,
-    /// Query-decision counters, shaped like the frozen engine's.
+    /// Query-decision counters, shaped like the frozen engine's. The memo
+    /// counters are the shared context's — context-wide when several runs
+    /// share it.
     pub engine: EngineStats,
 }
 
@@ -87,16 +92,16 @@ pub struct LiveStats {
 ///
 /// Events are forwarded to the wrapped [`OnlineLabeler`] (and validated by
 /// it — a rejected event leaves both the labeler and the column store
-/// untouched); queries run over the incrementally-maintained tag columns.
+/// untouched); queries run over the incrementally-maintained tag columns,
+/// delegating `+`-LCA pairs through the `Arc`-shared [`SpecContext`].
 pub struct LiveRun<'s, S> {
-    labeler: OnlineLabeler<'s, S>,
+    labeler: OnlineLabeler<'s, Arc<SpecContext<S>>>,
     /// tag columns, one row per executed vertex, in exec order
     cols: SoaColumns<u64>,
     /// context plan node per executed vertex (for column repairs)
-    ctx: Vec<u32>,
+    ctx_nodes: Vec<u32>,
     /// per-order retagging counters at the last sync
     rebuilds: [usize; 3],
-    memo: RefCell<SkeletonMemo>,
     context_only: Cell<u64>,
     skeleton_queries: Cell<u64>,
     events: u64,
@@ -105,18 +110,25 @@ pub struct LiveRun<'s, S> {
 
 impl<'s, S: SpecIndex> LiveRun<'s, S> {
     /// Starts ingesting a run of `spec`, delegating `+`-LCA queries to
-    /// `skeleton`.
+    /// `skeleton` wrapped in a fresh single-run [`SpecContext`]. To serve
+    /// several runs off one skeleton, build the context once and use
+    /// [`with_context`](Self::with_context) (or a
+    /// [`crate::fleet::FleetEngine`]).
     pub fn new(spec: &'s Specification, skeleton: S) -> Self {
-        let labeler = OnlineLabeler::new(spec, skeleton);
+        Self::with_context(spec, SpecContext::for_spec(spec, skeleton).shared())
+    }
+
+    /// Starts ingesting a run of `spec` against an **already-shared**
+    /// specification context — the fleet path: every live run holding the
+    /// same `Arc` warms (and profits from) the same skeleton memo.
+    pub fn with_context(spec: &'s Specification, ctx: Arc<SpecContext<S>>) -> Self {
+        let labeler = OnlineLabeler::new(spec, ctx);
         let rebuilds = labeler.rebuild_counts();
         LiveRun {
             labeler,
             cols: SoaColumns::new(),
-            ctx: Vec::new(),
+            ctx_nodes: Vec::new(),
             rebuilds,
-            // empty; grown lazily as executed origins appear (and never
-            // consulted under constant-time skeletons)
-            memo: RefCell::new(SkeletonMemo::new(0)),
             context_only: Cell::new(0),
             skeleton_queries: Cell::new(0),
             events: 0,
@@ -133,9 +145,9 @@ impl<'s, S: SpecIndex> LiveRun<'s, S> {
         for which in 0..3 {
             if now[which] != self.rebuilds[which] {
                 let labeler = &self.labeler;
-                let ctx = &self.ctx;
+                let ctx_nodes = &self.ctx_nodes;
                 self.cols.repair_column(which, |row| {
-                    let tags = labeler.order_tags(ctx[row] as usize);
+                    let tags = labeler.order_tags(ctx_nodes[row] as usize);
                     [tags.0, tags.1, tags.2][which]
                 });
                 self.tag_repairs += 1;
@@ -169,7 +181,7 @@ impl<'s, S: SpecIndex> LiveRun<'s, S> {
         let node = self.labeler.context_node(v);
         let (t1, t2, t3) = self.labeler.order_tags(node);
         self.cols.push(t1, t2, t3, module.raw());
-        self.ctx.push(node as u32);
+        self.ctx_nodes.push(node as u32);
         Ok(v)
     }
 
@@ -188,15 +200,6 @@ impl<'s, S: SpecIndex> LiveRun<'s, S> {
     }
 
     // ---------------- live queries -------------------------------------
-
-    /// The memo, lazily grown to cover every origin executed so far.
-    fn memo_for_batch(&self) -> std::cell::RefMut<'_, SkeletonMemo> {
-        let mut memo = self.memo.borrow_mut();
-        if !self.labeler.skeleton().constant_time_queries() {
-            memo.grow(self.cols.origin_bound());
-        }
-        memo
-    }
 
     /// Whether `u ⇝ v` among the vertices executed so far — the scalar
     /// entry point. Panics if either vertex has not executed yet.
@@ -222,11 +225,30 @@ impl<'s, S: SpecIndex> LiveRun<'s, S> {
     ) -> &'o [bool] {
         out.clear();
         out.reserve(pairs.len());
-        let memo = &mut *self.memo_for_batch();
-        let (ctx, skel) = answer_into(&self.cols, self.labeler.skeleton(), memo, pairs, out);
+        let spec_ctx = self.context();
+        let (ctx, skel) = answer_into(
+            &self.cols,
+            spec_ctx.skeleton(),
+            spec_ctx.probe_memo(),
+            pairs,
+            out,
+        );
         self.context_only.set(self.context_only.get() + ctx);
         self.skeleton_queries.set(self.skeleton_queries.get() + skel);
         out
+    }
+
+    /// The live tag columns (for fleet-level batch evaluation).
+    pub(crate) fn columns(&self) -> &SoaColumns<u64> {
+        &self.cols
+    }
+
+    /// Folds one externally-evaluated batch's decision counts into the
+    /// run's counters (the fleet path).
+    pub(crate) fn count(&self, context_only: u64, skeleton: u64) {
+        self.context_only.set(self.context_only.get() + context_only);
+        self.skeleton_queries
+            .set(self.skeleton_queries.get() + skeleton);
     }
 
     // ---------------- introspection ------------------------------------
@@ -244,19 +266,30 @@ impl<'s, S: SpecIndex> LiveRun<'s, S> {
         self.labeler.at_root()
     }
 
+    /// Whether [`freeze`](Self::freeze) would succeed right now —
+    /// non-consuming ([`OnlineLabeler::check_complete`]).
+    pub fn check_complete(&self) -> Result<(), OnlineError> {
+        self.labeler.check_complete()
+    }
+
     /// The wrapped event-validating labeler.
-    pub fn labeler(&self) -> &OnlineLabeler<'s, S> {
+    pub fn labeler(&self) -> &OnlineLabeler<'s, Arc<SpecContext<S>>> {
         &self.labeler
+    }
+
+    /// The shared spec-level state this run answers through.
+    pub fn context(&self) -> &Arc<SpecContext<S>> {
+        self.labeler.skeleton()
     }
 
     /// The skeleton index `+`-LCA queries delegate to.
     pub fn skeleton(&self) -> &S {
-        self.labeler.skeleton()
+        self.context().skeleton()
     }
 
     /// Ingestion and query counters.
     pub fn stats(&self) -> LiveStats {
-        let memo = self.memo.borrow();
+        let memo = self.context().memo();
         LiveStats {
             events: self.events,
             tag_repairs: self.tag_repairs,
@@ -273,22 +306,28 @@ impl<'s, S: SpecIndex> LiveRun<'s, S> {
 
     /// Completes the run and hands off to a frozen [`QueryEngine`] with
     /// zero re-labeling: the exact offline integer labels are extracted
-    /// from the bracket lists ([`OnlineLabeler::freeze_into_parts`]), the
-    /// skeleton index moves over unchanged, and the live memo — already
-    /// holding every `(origin, origin)` sub-answer probed during the run —
-    /// seeds the engine's memo.
+    /// from the bracket lists ([`OnlineLabeler::freeze_into_parts`]) into a
+    /// [`RunHandle`], and the engine views the *same* `Arc`-shared context
+    /// — skeleton untouched, every `(origin, origin)` sub-answer probed
+    /// during the run already warm.
     pub fn freeze(self) -> Result<QueryEngine<S>, OnlineError> {
-        let (labels, _n_plus, skeleton) = self.labeler.freeze_into_parts()?;
-        Ok(QueryEngine::from_labels_with_memo(
-            &labels,
-            skeleton,
-            self.memo.into_inner(),
-        ))
+        let (run, ctx) = self.freeze_handle()?;
+        Ok(QueryEngine::from_parts(ctx, run))
     }
 
-    /// The offline scheme's exact labels plus `n⁺` and the skeleton — for
-    /// callers that want the raw parts rather than an engine.
-    pub fn freeze_into_parts(self) -> Result<(Vec<crate::RunLabel>, u32, S), OnlineError> {
+    /// [`freeze`](Self::freeze) returning the raw spec/run pair — the
+    /// fleet's in-place freeze path.
+    pub fn freeze_handle(self) -> Result<(RunHandle, Arc<SpecContext<S>>), OnlineError> {
+        let (labels, _n_plus, ctx) = self.labeler.freeze_into_parts()?;
+        Ok((RunHandle::from_labels(&labels), ctx))
+    }
+
+    /// The offline scheme's exact labels plus `n⁺` and the shared context
+    /// — for callers that want the raw parts rather than an engine.
+    #[allow(clippy::type_complexity)]
+    pub fn freeze_into_parts(
+        self,
+    ) -> Result<(Vec<crate::RunLabel>, u32, Arc<SpecContext<S>>), OnlineError> {
         self.labeler.freeze_into_parts()
     }
 }
@@ -385,11 +424,11 @@ mod tests {
         assert!(probes_before > 0, "BFS must have probed the skeleton");
 
         let engine = live.freeze().unwrap();
-        // the probe counter travels with the memo across the handoff …
+        // the probe counter travels with the shared context …
         assert_eq!(engine.stats().skeleton_probes, probes_before);
         assert_eq!(engine.answer_batch(&pairs), live_answers);
         // … and the frozen engine answered the whole matrix without one
-        // new skeleton probe: every sub-answer came from the carried memo
+        // new skeleton probe: every sub-answer was already warm
         assert_eq!(engine.stats().skeleton_probes, probes_before);
     }
 
@@ -398,12 +437,44 @@ mod tests {
         let spec = paper_spec();
         let mut live = LiveRun::new(&spec, scheme(&spec, SchemeKind::Tcm));
         let vs = stream_paper_run(&mut live);
-        let (labels, n_plus, _) = live.freeze_into_parts().unwrap();
+        let (labels, n_plus, _ctx) = live.freeze_into_parts().unwrap();
         assert_eq!(labels.len(), vs.len());
         assert_eq!(n_plus, 9);
         // and the labels answer like the scalar predicate
         let skeleton = scheme(&spec, SchemeKind::Tcm);
         assert!(predicate(&labels[0], &labels[labels.len() - 1], &skeleton));
+    }
+
+    #[test]
+    fn live_runs_share_one_context() {
+        // Two live runs off one Arc<SpecContext>: probes warmed by the
+        // first run are memo hits for the second.
+        let spec = paper_spec();
+        let ctx = SpecContext::for_spec(&spec, scheme(&spec, SchemeKind::Bfs)).shared();
+        let mut first = LiveRun::with_context(&spec, Arc::clone(&ctx));
+        let vs = stream_paper_run(&mut first);
+        for &u in &vs {
+            for &v in &vs {
+                first.answer(u, v);
+            }
+        }
+        let probes_after_first = ctx.memo().probes();
+        assert!(probes_after_first > 0);
+
+        let mut second = LiveRun::with_context(&spec, Arc::clone(&ctx));
+        let ws = stream_paper_run(&mut second);
+        for &u in &ws {
+            for &v in &ws {
+                assert_eq!(second.answer(u, v), second.labeler().reaches(u, v));
+            }
+        }
+        assert_eq!(
+            ctx.memo().probes(),
+            probes_after_first,
+            "the second run re-probed pairs the first already warmed"
+        );
+        // 1 external + 2 labelers hold the context
+        assert_eq!(Arc::strong_count(&ctx), 3);
     }
 
     #[test]

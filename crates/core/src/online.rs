@@ -479,11 +479,11 @@ impl<'s, S: SpecIndex> OnlineLabeler<'s, S> {
         self.freeze_into_parts().map(|(labels, n_plus, _)| (labels, n_plus))
     }
 
-    /// [`freeze`](Self::freeze) that also returns the skeleton index — the
-    /// zero-re-labeling handoff used by [`crate::live::LiveRun::freeze`] to
-    /// assemble a [`crate::engine::QueryEngine`] without rebuilding the
-    /// specification labels.
-    pub fn freeze_into_parts(self) -> Result<(Vec<RunLabel>, u32, S), OnlineError> {
+    /// Whether the run could freeze right now: every scope closed and the
+    /// root complete. Non-consuming, so callers (e.g. the fleet's in-place
+    /// freeze) can check before committing to a consuming
+    /// [`freeze`](Self::freeze).
+    pub fn check_complete(&self) -> Result<(), OnlineError> {
         if self.stack.len() != 1 {
             return Err(OnlineError::RunStillOpen);
         }
@@ -498,6 +498,15 @@ impl<'s, S: SpecIndex> OnlineLabeler<'s, S> {
                     .saturating_sub(root.modules_executed),
             });
         }
+        Ok(())
+    }
+
+    /// [`freeze`](Self::freeze) that also returns the skeleton index — the
+    /// zero-re-labeling handoff used by [`crate::live::LiveRun::freeze`] to
+    /// assemble a [`crate::engine::QueryEngine`] without rebuilding the
+    /// specification labels.
+    pub fn freeze_into_parts(self) -> Result<(Vec<RunLabel>, u32, S), OnlineError> {
+        self.check_complete()?;
         /// Walks one bracket list and assigns 1-based positions to the
         /// nonempty `+` nodes in visit order.
         fn positions(order: &BracketOrder, nodes: &[Node]) -> (Vec<u32>, u32) {

@@ -311,6 +311,27 @@ pub fn generate_run_with_target(
     best.expect("at least one attempt ran").1
 }
 
+/// Simulates a **fleet**: `k` independent runs of one specification, each
+/// approximately `target_vertices` vertices — the workload shape the
+/// paper's amortization argument (one spec labeled once, many runs) and
+/// `wfp_skl::fleet::FleetEngine` serve. Run `i` is generated with a seed
+/// derived from `(seed, i)`, so fleets are deterministic in
+/// `(spec, seed, k, target_vertices)` while their runs differ from each
+/// other.
+pub fn generate_fleet(
+    spec: &Specification,
+    seed: u64,
+    k: usize,
+    target_vertices: usize,
+) -> Vec<GeneratedRun> {
+    (0..k as u64)
+        .map(|i| {
+            let run_seed = seed ^ (i.wrapping_add(1)).wrapping_mul(0xA24B_AED4_963E_E407);
+            generate_run_with_target(spec, run_seed, target_vertices)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +406,27 @@ mod tests {
                 "target {target}, got {n}"
             );
         }
+    }
+
+    #[test]
+    fn fleets_are_deterministic_sized_and_distinct() {
+        let spec = spec_100();
+        let a = generate_fleet(&spec, 9, 4, 600);
+        let b = generate_fleet(&spec, 9, 4, 600);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                wfp_model::io::run_to_xml(&x.run),
+                wfp_model::io::run_to_xml(&y.run)
+            );
+            assert!(x.run.vertex_count().abs_diff(600) <= 150);
+        }
+        // different runs of one fleet are (overwhelmingly) distinct
+        let distinct = a
+            .iter()
+            .map(|g| wfp_model::io::run_to_xml(&g.run))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1, "fleet collapsed to identical runs");
     }
 
     #[test]

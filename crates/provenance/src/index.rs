@@ -14,7 +14,7 @@
 //! reports the actual sizes.
 
 use wfp_model::RunVertexId;
-use wfp_skl::{predicate, predicate_memo, LabeledRun, RunLabel, SkeletonMemo};
+use wfp_skl::{predicate, predicate_memo, LabeledRun, RunLabel, SharedMemo};
 use wfp_speclabel::SpecIndex;
 
 use crate::data::{DataItemId, RunData};
@@ -33,12 +33,11 @@ pub struct DataLabel {
 pub struct ProvenanceIndex<'a, S> {
     labeled: &'a LabeledRun<S>,
     labels: Vec<DataLabel>,
-    /// memo side for the `*_batch` paths, computed once at build time
-    /// (0 under constant-time skeletons, whose memos are never consulted);
-    /// the memo itself is per call, keeping the index free of interior
-    /// mutability and therefore shareable across threads when `S` is
-    /// `Sync`
-    origin_bound: u32,
+    /// one concurrent-read memo shared by every `*_batch` call (interior-
+    /// mutable but `Sync`, so the index stays shareable across threads
+    /// when `S` is `Sync`); empty — and never consulted, see
+    /// [`predicate_memo`] — under constant-time skeletons
+    memo: SharedMemo,
 }
 
 impl<'a, S: SpecIndex> ProvenanceIndex<'a, S> {
@@ -55,15 +54,13 @@ impl<'a, S: SpecIndex> ProvenanceIndex<'a, S> {
                     .collect(),
             })
             .collect();
-        let origin_bound = if labeled.skeleton().constant_time_queries() {
-            0
-        } else {
-            SkeletonMemo::origin_bound_of(labeled.labels())
-        };
+        let memo = SharedMemo::for_skeleton(labeled.skeleton(), || {
+            SharedMemo::origin_bound_of(labeled.labels())
+        });
         ProvenanceIndex {
             labeled,
             labels,
-            origin_bound,
+            memo,
         }
     }
 
@@ -108,20 +105,13 @@ impl<'a, S: SpecIndex> ProvenanceIndex<'a, S> {
 
     // ---------------- bulk dependency queries --------------------------
 
-    /// A skeleton memo for one `*_batch` call, sized from the bound cached
-    /// at build time; empty (and never consulted, see [`predicate_memo`])
-    /// under constant-time skeletons.
-    fn memo(&self) -> SkeletonMemo {
-        SkeletonMemo::for_skeleton(self.labeled.skeleton(), || self.origin_bound)
-    }
-
     /// Bulk [`data_depends_on_data`](Self::data_depends_on_data): answers
-    /// every `(x, x')` pair in order, sharing one skeleton memo across the
-    /// whole batch. Item pairs expand to `k` module-label predicates each,
-    /// and their origins repeat heavily, so the memo amortizes the skeleton
-    /// probes the way [`wfp_skl::QueryEngine`] does for vertex pairs.
+    /// every `(x, x')` pair in order through the index's shared skeleton
+    /// memo — warm across calls. Item pairs expand to `k` module-label
+    /// predicates each, and their origins repeat heavily, so the memo
+    /// amortizes the skeleton probes the way [`wfp_skl::QueryEngine`] does
+    /// for vertex pairs.
     pub fn data_depends_on_data_batch(&self, pairs: &[(DataItemId, DataItemId)]) -> Vec<bool> {
-        let mut memo = self.memo();
         let skeleton = self.labeled.skeleton();
         pairs
             .iter()
@@ -130,14 +120,13 @@ impl<'a, S: SpecIndex> ProvenanceIndex<'a, S> {
                 self.labels[x_prime.index()]
                     .inputs
                     .iter()
-                    .any(|v| predicate_memo(v, out, skeleton, &mut memo))
+                    .any(|v| predicate_memo(v, out, skeleton, &self.memo))
             })
             .collect()
     }
 
     /// Bulk [`data_depends_on_module`](Self::data_depends_on_module).
     pub fn data_depends_on_module_batch(&self, pairs: &[(DataItemId, RunVertexId)]) -> Vec<bool> {
-        let mut memo = self.memo();
         let skeleton = self.labeled.skeleton();
         pairs
             .iter()
@@ -146,7 +135,7 @@ impl<'a, S: SpecIndex> ProvenanceIndex<'a, S> {
                     self.labeled.label(v),
                     &self.labels[x.index()].output,
                     skeleton,
-                    &mut memo,
+                    &self.memo,
                 )
             })
             .collect()
@@ -154,7 +143,6 @@ impl<'a, S: SpecIndex> ProvenanceIndex<'a, S> {
 
     /// Bulk [`module_depends_on_data`](Self::module_depends_on_data).
     pub fn module_depends_on_data_batch(&self, pairs: &[(RunVertexId, DataItemId)]) -> Vec<bool> {
-        let mut memo = self.memo();
         let skeleton = self.labeled.skeleton();
         pairs
             .iter()
@@ -163,7 +151,7 @@ impl<'a, S: SpecIndex> ProvenanceIndex<'a, S> {
                 self.labels[x.index()]
                     .inputs
                     .iter()
-                    .any(|u| predicate_memo(u, target, skeleton, &mut memo))
+                    .any(|u| predicate_memo(u, target, skeleton, &self.memo))
             })
             .collect()
     }

@@ -10,6 +10,8 @@
 //! * [`index`] — data labels and the three dependency predicates.
 //! * [`live`] — §6 queries over a run that is *still executing* (the §9
 //!   query-while-running scenario), with registration as modules execute.
+//! * [`fleet`] — §6 queries keyed by `(run, item)` **across many runs** of
+//!   one specification, served by a single shared skeleton context.
 //! * [`store`] — a byte-serialized provenance store answering queries
 //!   without the run graph (the "store labels in a database" scenario that
 //!   motivates the paper).
@@ -19,12 +21,14 @@
 #![forbid(unsafe_code)]
 
 pub mod data;
+pub mod fleet;
 pub mod gen;
 pub mod index;
 pub mod live;
 pub mod store;
 
 pub use data::{DataError, DataItem, DataItemId, RunData, RunDataBuilder};
+pub use fleet::FleetIndex;
 pub use gen::attach_data;
 pub use index::{DataLabel, ProvenanceIndex};
 pub use live::LiveIndex;

@@ -8,7 +8,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use wfp_model::ModuleId;
-use wfp_skl::{predicate, predicate_memo, LabeledRun, RunLabel, SkeletonMemo};
+use wfp_skl::{predicate, predicate_memo, LabeledRun, RunLabel, SharedMemo};
 use wfp_speclabel::SpecIndex;
 
 use crate::data::{DataItemId, RunData};
@@ -140,7 +140,7 @@ impl StoredProvenance {
             }
             items.push((name, DataLabel { output, inputs }));
         }
-        let origin_bound = SkeletonMemo::origin_bound_of(
+        let origin_bound = SharedMemo::origin_bound_of(
             items
                 .iter()
                 .flat_map(|(_, l)| std::iter::once(&l.output).chain(l.inputs.iter())),
@@ -202,8 +202,8 @@ impl StoredProvenance {
     /// the skeleton here is caller-supplied and may differ between calls,
     /// so cross-call caching would serve stale answers. Empty (and never
     /// consulted, see [`predicate_memo`]) under constant-time skeletons.
-    fn memo<S: SpecIndex>(&self, skeleton: &S) -> SkeletonMemo {
-        SkeletonMemo::for_skeleton(skeleton, || self.origin_bound)
+    fn memo<S: SpecIndex>(&self, skeleton: &S) -> SharedMemo {
+        SharedMemo::for_skeleton(skeleton, || self.origin_bound)
     }
 
     /// Bulk [`data_depends_on_data`](Self::data_depends_on_data): answers
@@ -215,7 +215,7 @@ impl StoredProvenance {
         pairs: &[(DataItemId, DataItemId)],
         skeleton: &S,
     ) -> Vec<bool> {
-        let mut memo = self.memo(skeleton);
+        let memo = self.memo(skeleton);
         pairs
             .iter()
             .map(|&(x, x_prime)| {
@@ -224,7 +224,7 @@ impl StoredProvenance {
                     .1
                     .inputs
                     .iter()
-                    .any(|v| predicate_memo(v, out, skeleton, &mut memo))
+                    .any(|v| predicate_memo(v, out, skeleton, &memo))
             })
             .collect()
     }

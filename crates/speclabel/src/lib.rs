@@ -75,6 +75,36 @@ pub trait SpecIndex {
     fn total_bits(&self) -> usize;
 }
 
+/// Shared indexes answer through the wrapped index: an `Arc<S>` *is* a
+/// [`SpecIndex`], so spec-level state (e.g. `wfp_skl`'s `SpecContext`) can
+/// be handed to any component expecting an index without cloning it —
+/// every holder of the `Arc` probes the same instance.
+impl<T: SpecIndex> SpecIndex for std::sync::Arc<T> {
+    fn build(graph: &DiGraph) -> Self {
+        std::sync::Arc::new(T::build(graph))
+    }
+
+    fn reaches(&self, u: u32, v: u32) -> bool {
+        (**self).reaches(u, v)
+    }
+
+    fn constant_time_queries(&self) -> bool {
+        (**self).constant_time_queries()
+    }
+
+    fn label_bits(&self, v: u32) -> usize {
+        (**self).label_bits(v)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn total_bits(&self) -> usize {
+        (**self).total_bits()
+    }
+}
+
 /// Which specification scheme to use — the dynamic registry used by the
 /// benchmark harness and by [`SpecScheme::build`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

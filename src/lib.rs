@@ -77,8 +77,8 @@ mod readme_doctests {}
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use wfp_gen::{
-        generate_run, generate_run_with_target, generate_spec, generate_spec_clamped,
-        random_pairs, real_workflows,
+        generate_fleet, generate_run, generate_run_with_target, generate_spec,
+        generate_spec_clamped, random_pairs, real_workflows,
         stand_in, CountDistribution, GeneratedRun, RunGenConfig, SpecGenConfig,
     };
     pub use wfp_model::{
@@ -86,9 +86,12 @@ pub mod prelude {
         SpecEdgeId, Specification, SubgraphId, SubgraphKind,
     };
     pub use wfp_provenance::{
-        attach_data, DataItemId, LiveIndex, ProvenanceIndex, RunData, RunDataBuilder,
-        StoredProvenance,
+        attach_data, DataItemId, FleetIndex, LiveIndex, ProvenanceIndex, RunData,
+        RunDataBuilder, StoredProvenance,
     };
-    pub use wfp_skl::{construct_plan, LabeledRun, LiveRun, QueryEngine, QueryPath, RunLabel};
+    pub use wfp_skl::{
+        construct_plan, label_run, FleetEngine, FleetError, FleetStats, LabeledRun, LiveRun,
+        QueryEngine, QueryPath, RunHandle, RunId, RunLabel, SpecContext,
+    };
     pub use wfp_speclabel::{SchemeKind, SpecIndex, SpecScheme};
 }
