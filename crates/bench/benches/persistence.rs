@@ -1,0 +1,60 @@
+//! Criterion bench: the unified snapshot layer (the PR 5 tentpole) —
+//! saving a warm serving fleet, loading it back, and the relabel-from-runs
+//! baseline the load path replaces. `repro -- persistence` produces the
+//! committed table; this bench is the fast regression guard.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wfp_bench::experiments::fleet_workload;
+use wfp_skl::fleet::FleetEngine;
+use wfp_skl::label_run;
+use wfp_speclabel::{SchemeKind, SpecScheme};
+
+fn bench_persistence(c: &mut Criterion) {
+    let (spec, runs, probes) = fleet_workload(true);
+
+    let mut group = c.benchmark_group("persistence");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+        let build = || {
+            let mut fleet =
+                FleetEngine::for_spec(&spec, SpecScheme::build(kind, spec.graph()));
+            for run in &runs {
+                let (labels, _) = label_run(&spec, run).unwrap();
+                fleet.register_labels(&labels);
+            }
+            fleet
+        };
+        let fleet = build();
+        // warm the memo with real traffic so the saved snapshot carries it
+        let ids: Vec<_> = fleet.run_ids().collect();
+        let traffic: Vec<_> = probes.iter().map(|&(r, u, v)| (ids[r], u, v)).collect();
+        fleet.answer_batch(&traffic).unwrap();
+        let bytes = fleet.save(spec.graph()).unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "relabel-from-runs"),
+            &(),
+            |b, ()| b.iter(|| black_box(build().stats().frozen)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "save"),
+            &(),
+            |b, ()| b.iter(|| black_box(fleet.save(spec.graph()).unwrap().len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "load"),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| black_box(FleetEngine::load(bytes).unwrap().0.stats().frozen))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_persistence);
+criterion_main!(benches);

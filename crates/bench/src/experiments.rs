@@ -946,6 +946,100 @@ pub fn fleet(opts: &ReproOptions) -> Table {
     t
 }
 
+/// Persistence (the PR 5 tentpole): a warm serving [`FleetEngine`] is
+/// saved as one snapshot container (spec record + dense memo warm bytes +
+/// `K` run label-column segments) and restored — versus relabeling the
+/// same fleet from its runs. The restored fleet's answers are asserted
+/// byte-identical over the full 10⁶-probe set, and the table reports the
+/// restart memo hit-rate (warm snapshot carried across the restart).
+pub fn persistence(opts: &ReproOptions) -> Table {
+    let (spec, runs, probes) = fleet_workload(opts.quick);
+    let k = runs.len();
+    let mut t = Table::new(
+        format!(
+            "Persistence: load a saved {k}-run fleet vs relabel it from runs \
+             ({} probes over runs of ~{} vertices)",
+            probes.len(),
+            runs[0].vertex_count(),
+        ),
+        &[
+            "scheme",
+            "relabel ms",
+            "load ms",
+            "load x",
+            "snapshot",
+            "warm cells",
+            "restart hit-rate",
+        ],
+    );
+    for kind in [SchemeKind::Tcm, SchemeKind::Bfs, SchemeKind::Dfs] {
+        // the serving fleet: label once, warm the memo with real traffic
+        let build = || {
+            let mut fleet =
+                FleetEngine::for_spec(&spec, SpecScheme::build(kind, spec.graph()));
+            let ids: Vec<RunId> = runs
+                .iter()
+                .map(|run| {
+                    let (labels, _) = label_run(&spec, run).unwrap();
+                    fleet.register_labels(&labels)
+                })
+                .collect();
+            (fleet, ids)
+        };
+        let (fleet, ids) = build();
+        let traffic: Vec<(RunId, RunVertexId, RunVertexId)> = probes
+            .iter()
+            .map(|&(r, u, v)| (ids[r], u, v))
+            .collect();
+        let original = fleet.answer_batch(&traffic).unwrap();
+
+        // cold restart, the old way: rebuild context + relabel every run
+        let relabel_ms = time_ms(opts.time_reps(), || {
+            std::hint::black_box(build().0.stats().frozen);
+        });
+
+        // cold restart, the snapshot way: parse + map the columns back
+        let bytes = fleet.save(spec.graph()).unwrap();
+        let load_ms = time_ms(opts.time_reps(), || {
+            std::hint::black_box(FleetEngine::load(&bytes).unwrap().0.stats().frozen);
+        });
+
+        let (restored, _graph) = FleetEngine::load(&bytes).unwrap();
+        let restored_answers = restored.answer_batch(&traffic).unwrap();
+        assert_eq!(
+            restored_answers, original,
+            "restored fleet diverged under {kind}"
+        );
+        let stats = restored.stats();
+        let hit_rate = if restored.context().probe_memo().is_none() {
+            f64::NAN // TCM: constant-time probes, no memo to warm
+        } else {
+            // restored counters include the pre-save traffic; the
+            // post-restart share is the second half
+            stats.engine.memo_hits as f64 / (stats.engine.skeleton as f64 / 2.0)
+        };
+        t.row(vec![
+            format!("{kind}+SKL"),
+            format!("{relabel_ms:.1}"),
+            format!("{load_ms:.1}"),
+            format!("{:.1}", relabel_ms / load_ms.max(1e-9)),
+            format!("{:.2} MiB", bytes.len() as f64 / (1 << 20) as f64),
+            format!("{}", restored.context().memo().warm_entries()),
+            if hit_rate.is_nan() {
+                "n/a (no memo)".to_string()
+            } else {
+                format!("{:.3}", hit_rate)
+            },
+        ]);
+    }
+    t.note("relabel: construct plans + three orders for every run, rebuild the context;");
+    t.note("load: parse one container, map K label-column segments, restore warm memo");
+    t.note("answers asserted byte-identical over the full probe set after restore;");
+    t.note("restart hit-rate: share of post-restart skeleton delegations answered");
+    t.note("from the restored warm memo (1.000 = zero warm-up probes re-run)");
+    t
+}
+
 // ======================================================================
 // Extra: the tree-expansion baseline (beyond the paper's figures)
 // ======================================================================

@@ -24,6 +24,7 @@ usage:
   wfp ingest   <spec.xml> <events.log> [--scheme KIND] [--probe FILE]
   wfp fleet    <spec.xml> [run.xml...] [--runs K] [--target VERTICES]
                [--seed S] [--probes M] [--threads N] [--scheme KIND]
+               [--save DIR] [--load DIR]
 
 KIND: tcm | bfs | dfs | treecover | chain | 2hop   (default: tcm)
 vertex names use the paper's numbered form, e.g. b3 = third execution of b;
@@ -34,7 +35,10 @@ engine; --probe FILE schedules \"EVENT# FROM TO\" queries answered mid-stream,
 then re-checked against the frozen labels when the run completes.
 fleet loads the given runs and/or generates --runs more, registers them all
 under one shared skeleton context, answers --probes mixed cross-run queries
-(default 1000000) and reports the shared-vs-duplicated memory accounting";
+(default 1000000) and reports the shared-vs-duplicated memory accounting.
+--save DIR persists the serving fleet (spec record + warm memo + per-run
+label columns) to DIR/fleet.wfps; --load DIR restores it warm, with no
+re-labeling (drop run.xml/--runs when loading).";
 
 struct Args {
     positional: Vec<String>,
@@ -189,15 +193,21 @@ fn run() -> Result<String, CliError> {
                 args.positional[1..].iter().map(PathBuf::from).collect();
             let refs: Vec<&std::path::Path> =
                 run_paths.iter().map(PathBuf::as_path).collect();
+            let save = args.flags.get("save").map(PathBuf::from);
+            let load = args.flags.get("load").map(PathBuf::from);
             cmd_fleet(
                 &spec,
-                &refs,
-                args.num("runs")?.unwrap_or(0),
-                args.num("target")?.unwrap_or(10_000),
-                args.num("seed")?.unwrap_or(0),
-                args.num("probes")?.unwrap_or(1_000_000),
-                args.scheme()?,
-                args.num("threads")?.unwrap_or(1),
+                &FleetOpts {
+                    run_paths: &refs,
+                    gen_runs: args.num("runs")?.unwrap_or(0),
+                    target: args.num("target")?.unwrap_or(10_000),
+                    seed: args.num("seed")?.unwrap_or(0),
+                    probes: args.num("probes")?.unwrap_or(1_000_000),
+                    scheme: args.scheme()?,
+                    threads: args.num("threads")?.unwrap_or(1),
+                    save: save.as_deref(),
+                    load: load.as_deref(),
+                },
             )
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),

@@ -15,6 +15,8 @@
 //! wfp query    spec.xml run.xml --pairs pairs.txt [--threads 8]  # batch mode
 //! wfp ingest   spec.xml run.events --probe probes.txt   # query-while-running
 //! wfp fleet    spec.xml --runs 8 --target 10000 --probes 1000000  # multi-run serving
+//! wfp fleet    spec.xml --runs 8 --save snap/    # persist the serving fleet
+//! wfp fleet    spec.xml --load snap/             # restore it warm, no re-labeling
 //! ```
 //!
 //! All command logic lives in this library (returning strings/errors) so it
@@ -590,8 +592,36 @@ fn fmt_bytes(b: usize) -> String {
     }
 }
 
+/// The file `wfp fleet --save DIR` writes (and `--load DIR` reads): one
+/// snapshot container holding the spec record, the warm memo and every
+/// frozen run's label columns.
+pub const FLEET_SNAPSHOT_FILE: &str = "fleet.wfps";
+
+/// Options for [`cmd_fleet`] beyond the specification path.
+pub struct FleetOpts<'a> {
+    /// Completed run XML files to load and register.
+    pub run_paths: &'a [&'a Path],
+    /// Additional runs to generate (`--runs K`).
+    pub gen_runs: usize,
+    /// Target vertex count per generated run.
+    pub target: usize,
+    /// Generator / traffic seed.
+    pub seed: u64,
+    /// Mixed cross-run probes to answer.
+    pub probes: usize,
+    /// Skeleton scheme (ignored under `--load`: the snapshot records its
+    /// own scheme).
+    pub scheme: SchemeKind,
+    /// Worker threads for the probe batch.
+    pub threads: usize,
+    /// Persist the serving fleet to `DIR/fleet.wfps` after answering.
+    pub save: Option<&'a Path>,
+    /// Restore the fleet from `DIR/fleet.wfps` instead of labeling runs.
+    pub load: Option<&'a Path>,
+}
+
 /// `wfp fleet <spec.xml> [run.xml...] [--runs K] [--target N] [--seed S]
-///  [--probes M] [--scheme KIND] [--threads T]`
+///  [--probes M] [--scheme KIND] [--threads T] [--save DIR] [--load DIR]`
 ///
 /// The multi-run serving scenario the paper's amortization argument is
 /// about: load the given runs and/or generate `K` more (all conforming to
@@ -599,52 +629,102 @@ fn fmt_bytes(b: usize) -> String {
 /// context in a [`FleetEngine`], answer `M` mixed cross-run probes, and
 /// report throughput plus the shared-vs-duplicated memory accounting —
 /// what the fleet holds once versus what `K` independent engines would
-/// hold.
-#[allow(clippy::too_many_arguments)]
-pub fn cmd_fleet(
-    spec_path: &Path,
-    run_paths: &[&Path],
-    gen_runs: usize,
-    target: usize,
-    seed: u64,
-    probes: usize,
-    scheme: SchemeKind,
-    threads: usize,
-) -> Result<String, CliError> {
+/// hold. With `--save DIR` the serving fleet (spec record + warm memo +
+/// per-run label columns) is persisted as one snapshot container; with
+/// `--load DIR` it is restored **without re-labeling a single run** and
+/// with the memo warm from the saved process's traffic.
+pub fn cmd_fleet(spec_path: &Path, opts: &FleetOpts<'_>) -> Result<String, CliError> {
     let spec = load_spec(spec_path)?;
-    let mut runs: Vec<Run> = Vec::new();
-    for p in run_paths {
-        runs.push(load_run(p, &spec)?);
-    }
-    runs.extend(generate_fleet(&spec, seed, gen_runs, target).into_iter().map(|g| g.run));
-    if runs.is_empty() {
-        return Err("no runs: pass run.xml files and/or --runs K".into());
-    }
+    let mut out = String::new();
 
-    // one spec-level context for the whole fleet
-    let ctx = SpecContext::for_spec(&spec, SpecScheme::build(scheme, spec.graph())).shared();
-    let mut fleet = FleetEngine::new(ctx);
-    let label_started = std::time::Instant::now();
-    let mut ids: Vec<RunId> = Vec::with_capacity(runs.len());
-    let mut sizes: Vec<usize> = Vec::with_capacity(runs.len());
-    for run in &runs {
-        // labels carry only the *pointer* to the skeleton, so labeling a
-        // fleet member never builds (or clones) a per-run skeleton
-        let (labels, _n_plus) = label_run(&spec, run)?;
-        ids.push(fleet.register_labels(&labels));
-        sizes.push(run.vertex_count());
-    }
-    let label_ms = label_started.elapsed().as_secs_f64() * 1e3;
+    let fleet: FleetEngine<'_, SpecScheme> = if let Some(dir) = opts.load {
+        if !opts.run_paths.is_empty() || opts.gen_runs > 0 {
+            return Err(
+                "--load restores a saved fleet; drop the run.xml arguments and --runs".into(),
+            );
+        }
+        let path = dir.join(FLEET_SNAPSHOT_FILE);
+        let bytes = fs::read(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let started = std::time::Instant::now();
+        let (fleet, graph) =
+            FleetEngine::load(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        let load_ms = started.elapsed().as_secs_f64() * 1e3;
+        if graph.vertex_count() != spec.graph().vertex_count()
+            || graph.edges() != spec.graph().edges()
+        {
+            return Err(format!(
+                "{}: snapshot was saved for a different specification",
+                path.display()
+            )
+            .into());
+        }
+        let stats = fleet.stats();
+        writeln!(
+            out,
+            "restored fleet from {} in {load_ms:.1} ms: {} runs ({} evicted), \
+             scheme {}, {} warm memo cells (no re-labeling)",
+            path.display(),
+            stats.frozen,
+            stats.evicted,
+            fleet.context().skeleton().kind(),
+            fleet.context().memo().warm_entries(),
+        )?;
+        fleet
+    } else {
+        let mut runs: Vec<Run> = Vec::new();
+        for p in opts.run_paths {
+            runs.push(load_run(p, &spec)?);
+        }
+        runs.extend(
+            generate_fleet(&spec, opts.seed, opts.gen_runs, opts.target)
+                .into_iter()
+                .map(|g| g.run),
+        );
+        if runs.is_empty() {
+            return Err("no runs: pass run.xml files, --runs K, or --load DIR".into());
+        }
+
+        // one spec-level context for the whole fleet
+        let ctx =
+            SpecContext::for_spec(&spec, SpecScheme::build(opts.scheme, spec.graph())).shared();
+        let mut fleet = FleetEngine::new(ctx);
+        let label_started = std::time::Instant::now();
+        for run in &runs {
+            // labels carry only the *pointer* to the skeleton, so labeling
+            // a fleet member never builds (or clones) a per-run skeleton
+            let (labels, _n_plus) = label_run(&spec, run)?;
+            fleet.register_labels(&labels);
+        }
+        let label_ms = label_started.elapsed().as_secs_f64() * 1e3;
+        let total_vertices: usize = runs.iter().map(Run::vertex_count).sum();
+        writeln!(
+            out,
+            "fleet: {} runs ({} loaded, {} generated), {total_vertices} vertices total, \
+             scheme {}",
+            runs.len(),
+            opts.run_paths.len(),
+            opts.gen_runs,
+            opts.scheme,
+        )?;
+        writeln!(out, "labeled in {label_ms:.1} ms (no per-run skeletons built)")?;
+        fleet
+    };
 
     // mixed probe traffic: uniformly random (run, u, v) triples over the
-    // runs that executed at least one module (a loaded run XML may be
-    // legally empty — it just cannot receive probes)
+    // active runs that executed at least one module (a loaded run XML may
+    // be legally empty — it just cannot receive probes)
+    let ids: Vec<RunId> = fleet.run_ids().collect();
+    let sizes: Vec<usize> = ids
+        .iter()
+        .map(|&id| fleet.vertex_count(id).expect("active id"))
+        .collect();
     let probeable: Vec<usize> = (0..ids.len()).filter(|&i| sizes[i] > 0).collect();
-    if probes > 0 && probeable.is_empty() {
+    if opts.probes > 0 && probeable.is_empty() {
         return Err("every run is empty: nothing to probe".into());
     }
-    let mut rng = wfp_graph::rng::Xoshiro256::seed_from_u64(seed ^ 0xF1EE_7BA7_C0FF_EE00);
-    let traffic: Vec<(RunId, RunVertexId, RunVertexId)> = (0..probes)
+    let mut rng = wfp_graph::rng::Xoshiro256::seed_from_u64(opts.seed ^ 0xF1EE_7BA7_C0FF_EE00);
+    let traffic: Vec<(RunId, RunVertexId, RunVertexId)> = (0..opts.probes)
         .map(|_| {
             let which = probeable[rng.gen_usize(probeable.len())];
             let n = sizes[which];
@@ -656,8 +736,8 @@ pub fn cmd_fleet(
         })
         .collect();
     let started = std::time::Instant::now();
-    let answers = if threads > 1 {
-        fleet.answer_batch_parallel(&traffic, threads)?
+    let answers = if opts.threads > 1 {
+        fleet.answer_batch_parallel(&traffic, opts.threads)?
     } else {
         fleet.answer_batch(&traffic)?
     };
@@ -665,17 +745,6 @@ pub fn cmd_fleet(
 
     let stats = fleet.stats();
     let reachable = answers.iter().filter(|&&a| a).count();
-    let total_vertices: usize = sizes.iter().sum();
-    let mut out = String::new();
-    writeln!(
-        out,
-        "fleet: {} runs ({} loaded, {} generated), {total_vertices} vertices total, \
-         scheme {scheme}",
-        runs.len(),
-        run_paths.len(),
-        gen_runs,
-    )?;
-    writeln!(out, "labeled in {label_ms:.1} ms (no per-run skeletons built)")?;
     writeln!(
         out,
         "{} probes: {} reachable; {} context-only, {} skeleton \
@@ -688,7 +757,7 @@ pub fn cmd_fleet(
         stats.engine.memo_hits,
         elapsed * 1e3,
         traffic.len() as f64 / elapsed.max(1e-9),
-        threads.max(1),
+        opts.threads.max(1),
     )?;
     write!(
         out,
@@ -703,6 +772,22 @@ pub fn cmd_fleet(
         stats.active(),
         stats.context_refs,
     )?;
+
+    if let Some(dir) = opts.save {
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let bytes = fleet.save(spec.graph())?;
+        let path = dir.join(FLEET_SNAPSHOT_FILE);
+        fs::write(&path, &bytes)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        write!(
+            out,
+            "\nsaved fleet snapshot to {} ({}: 1 spec record + warm memo + {} run segments)",
+            path.display(),
+            fmt_bytes(bytes.len()),
+            stats.frozen,
+        )?;
+    }
     Ok(out)
 }
 
@@ -935,21 +1020,30 @@ mod tests {
         assert!(cmd_ingest(&sp, Path::new("/nonexistent/e.log"), SchemeKind::Tcm, None).is_err());
     }
 
+    fn fleet_opts<'a>(run_paths: &'a [&'a Path], gen_runs: usize, probes: usize) -> FleetOpts<'a> {
+        FleetOpts {
+            run_paths,
+            gen_runs,
+            target: 60,
+            seed: 7,
+            probes,
+            scheme: SchemeKind::Bfs,
+            threads: 1,
+            save: None,
+            load: None,
+        }
+    }
+
     #[test]
     fn fleet_serves_loaded_and_generated_runs() {
         let (sp, rp) = write_paper_files();
+        let paths = [rp.as_path(), rp.as_path()];
         for threads in [1usize, 4] {
-            let out = cmd_fleet(
-                &sp,
-                &[rp.as_path(), rp.as_path()],
-                6,
-                60,
-                7,
-                5_000,
-                SchemeKind::Bfs,
+            let opts = FleetOpts {
                 threads,
-            )
-            .unwrap();
+                ..fleet_opts(&paths, 6, 5_000)
+            };
+            let out = cmd_fleet(&sp, &opts).unwrap();
             assert!(out.contains("8 runs (2 loaded, 6 generated)"), "{out}");
             assert!(out.contains("5000 probes"), "{out}");
             assert!(out.contains("shared once"), "{out}");
@@ -960,21 +1054,57 @@ mod tests {
     #[test]
     fn fleet_rejects_empty_and_bad_inputs() {
         let (sp, _) = write_paper_files();
-        let err = cmd_fleet(&sp, &[], 0, 100, 0, 10, SchemeKind::Tcm, 1)
-            .unwrap_err()
-            .to_string();
+        let err = cmd_fleet(&sp, &fleet_opts(&[], 0, 10)).unwrap_err().to_string();
         assert!(err.contains("no runs"), "{err}");
-        assert!(cmd_fleet(
-            Path::new("/nonexistent/spec.xml"),
-            &[],
-            2,
-            100,
-            0,
-            10,
-            SchemeKind::Tcm,
-            1
-        )
-        .is_err());
+        assert!(cmd_fleet(Path::new("/nonexistent/spec.xml"), &fleet_opts(&[], 2, 10)).is_err());
+    }
+
+    #[test]
+    fn fleet_save_load_round_trip_restores_warm_serving() {
+        let (sp, rp) = write_paper_files();
+        let dir = tmp("fleet-snap");
+        let paths = [rp.as_path()];
+        let save_opts = FleetOpts {
+            save: Some(&dir),
+            ..fleet_opts(&paths, 3, 2_000)
+        };
+        let out = cmd_fleet(&sp, &save_opts).unwrap();
+        assert!(out.contains("saved fleet snapshot"), "{out}");
+        assert!(out.contains("4 run segments"), "{out}");
+        assert!(dir.join(FLEET_SNAPSHOT_FILE).is_file());
+
+        let load_opts = FleetOpts {
+            load: Some(&dir),
+            ..fleet_opts(&[], 0, 2_000)
+        };
+        let out = cmd_fleet(&sp, &load_opts).unwrap();
+        assert!(out.contains("restored fleet"), "{out}");
+        assert!(out.contains("4 runs (0 evicted), scheme BFS"), "{out}");
+        assert!(out.contains("no re-labeling"), "{out}");
+        assert!(out.contains("2000 probes"), "{out}");
+        // the saved process's traffic warmed the memo; the restored fleet
+        // answers the identical traffic without new skeleton probes
+        assert!(out.contains("(0 probes,"), "{out}");
+
+        // mixing --load with run sources is rejected
+        let bad = FleetOpts {
+            load: Some(&dir),
+            ..fleet_opts(&paths, 0, 10)
+        };
+        let err = cmd_fleet(&sp, &bad).unwrap_err().to_string();
+        assert!(err.contains("--load"), "{err}");
+        // a snapshot for a different spec is rejected
+        let other_sp = tmp("other-spec.xml");
+        let cfg = SpecGenConfig {
+            modules: 12,
+            edges: 14,
+            hierarchy_size: 4,
+            hierarchy_depth: 3,
+            seed: 9,
+        };
+        cmd_gen_spec(&cfg, &other_sp).unwrap();
+        let err = cmd_fleet(&other_sp, &load_opts).unwrap_err().to_string();
+        assert!(err.contains("different specification"), "{err}");
     }
 
     #[test]

@@ -167,6 +167,84 @@ fn ingest_missing_event_log() {
     );
 }
 
+// ---------------- wfp fleet --save / --load ---------------------------
+
+#[test]
+fn fleet_load_missing_snapshot_dir() {
+    let (sp, _) = paper_files();
+    assert_fails(
+        &["fleet", sp.to_str().unwrap(), "--load", "/nonexistent/snapdir"],
+        &["cannot read", "fleet.wfps"],
+    );
+}
+
+#[test]
+fn fleet_load_rejects_corrupt_snapshot() {
+    let (sp, _) = paper_files();
+    let dir = tmp("corrupt-snap");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("fleet.wfps"), b"WFPSgarbage-that-is-not-a-table").unwrap();
+    assert_fails(
+        &["fleet", sp.to_str().unwrap(), "--load", dir.to_str().unwrap()],
+        &["fleet.wfps"],
+    );
+}
+
+#[test]
+fn fleet_load_conflicts_with_run_sources() {
+    let (sp, rp) = paper_files();
+    let dir = tmp("unused-snap");
+    assert_fails(
+        &[
+            "fleet",
+            sp.to_str().unwrap(),
+            rp.to_str().unwrap(),
+            "--load",
+            dir.to_str().unwrap(),
+        ],
+        &["--load", "--runs"],
+    );
+}
+
+#[test]
+fn fleet_save_load_round_trip_exits_zero() {
+    let (sp, rp) = paper_files();
+    let dir = tmp("roundtrip-snap");
+    let out = wfp(&[
+        "fleet",
+        sp.to_str().unwrap(),
+        rp.to_str().unwrap(),
+        "--runs",
+        "2",
+        "--target",
+        "40",
+        "--probes",
+        "500",
+        "--scheme",
+        "bfs",
+        "--save",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("saved fleet snapshot"), "{stdout}");
+    assert!(dir.join("fleet.wfps").is_file());
+
+    let out = wfp(&[
+        "fleet",
+        sp.to_str().unwrap(),
+        "--probes",
+        "500",
+        "--load",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("restored fleet"), "{stdout}");
+    assert!(stdout.contains("3 runs"), "{stdout}");
+    assert!(stdout.contains("no re-labeling"), "{stdout}");
+}
+
 // ---------------- sanity: the happy path stays green ------------------
 
 #[test]

@@ -191,6 +191,45 @@ impl SharedMemo {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// Dumps the dense warm tier as one byte per cell (`side²` bytes) —
+    /// the payload of a [`crate::snapshot::seg::MEMO_WARM`] segment.
+    /// Relaxed reads: concurrent writers at most turn an *unknown* cell
+    /// into a known one, so any interleaving dumps a valid snapshot.
+    pub fn warm_cells(&self) -> Vec<u8> {
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Rebuilds a memo whose dense tier starts from `cells` (the output of
+    /// [`warm_cells`](Self::warm_cells)) instead of all-unknown — the warm
+    /// hand-me-down that lets a restarted service skip its warm-up probes.
+    /// `None` when the cell count does not match `side²`, the side exceeds
+    /// [`SIDE_CAP`](Self::SIDE_CAP), or a cell holds an undefined state.
+    pub fn from_warm_cells(side: u32, cells: &[u8]) -> Option<Self> {
+        if side > Self::SIDE_CAP || cells.len() != side as usize * side as usize {
+            return None;
+        }
+        if cells.iter().any(|&c| c > MEMO_TRUE) {
+            return None;
+        }
+        let mut memo = SharedMemo::new(side);
+        for (cell, &v) in memo.cells.iter_mut().zip(cells) {
+            *cell.get_mut() = v;
+        }
+        Some(memo)
+    }
+
+    /// Decided (non-unknown) cells in the dense warm tier — how much
+    /// warm-up a snapshot carries across a restart.
+    pub fn warm_entries(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed) != MEMO_UNKNOWN)
+            .count()
+    }
+
     /// Entries currently held by the miss shards.
     pub fn miss_entries(&self) -> usize {
         self.shards
@@ -253,6 +292,19 @@ impl<S: SpecIndex> SpecContext<S> {
     /// the warm snapshot.
     pub fn for_spec(spec: &Specification, skeleton: S) -> Self {
         SpecContext::new(skeleton, spec.module_count() as u32)
+    }
+
+    /// A context around a memo restored from a snapshot
+    /// ([`crate::snapshot::read_spec_context`]); the bypass policy is
+    /// re-derived from the (rebuilt) skeleton, exactly as in
+    /// [`new`](Self::new).
+    pub(crate) fn from_restored(skeleton: S, memo: SharedMemo) -> Self {
+        let memoize = !skeleton.constant_time_queries();
+        SpecContext {
+            skeleton,
+            memo,
+            memoize,
+        }
     }
 
     /// Wraps the context for sharing — the canonical way to obtain the

@@ -152,6 +152,40 @@ impl SoaLabels {
         cols
     }
 
+    /// The four raw columns `(q1, q2, q3, origin)` — the zero-copy view
+    /// the snapshot layer ([`crate::snapshot::write_run_columns`]) writes
+    /// to disk.
+    pub fn raw_columns(&self) -> (&[u32], &[u32], &[u32], &[u32]) {
+        (&self.q1, &self.q2, &self.q3, &self.origin)
+    }
+
+    /// Rebuilds a column store from four equal-length columns (the inverse
+    /// of [`raw_columns`](Self::raw_columns)); `None` when the lengths
+    /// disagree. The origin bound is recomputed, so a store restored from
+    /// untrusted bytes sizes its memo honestly.
+    pub fn from_raw_columns(
+        q1: Vec<u32>,
+        q2: Vec<u32>,
+        q3: Vec<u32>,
+        origin: Vec<u32>,
+    ) -> Option<Self> {
+        if q1.len() != q2.len() || q1.len() != q3.len() || q1.len() != origin.len() {
+            return None;
+        }
+        let origin_bound = origin
+            .iter()
+            .map(|&o| o.saturating_add(1))
+            .max()
+            .unwrap_or(0);
+        Some(SoaLabels {
+            q1,
+            q2,
+            q3,
+            origin,
+            origin_bound,
+        })
+    }
+
     /// Re-gathers the label of vertex `v` (for spot checks; the batch paths
     /// never materialize a `RunLabel`).
     pub fn label(&self, v: RunVertexId) -> RunLabel {

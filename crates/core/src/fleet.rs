@@ -51,11 +51,14 @@ use std::sync::Arc;
 use wfp_model::{RunVertexId, Specification};
 use wfp_speclabel::SpecIndex;
 
+use wfp_speclabel::SpecScheme;
+
 use crate::context::{RunHandle, SpecContext};
 use crate::engine::{answer_into, EngineStats};
 use crate::label::{LabeledRun, RunLabel};
 use crate::live::LiveRun;
 use crate::online::OnlineError;
+use crate::snapshot;
 
 /// Identifier of a run registered in a [`FleetEngine`]. Ids are assigned
 /// densely in registration order and never reused, even after eviction.
@@ -98,6 +101,10 @@ pub enum FleetError {
     },
     /// Freezing an in-flight run failed (the event stream is incomplete).
     FreezeFailed(RunId, OnlineError),
+    /// A snapshot was requested while this run is still in-flight: live
+    /// order-maintenance state is not persistable — freeze (or evict) the
+    /// run first.
+    StillLive(RunId),
 }
 
 impl std::fmt::Display for FleetError {
@@ -113,6 +120,9 @@ impl std::fmt::Display for FleetError {
                 write!(f, "{run} has no data item #{item}")
             }
             FleetError::FreezeFailed(r, e) => write!(f, "cannot freeze {r}: {e}"),
+            FleetError::StillLive(r) => {
+                write!(f, "cannot snapshot {r}: it is still in-flight (freeze it first)")
+            }
         }
     }
 }
@@ -331,6 +341,12 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
     /// Number of active runs.
     pub fn run_count(&self) -> usize {
         self.slots.len() - self.evicted
+    }
+
+    /// Total registry slots ever allocated (active runs plus eviction
+    /// tombstones) — the exclusive upper bound on issued [`RunId`]s.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Executed-vertex count of a registered run.
@@ -573,6 +589,131 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
     }
 }
 
+// ====================================================================
+// Persistence (the unified snapshot layer, [`crate::snapshot`])
+// ====================================================================
+
+/// Slot states in the fleet-manifest segment.
+const SLOT_EVICTED: u8 = 0;
+const SLOT_FROZEN: u8 = 1;
+
+impl<'s> FleetEngine<'s, SpecScheme> {
+    /// Appends this fleet's segments to a container: the spec record
+    /// (scheme kind + graph + warm-memo bytes, via
+    /// [`snapshot::write_spec_context`]), a manifest of slot states and
+    /// per-run decision counters, and one [`snapshot::seg::RUN_COLUMNS`]
+    /// segment per frozen run. Evicted slots persist as tombstones so a
+    /// restored fleet rejects stale [`RunId`]s exactly like the original.
+    ///
+    /// Fails with [`FleetError::StillLive`] if any run is in-flight —
+    /// live order-maintenance state is deliberately not persistable.
+    /// Layers above (e.g. `wfp-provenance`'s fleet index) call this and
+    /// then append their own segments to the same container.
+    pub fn write_snapshot(
+        &self,
+        graph: &wfp_graph::DiGraph,
+        w: &mut snapshot::SnapshotWriter,
+    ) -> Result<(), FleetError> {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if matches!(slot, Slot::Live(_)) {
+                return Err(FleetError::StillLive(RunId(i as u32)));
+            }
+        }
+        snapshot::write_spec_context(w, &self.ctx, graph);
+        let mut manifest = Vec::with_capacity(1 + self.slots.len());
+        snapshot::put_varint(&mut manifest, self.slots.len() as u64);
+        for slot in &self.slots {
+            match slot {
+                Slot::Frozen(h) => {
+                    manifest.push(SLOT_FROZEN);
+                    snapshot::put_varint(&mut manifest, h.context_only());
+                    snapshot::put_varint(&mut manifest, h.skeleton_queries());
+                }
+                Slot::Evicted => manifest.push(SLOT_EVICTED),
+                Slot::Live(_) => unreachable!("rejected above"),
+            }
+        }
+        w.push(snapshot::seg::FLEET_MANIFEST, manifest);
+        for slot in &self.slots {
+            if let Slot::Frozen(h) = slot {
+                w.push(
+                    snapshot::seg::RUN_COLUMNS,
+                    snapshot::write_run_columns(h.columns()),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the whole fleet — one spec record plus `K` run segments
+    /// — into a standalone snapshot container. See
+    /// [`write_snapshot`](Self::write_snapshot).
+    pub fn save(&self, graph: &wfp_graph::DiGraph) -> Result<Vec<u8>, FleetError> {
+        let mut w = snapshot::SnapshotWriter::new();
+        self.write_snapshot(graph, &mut w)?;
+        Ok(w.finish())
+    }
+
+    /// Restores a fleet from a parsed container: the skeleton index is
+    /// rebuilt deterministically from the stored graph, the warm memo and
+    /// every run's label columns are mapped back verbatim (no
+    /// re-labeling), and slot states — including eviction tombstones and
+    /// decision counters — are reinstated. Answers are byte-identical to
+    /// the saved fleet's. Returns the fleet plus the specification graph
+    /// it serves.
+    pub fn read_snapshot(
+        r: &snapshot::SnapshotReader<'_>,
+    ) -> Result<(Self, wfp_graph::DiGraph), snapshot::FormatError> {
+        let (ctx, graph) = snapshot::read_spec_context(r)?;
+        let mut cur = snapshot::Cursor::new(r.first(snapshot::seg::FLEET_MANIFEST)?);
+        // each slot costs at least one state byte
+        let slot_count = cur.guarded_count(1)?;
+        let mut fleet = FleetEngine::new(ctx.shared());
+        let mut runs = r.all(snapshot::seg::RUN_COLUMNS);
+        for _ in 0..slot_count {
+            match cur.u8()? {
+                SLOT_FROZEN => {
+                    let context_only = cur.varint()?;
+                    let skeleton_queries = cur.varint()?;
+                    let payload = runs.next().ok_or(snapshot::FormatError::Malformed(
+                        "manifest promises more runs than stored",
+                    ))?;
+                    let cols = snapshot::read_run_columns(payload)?;
+                    // origins index the skeleton's per-module arrays; a
+                    // forged column must be a typed error, not an
+                    // out-of-bounds panic on the first skeleton probe
+                    if cols.origin_bound() as usize > graph.vertex_count() {
+                        return Err(snapshot::FormatError::Malformed(
+                            "run origin outside the specification graph",
+                        ));
+                    }
+                    let handle = RunHandle::from_columns(cols);
+                    handle.count(context_only, skeleton_queries);
+                    fleet.push(Slot::Frozen(handle));
+                }
+                SLOT_EVICTED => {
+                    fleet.push(Slot::Evicted);
+                    fleet.evicted += 1;
+                }
+                _ => return Err(snapshot::FormatError::Malformed("unknown slot state")),
+            }
+        }
+        cur.finish()?;
+        if runs.next().is_some() {
+            return Err(snapshot::FormatError::Malformed(
+                "stored runs exceed the manifest",
+            ));
+        }
+        Ok((fleet, graph))
+    }
+
+    /// Parses and restores a [`save`](Self::save)d fleet. See
+    /// [`read_snapshot`](Self::read_snapshot).
+    pub fn load(bytes: &[u8]) -> Result<(Self, wfp_graph::DiGraph), snapshot::FormatError> {
+        Self::read_snapshot(&snapshot::SnapshotReader::parse(bytes)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -796,5 +937,92 @@ mod tests {
         ));
         // error values render
         assert!(FleetError::Evicted(a).to_string().contains("run#0"));
+    }
+
+    #[test]
+    fn save_load_round_trips_runs_tombstones_and_counters() {
+        let spec = paper_spec();
+        for &kind in &SchemeKind::ALL {
+            let labels = labels(&spec, kind);
+            let mut fleet =
+                FleetEngine::for_spec(&spec, SpecScheme::build(kind, spec.graph()));
+            let ids: Vec<RunId> = (0..4).map(|_| fleet.register_labels(&labels)).collect();
+            fleet.evict(ids[1]).unwrap();
+            // answer traffic so decision counters and the memo are warm
+            let mut probes = Vec::new();
+            for id in [ids[0], ids[2], ids[3]] {
+                probes.extend(all_probes(id, labels.len()));
+            }
+            let original = fleet.answer_batch(&probes).unwrap();
+            let warm_before = fleet.context().memo().warm_entries();
+
+            let bytes = fleet.save(spec.graph()).unwrap();
+            let (loaded, graph) = FleetEngine::load(&bytes).unwrap();
+            assert_eq!(graph.vertex_count(), spec.graph().vertex_count());
+            assert_eq!(graph.edges(), spec.graph().edges());
+
+            // byte-identical answers, preserved ids and tombstones
+            assert_eq!(loaded.answer_batch(&probes).unwrap(), original, "{kind}");
+            assert!(matches!(
+                loaded.answer(ids[1], RunVertexId(0), RunVertexId(0)),
+                Err(FleetError::Evicted(_))
+            ));
+            let stats = loaded.stats();
+            assert_eq!(stats.frozen, 3);
+            assert_eq!(stats.evicted, 1);
+            // decision counters carried across the restart
+            assert_eq!(stats.engine.total(), 2 * probes.len() as u64);
+            // the warm memo came back verbatim
+            assert_eq!(loaded.context().memo().warm_entries(), warm_before, "{kind}");
+            // new registrations continue after the restored slots
+            let mut loaded = loaded;
+            let fresh = loaded.register_labels(&labels);
+            assert_eq!(fresh, RunId(4));
+        }
+    }
+
+    #[test]
+    fn warm_memo_survives_the_restart() {
+        // BFS probes the skeleton per miss; a loaded fleet must answer the
+        // same traffic from the restored memo without new skeleton probes.
+        let spec = paper_spec();
+        let labels = labels(&spec, SchemeKind::Bfs);
+        let mut fleet =
+            FleetEngine::for_spec(&spec, SpecScheme::build(SchemeKind::Bfs, spec.graph()));
+        let id = fleet.register_labels(&labels);
+        let probes = all_probes(id, labels.len());
+        fleet.answer_batch(&probes).unwrap();
+        assert!(fleet.stats().engine.skeleton_probes > 0);
+
+        let bytes = fleet.save(spec.graph()).unwrap();
+        let (loaded, _) = FleetEngine::load(&bytes).unwrap();
+        loaded.answer_batch(&probes).unwrap();
+        let stats = loaded.stats();
+        assert_eq!(
+            stats.engine.skeleton_probes, 0,
+            "restart re-probed the skeleton despite the warm snapshot"
+        );
+        // every skeleton-delegated pair of the post-restart batch (half of
+        // the restored-plus-new total) was a memo hit
+        assert_eq!(stats.engine.memo_hits * 2, stats.engine.skeleton);
+        assert!(stats.engine.memo_hits > 0);
+    }
+
+    #[test]
+    fn live_runs_refuse_to_snapshot() {
+        let spec = paper_spec();
+        let mut fleet =
+            FleetEngine::for_spec(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()));
+        fleet.register_labels(&labels(&spec, SchemeKind::Tcm));
+        let live = fleet.begin_live(&spec);
+        let err = fleet.save(spec.graph()).unwrap_err();
+        assert!(matches!(err, FleetError::StillLive(id) if id == live));
+        assert!(err.to_string().contains("in-flight"), "{err}");
+        // freezing is impossible mid-structure here, so evict instead;
+        // after that the snapshot succeeds and preserves the tombstone
+        fleet.evict(live).unwrap();
+        let (loaded, _) = FleetEngine::load(&fleet.save(spec.graph()).unwrap()).unwrap();
+        assert_eq!(loaded.stats().frozen, 1);
+        assert_eq!(loaded.stats().evicted, 1);
     }
 }

@@ -13,6 +13,7 @@ use wfp_speclabel::SpecIndex;
 use crate::bits::{gamma_bits, BitReader, BitWriter};
 use crate::construct::{construct_plan_with_stats, ConstructError, ConstructStats};
 use crate::orders::generate_three_orders;
+use crate::snapshot::{self, FormatError};
 use wfp_model::plan::ExecutionPlan;
 
 /// The reachability label of one run vertex.
@@ -298,12 +299,12 @@ fn bits_for(max: u64) -> usize {
 /// Failures parsing a packed label file ([`EncodedLabels::from_bytes`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecodeError {
-    /// The bytes do not start with the `WFPL` magic (or are shorter than
-    /// the fixed header).
+    /// The bytes start with neither the snapshot-container magic nor the
+    /// legacy `WFPL` magic (or are shorter than either fixed header).
     NotALabelFile,
     /// The payload is not a whole number of 64-bit words.
     MisalignedPayload {
-        /// Payload length in bytes (after the 26-byte header).
+        /// Payload length in bytes (after the fixed-width header fields).
         len: usize,
     },
     /// The header promises more label bits than the payload carries.
@@ -313,6 +314,9 @@ pub enum DecodeError {
         /// Bits actually present.
         available_bits: usize,
     },
+    /// The snapshot container around the labels is invalid (truncated,
+    /// corrupt, wrong version — see [`FormatError`]).
+    Format(FormatError),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -330,11 +334,25 @@ impl std::fmt::Display for DecodeError {
                 "label payload truncated: header declares {declared_bits} bits, \
                  only {available_bits} present"
             ),
+            DecodeError::Format(e) => write!(f, "invalid label snapshot: {e}"),
         }
     }
 }
 
-impl std::error::Error for DecodeError {}
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for DecodeError {
+    fn from(e: FormatError) -> Self {
+        DecodeError::Format(e)
+    }
+}
 
 /// A packed label array, decodable without the original run.
 #[derive(Debug)]
@@ -378,9 +396,28 @@ impl EncodedLabels {
             .collect()
     }
 
-    /// Serializes header + packed labels to bytes (little-endian), suitable
-    /// for a label file on disk.
+    /// Serializes the labels as a snapshot container (one
+    /// [`snapshot::seg::PACKED_LABELS`] segment on the shared framing
+    /// layer, CRC-protected), suitable for a label file on disk.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(20 + self.words.len() * 8);
+        payload.extend_from_slice(&self.count.to_le_bytes());
+        payload.extend_from_slice(&self.n_plus.to_le_bytes());
+        payload.extend_from_slice(&self.n_g.to_le_bytes());
+        payload.extend_from_slice(&(self.bit_len as u64).to_le_bytes());
+        for w in &self.words {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        let mut w = snapshot::SnapshotWriter::new();
+        w.push(snapshot::seg::PACKED_LABELS, payload);
+        w.finish()
+    }
+
+    /// Serializes in the legacy (pre-snapshot) v0 framing: magic +
+    /// fixed-width header + words, no checksum. Kept so interop with
+    /// files written by older builds stays testable; new code writes
+    /// [`to_bytes`](Self::to_bytes).
+    pub fn to_bytes_v0(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(26 + self.words.len() * 8);
         out.extend_from_slice(b"WFPL\x01\x00");
         out.extend_from_slice(&self.count.to_le_bytes());
@@ -393,27 +430,62 @@ impl EncodedLabels {
         out
     }
 
-    /// Parses the output of [`to_bytes`](Self::to_bytes).
+    /// Parses a label file: the snapshot container written by
+    /// [`to_bytes`](Self::to_bytes), or — sniffed by magic — the legacy v0
+    /// stream ([`to_bytes_v0`](Self::to_bytes_v0)), so label files from
+    /// older builds keep decoding.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if snapshot::SnapshotReader::sniff(bytes) {
+            let r = snapshot::SnapshotReader::parse(bytes)?;
+            return Self::parse_payload(r.first(snapshot::seg::PACKED_LABELS)?, false);
+        }
+        // v0 compatibility path
         if bytes.len() < 26 || &bytes[..6] != b"WFPL\x01\x00" {
             return Err(DecodeError::NotALabelFile);
         }
-        let word = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4 bytes"));
-        let count = word(&bytes[6..10]);
-        let n_plus = word(&bytes[10..14]);
-        let n_g = word(&bytes[14..18]);
-        let bit_len = u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes")) as usize;
-        let payload = &bytes[26..];
-        if payload.len() % 8 != 0 {
-            return Err(DecodeError::MisalignedPayload { len: payload.len() });
-        }
-        if payload.len() * 8 < bit_len {
-            return Err(DecodeError::TruncatedPayload {
-                declared_bits: bit_len,
-                available_bits: payload.len() * 8,
+        Self::parse_payload(&bytes[6..], true)
+    }
+
+    /// The shared fixed-width body parser: `count | n_plus | n_g | bit_len
+    /// | words`, identical in the v0 stream (after its magic) and in the
+    /// container segment payload. `v0` selects the error vocabulary: a
+    /// short v0 body means the fixed label header itself is incomplete
+    /// (`NotALabelFile`), while a short container segment is a format
+    /// defect inside an otherwise valid snapshot.
+    fn parse_payload(payload: &[u8], v0: bool) -> Result<Self, DecodeError> {
+        let mut cur = snapshot::Cursor::new(payload);
+        let header = |e| match e {
+            FormatError::Truncated { .. } if v0 => DecodeError::NotALabelFile,
+            e => DecodeError::Format(e),
+        };
+        let count = cur.u32().map_err(header)?;
+        let n_plus = cur.u32().map_err(header)?;
+        let n_g = cur.u32().map_err(header)?;
+        let bit_len = cur.u64().map_err(header)? as usize;
+        let words_bytes = cur.bytes(cur.remaining()).expect("remaining is in bounds");
+        if words_bytes.len() % 8 != 0 {
+            return Err(DecodeError::MisalignedPayload {
+                len: words_bytes.len(),
             });
         }
-        let words = payload
+        if words_bytes.len() * 8 < bit_len {
+            return Err(DecodeError::TruncatedPayload {
+                declared_bits: bit_len,
+                available_bits: words_bytes.len() * 8,
+            });
+        }
+        // The count field is untrusted: decode() materializes `count`
+        // labels, so a count the declared bit stream cannot hold must be
+        // rejected here — before it sizes a decode allocation. Each label
+        // costs exactly 3 q-widths + 1 origin width (both ≥ 1 bit).
+        let label_bits = 3 * bits_for(n_plus as u64) + bits_for(n_g.saturating_sub(1).max(1) as u64);
+        if count as u64 * label_bits as u64 > bit_len as u64 {
+            return Err(DecodeError::TruncatedPayload {
+                declared_bits: count as usize * label_bits,
+                available_bits: bit_len,
+            });
+        }
+        let words = words_bytes
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect();
@@ -528,26 +600,79 @@ mod tests {
         let back = EncodedLabels::from_bytes(&bytes).unwrap();
         assert_eq!(back.decode(), labeled.labels().to_vec());
         assert_eq!(back.len(), enc.len());
-        // corruption is detected, with typed causes
-        assert_eq!(
-            EncodedLabels::from_bytes(&bytes[..10]).unwrap_err(),
-            DecodeError::NotALabelFile
-        );
+        // corruption is detected, with typed causes: every truncation of
+        // the container errors (the format's exact-length check), as does
+        // any payload bit flip (per-segment CRC)
+        for len in 0..bytes.len() {
+            assert!(
+                EncodedLabels::from_bytes(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+        let mut flipped = bytes.clone();
+        *flipped.last_mut().unwrap() ^= 1;
+        assert!(matches!(
+            EncodedLabels::from_bytes(&flipped).unwrap_err(),
+            DecodeError::Format(crate::snapshot::FormatError::ChecksumMismatch { .. })
+        ));
         assert_eq!(
             EncodedLabels::from_bytes(b"garbage___________________").unwrap_err(),
             DecodeError::NotALabelFile
         );
+        // a valid container whose labels segment is shorter than the fixed
+        // label header is a format defect, not "not a label file"
+        let mut w = crate::snapshot::SnapshotWriter::new();
+        w.push(crate::snapshot::seg::PACKED_LABELS, vec![0u8; 10]);
         assert!(matches!(
-            EncodedLabels::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err(),
+            EncodedLabels::from_bytes(&w.finish()).unwrap_err(),
+            DecodeError::Format(crate::snapshot::FormatError::Truncated { .. })
+        ));
+        // a CRC-consistent forged count the bit stream cannot hold must be
+        // rejected before decode() would size a count-proportional
+        // allocation
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        forged.extend_from_slice(&1u32.to_le_bytes()); // n_plus
+        forged.extend_from_slice(&1u32.to_le_bytes()); // n_g
+        forged.extend_from_slice(&64u64.to_le_bytes()); // bit_len
+        forged.extend_from_slice(&[0u8; 8]); // one word
+        let mut w = crate::snapshot::SnapshotWriter::new();
+        w.push(crate::snapshot::seg::PACKED_LABELS, forged);
+        assert!(matches!(
+            EncodedLabels::from_bytes(&w.finish()).unwrap_err(),
+            DecodeError::TruncatedPayload { .. }
+        ));
+        // decode errors implement std::error::Error and render; the
+        // container wrapper exposes the format failure as its source()
+        let e: Box<dyn std::error::Error> = Box::new(DecodeError::NotALabelFile);
+        assert!(e.to_string().contains("label file"));
+        let wrapped = DecodeError::Format(crate::snapshot::FormatError::BadMagic);
+        use std::error::Error as _;
+        assert!(wrapped.source().is_some());
+        assert!(wrapped.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn v0_label_files_still_decode() {
+        let (_spec, _run, labeled) = labeled_paper_run(SchemeKind::Bfs);
+        let enc = labeled.encode();
+        let v0 = enc.to_bytes_v0();
+        assert_ne!(v0, enc.to_bytes(), "v0 and container framings differ");
+        let back = EncodedLabels::from_bytes(&v0).unwrap();
+        assert_eq!(back.decode(), labeled.labels().to_vec());
+        // v0 corruption keeps its original typed causes
+        assert_eq!(
+            EncodedLabels::from_bytes(&v0[..10]).unwrap_err(),
+            DecodeError::NotALabelFile
+        );
+        assert!(matches!(
+            EncodedLabels::from_bytes(&v0[..v0.len() - 1]).unwrap_err(),
             DecodeError::MisalignedPayload { .. }
         ));
         assert!(matches!(
-            EncodedLabels::from_bytes(&bytes[..bytes.len() - 8]).unwrap_err(),
+            EncodedLabels::from_bytes(&v0[..v0.len() - 8]).unwrap_err(),
             DecodeError::TruncatedPayload { .. }
         ));
-        // decode errors implement std::error::Error and render
-        let e: Box<dyn std::error::Error> = Box::new(DecodeError::NotALabelFile);
-        assert!(e.to_string().contains("label file"));
     }
 
     #[test]

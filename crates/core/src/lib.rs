@@ -44,6 +44,7 @@ pub mod live;
 pub mod online;
 pub mod orders;
 pub mod origin;
+pub mod snapshot;
 
 pub use batch::label_runs_parallel;
 pub use construct::{
@@ -60,3 +61,4 @@ pub use label::{
 pub use online::{OnlineError, OnlineLabeler};
 pub use orders::{generate_three_orders, ContextEncoding};
 pub use origin::{compute_origins, compute_origins_numbered, OriginError};
+pub use snapshot::{FormatError, SnapshotReader, SnapshotWriter};

@@ -1,0 +1,790 @@
+//! The unified snapshot layer: one versioned, segmented container format
+//! for everything the stack persists.
+//!
+//! The paper's headline economy — a run label factors into a tiny per-run
+//! part plus a spec-only skeleton part (§4, §7) — should survive a process
+//! restart. Before this module each serialized artifact (packed label
+//! files, provenance stores) carried its own hand-rolled framing, and the
+//! *expensive* shared state (the [`SpecContext`] skeleton and the
+//! [`SharedMemo`] warm snapshot) was rebuilt from scratch on every start.
+//! Now every on-disk artifact is the same container:
+//!
+//! ```text
+//! magic "WFPS" | container version u16 | reserved u16 | segment count u32
+//! section table: per segment { kind u16 | reserved u16 | len u64 | crc32 }
+//! structure crc32 (over header + table; reported as segment kind 0)
+//! payloads, concatenated in table order (total length checked exactly)
+//! ```
+//!
+//! * one shared framing module: little-endian [`Cursor`] reads, LEB128
+//!   varints, CRC-32 checksums, and the untrusted-length guard
+//!   ([`Cursor::guarded_count`]) that bounds every count-prefixed
+//!   preallocation by the bytes actually present;
+//! * every segment is CRC-checked at parse time, so a flipped bit anywhere
+//!   in a payload is a typed [`FormatError`] — never a wrong answer;
+//! * segment kinds compose: a spec record ([`write_spec_context`]) is two
+//!   segments, a fleet is a spec record + a manifest + one
+//!   [`seg::RUN_COLUMNS`] segment per frozen run, and higher layers
+//!   (`wfp-provenance`'s fleet index) append their own kinds to the same
+//!   container.
+//!
+//! Integrity vs. trust: the CRCs detect *corruption* (a torn page, a bad
+//! disk), not tampering — a snapshot is trusted state, like the database
+//! page the paper stores labels in. Untrusted *structure* (lengths, counts,
+//! ids) is still validated everywhere, so a malformed file errors cleanly
+//! instead of panicking or over-allocating.
+
+use wfp_graph::DiGraph;
+use wfp_speclabel::{SchemeKind, SpecScheme};
+
+use crate::context::{SharedMemo, SpecContext};
+use crate::engine::SoaLabels;
+
+/// Container magic: the first four bytes of every snapshot.
+pub const MAGIC: [u8; 4] = *b"WFPS";
+
+/// Current container version.
+pub const VERSION: u16 = 1;
+
+/// Well-known segment kinds. Unknown kinds are skipped by readers (forward
+/// compatibility); the constants here are the kinds this crate stack
+/// writes.
+pub mod seg {
+    /// Spec-labeling record: scheme kind + specification graph.
+    pub const SPEC_LABELING: u16 = 0x0001;
+    /// Dense [`super::SharedMemo`] warm-snapshot cells.
+    pub const MEMO_WARM: u16 = 0x0002;
+    /// One frozen run's SoA label columns.
+    pub const RUN_COLUMNS: u16 = 0x0003;
+    /// Fleet manifest: slot states + per-run decision counters.
+    pub const FLEET_MANIFEST: u16 = 0x0004;
+    /// Packed fixed-width label array (`EncodedLabels`).
+    pub const PACKED_LABELS: u16 = 0x0005;
+    /// Provenance store items (`StoredProvenance`).
+    pub const PROVENANCE_ITEMS: u16 = 0x0006;
+    /// One run's registered data items (`wfp-provenance` fleet index).
+    pub const RUN_ITEMS: u16 = 0x0007;
+}
+
+// ====================================================================
+// Errors
+// ====================================================================
+
+/// Failures parsing a snapshot container or one of its segment payloads.
+/// The shared error vocabulary of every persistent format in the stack:
+/// `wfp_skl::DecodeError` and `wfp_provenance`'s `StoreError` both wrap it
+/// (with `source()` threading back here).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FormatError {
+    /// The bytes do not start with the container magic.
+    BadMagic,
+    /// The container (or a layer above it) declares an unsupported version.
+    UnsupportedVersion(u16),
+    /// The buffer ended before a declared structure was complete.
+    Truncated {
+        /// Byte offset (within the buffer or segment) where input ran out.
+        offset: usize,
+    },
+    /// A count or length field promises more data than the buffer holds —
+    /// rejected *before* sizing any allocation.
+    Oversized {
+        /// Items or bytes declared by the untrusted field.
+        declared: u64,
+        /// Bytes actually available to back them.
+        available: u64,
+    },
+    /// A segment's payload does not match its table checksum (kind 0
+    /// denotes the container's own header + section table).
+    ChecksumMismatch {
+        /// Kind of the corrupt segment.
+        kind: u16,
+    },
+    /// A required segment kind is absent from the container.
+    MissingSegment {
+        /// The kind that was looked up.
+        kind: u16,
+    },
+    /// Bytes remain after the last declared payload.
+    TrailingBytes {
+        /// How many.
+        extra: usize,
+    },
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A structurally invalid payload (reserved bits set, inconsistent
+    /// counts, out-of-range ids).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not a snapshot container (bad magic)"),
+            FormatError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            FormatError::Truncated { offset } => {
+                write!(f, "snapshot truncated at byte {offset}")
+            }
+            FormatError::Oversized {
+                declared,
+                available,
+            } => write!(
+                f,
+                "length field declares {declared} where only {available} bytes remain"
+            ),
+            FormatError::ChecksumMismatch { kind } => {
+                write!(f, "segment 0x{kind:04x} failed its CRC-32 check")
+            }
+            FormatError::MissingSegment { kind } => {
+                write!(f, "snapshot has no segment of kind 0x{kind:04x}")
+            }
+            FormatError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last segment")
+            }
+            FormatError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            FormatError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+// ====================================================================
+// CRC-32 (IEEE), dependency-free
+// ====================================================================
+
+/// Slicing-by-8 lookup tables: `TABLES[0]` is the classic byte-at-a-time
+/// table, `TABLES[k][j]` advances `j` through `k` further zero bytes.
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut j = 0;
+        while j < 256 {
+            let prev = tables[k - 1][j];
+            tables[k][j] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            j += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes` — the per-segment checksum.
+/// Slicing-by-8: snapshot loads checksum megabytes of label columns, and
+/// the classic byte-at-a-time loop would dominate the whole load path.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let d = u64::from_le_bytes(chunk.try_into().expect("8 bytes")) ^ c as u64;
+        c = t[7][(d & 0xFF) as usize]
+            ^ t[6][((d >> 8) & 0xFF) as usize]
+            ^ t[5][((d >> 16) & 0xFF) as usize]
+            ^ t[4][((d >> 24) & 0xFF) as usize]
+            ^ t[3][((d >> 32) & 0xFF) as usize]
+            ^ t[2][((d >> 40) & 0xFF) as usize]
+            ^ t[1][((d >> 48) & 0xFF) as usize]
+            ^ t[0][(d >> 56) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ====================================================================
+// Varints
+// ====================================================================
+
+/// Appends `value` as an LEB128 varint (1–10 bytes).
+pub fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+// ====================================================================
+// Bounded cursor: the shared little-endian framing reader
+// ====================================================================
+
+/// A bounds-checked reader over a byte slice: every read returns a typed
+/// [`FormatError`] instead of panicking, and count fields go through
+/// [`guarded_count`](Self::guarded_count) so untrusted lengths can never
+/// size an allocation the buffer cannot back.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over the whole of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Takes the next `len` bytes.
+    pub fn bytes(&mut self, len: usize) -> Result<&'a [u8], FormatError> {
+        if self.remaining() < len {
+            return Err(FormatError::Truncated { offset: self.pos });
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Next byte.
+    pub fn u8(&mut self) -> Result<u8, FormatError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Next little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, FormatError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, FormatError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, FormatError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Next LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, FormatError> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            value |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                // bits beyond the 64th must be zero (canonical encoding)
+                if shift == 63 && byte > 1 {
+                    return Err(FormatError::Malformed("varint overflows u64"));
+                }
+                return Ok(value);
+            }
+        }
+        Err(FormatError::Malformed("varint longer than 10 bytes"))
+    }
+
+    /// A varint count field, **guarded**: errors unless the remaining bytes
+    /// could possibly hold `count` items of at least `min_item_bytes` each.
+    /// The single home of the untrusted-length rule every segment reader
+    /// follows — a flipped high bit in a count must produce
+    /// [`FormatError::Oversized`], not a multi-gigabyte preallocation.
+    pub fn guarded_count(&mut self, min_item_bytes: usize) -> Result<usize, FormatError> {
+        let count = self.varint()?;
+        let need = count.saturating_mul(min_item_bytes.max(1) as u64);
+        if need > self.remaining() as u64 {
+            return Err(FormatError::Oversized {
+                declared: count,
+                available: self.remaining() as u64,
+            });
+        }
+        Ok(count as usize)
+    }
+
+    /// A varint-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, FormatError> {
+        let len = self.guarded_count(1)?;
+        std::str::from_utf8(self.bytes(len)?).map_err(|_| FormatError::BadUtf8)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn finish(&self) -> Result<(), FormatError> {
+        if self.remaining() != 0 {
+            return Err(FormatError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Appends a varint-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ====================================================================
+// Container writer / reader
+// ====================================================================
+
+/// Builds a snapshot container: segments are appended in order, then
+/// [`finish`](Self::finish) lays down the header, the CRC'd section table
+/// and the payloads.
+#[derive(Default)]
+pub struct SnapshotWriter {
+    segments: Vec<(u16, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// An empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one segment. Repeated kinds are allowed (a fleet writes one
+    /// [`seg::RUN_COLUMNS`] per run); readers see them in insertion order.
+    pub fn push(&mut self, kind: u16, payload: Vec<u8>) {
+        self.segments.push((kind, payload));
+    }
+
+    /// Serializes the container.
+    pub fn finish(self) -> Vec<u8> {
+        let payload_len: usize = self.segments.iter().map(|(_, p)| p.len()).sum();
+        let mut out = Vec::with_capacity(16 + 16 * self.segments.len() + payload_len);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for (kind, payload) in &self.segments {
+            out.extend_from_slice(&kind.to_le_bytes());
+            out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+        }
+        // header + table CRC: segment CRCs cover the payloads, this one
+        // covers the structure, so a flipped bit in a kind or length field
+        // is detected at parse — not when a lookup mysteriously misses
+        let structure_crc = crc32(&out);
+        out.extend_from_slice(&structure_crc.to_le_bytes());
+        for (_, payload) in &self.segments {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+}
+
+/// A parsed snapshot container: the section table validated, every
+/// segment's CRC verified, payloads borrowed from the input buffer.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    segments: Vec<(u16, &'a [u8])>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Whether `bytes` begins with the container magic — the sniff used by
+    /// adapters that also accept their legacy (v0) framing.
+    pub fn sniff(bytes: &[u8]) -> bool {
+        bytes.len() >= 4 && bytes[..4] == MAGIC
+    }
+
+    /// Parses and fully validates a container: header, section table,
+    /// exact total length, and one CRC pass over every payload.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, FormatError> {
+        let mut cur = Cursor::new(bytes);
+        if cur.bytes(4).map_err(|_| FormatError::BadMagic)? != MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let version = cur.u16()?;
+        if version != VERSION {
+            return Err(FormatError::UnsupportedVersion(version));
+        }
+        if cur.u16()? != 0 {
+            return Err(FormatError::Malformed("reserved header bits set"));
+        }
+        let count = cur.u32()? as u64;
+        // length guard: each table entry is 16 bytes
+        if count.saturating_mul(16) > cur.remaining() as u64 {
+            return Err(FormatError::Oversized {
+                declared: count,
+                available: cur.remaining() as u64,
+            });
+        }
+        let mut table = Vec::with_capacity(count as usize);
+        let mut total: u64 = 0;
+        for _ in 0..count {
+            let kind = cur.u16()?;
+            if cur.u16()? != 0 {
+                return Err(FormatError::Malformed("reserved table bits set"));
+            }
+            let len = cur.u64()?;
+            let crc = cur.u32()?;
+            total = total.saturating_add(len);
+            table.push((kind, len, crc));
+        }
+        let structure_crc = crc32(&bytes[..cur.position()]);
+        if cur.u32()? != structure_crc {
+            return Err(FormatError::ChecksumMismatch { kind: 0 });
+        }
+        if total != cur.remaining() as u64 {
+            // either a truncated file or a corrupted length field; report
+            // whichever direction the mismatch points
+            return if total > cur.remaining() as u64 {
+                Err(FormatError::Oversized {
+                    declared: total,
+                    available: cur.remaining() as u64,
+                })
+            } else {
+                Err(FormatError::TrailingBytes {
+                    extra: (cur.remaining() as u64 - total) as usize,
+                })
+            };
+        }
+        let mut segments = Vec::with_capacity(table.len());
+        for (kind, len, crc) in table {
+            let payload = cur.bytes(len as usize)?;
+            if crc32(payload) != crc {
+                return Err(FormatError::ChecksumMismatch { kind });
+            }
+            segments.push((kind, payload));
+        }
+        cur.finish()?;
+        Ok(SnapshotReader { segments })
+    }
+
+    /// All segments, in container order.
+    pub fn segments(&self) -> &[(u16, &'a [u8])] {
+        &self.segments
+    }
+
+    /// The first segment of `kind`, or [`FormatError::MissingSegment`].
+    pub fn first(&self, kind: u16) -> Result<&'a [u8], FormatError> {
+        self.all(kind)
+            .next()
+            .ok_or(FormatError::MissingSegment { kind })
+    }
+
+    /// Every segment of `kind`, in container order.
+    pub fn all(&self, kind: u16) -> impl Iterator<Item = &'a [u8]> + '_ {
+        self.segments
+            .iter()
+            .filter(move |(k, _)| *k == kind)
+            .map(|&(_, p)| p)
+    }
+}
+
+// ====================================================================
+// Spec-labeling record: scheme kind + specification graph + warm memo
+// ====================================================================
+
+fn scheme_tag(kind: SchemeKind) -> u8 {
+    match kind {
+        SchemeKind::Tcm => 0,
+        SchemeKind::Bfs => 1,
+        SchemeKind::Dfs => 2,
+        SchemeKind::TreeCover => 3,
+        SchemeKind::Chain => 4,
+        SchemeKind::Hop2 => 5,
+    }
+}
+
+fn scheme_from_tag(tag: u8) -> Result<SchemeKind, FormatError> {
+    Ok(match tag {
+        0 => SchemeKind::Tcm,
+        1 => SchemeKind::Bfs,
+        2 => SchemeKind::Dfs,
+        3 => SchemeKind::TreeCover,
+        4 => SchemeKind::Chain,
+        5 => SchemeKind::Hop2,
+        _ => return Err(FormatError::Malformed("unknown scheme tag")),
+    })
+}
+
+/// Writes the two spec-level segments ([`seg::SPEC_LABELING`] +
+/// [`seg::MEMO_WARM`]) describing `ctx` into `w`. The skeleton itself is
+/// *not* serialized — the record carries the scheme kind and the
+/// specification graph, from which [`read_spec_context`] rebuilds the
+/// identical (deterministic) index; what *is* carried verbatim is the
+/// dense warm-memo tier, so a restarted service answers its first
+/// `+`-LCA probes from the memo instead of re-running warm-up searches.
+pub fn write_spec_context(w: &mut SnapshotWriter, ctx: &SpecContext<SpecScheme>, graph: &DiGraph) {
+    let mut spec = Vec::new();
+    spec.push(scheme_tag(ctx.skeleton().kind()));
+    put_varint(&mut spec, graph.vertex_count() as u64);
+    put_varint(&mut spec, graph.edge_count() as u64);
+    for &(from, to) in graph.edges() {
+        put_varint(&mut spec, from as u64);
+        put_varint(&mut spec, to as u64);
+    }
+    w.push(seg::SPEC_LABELING, spec);
+
+    let memo = ctx.memo();
+    let mut warm = Vec::new();
+    put_varint(&mut warm, memo.side() as u64);
+    warm.extend_from_slice(&memo.warm_cells());
+    w.push(seg::MEMO_WARM, warm);
+}
+
+/// Reads the spec-level segments back: rebuilds the skeleton index from
+/// the stored graph + scheme kind and restores the warm memo cells.
+/// Returns the context plus the specification graph it was saved for.
+pub fn read_spec_context(
+    r: &SnapshotReader<'_>,
+) -> Result<(SpecContext<SpecScheme>, DiGraph), FormatError> {
+    let mut cur = Cursor::new(r.first(seg::SPEC_LABELING)?);
+    let kind = scheme_from_tag(cur.u8()?)?;
+    let n = cur.varint()?;
+    if n > u32::MAX as u64 {
+        return Err(FormatError::Malformed("vertex count exceeds u32"));
+    }
+    let mut graph = DiGraph::with_vertices(n as usize);
+    // each edge costs at least two varint bytes
+    let m = cur.guarded_count(2)?;
+    for _ in 0..m {
+        let from = cur.varint()?;
+        let to = cur.varint()?;
+        if from >= n || to >= n {
+            return Err(FormatError::Malformed("edge endpoint out of range"));
+        }
+        graph.add_edge(from as u32, to as u32);
+    }
+    cur.finish()?;
+    // the schemes assume a DAG (Chain's topological sweep would panic on a
+    // cycle); a forged graph must be a typed error, not a crash
+    if wfp_graph::topo_order(&graph).is_err() {
+        return Err(FormatError::Malformed("specification graph has a cycle"));
+    }
+
+    let mut warm = Cursor::new(r.first(seg::MEMO_WARM)?);
+    let side = warm.varint()?;
+    if side > SharedMemo::SIDE_CAP as u64 {
+        return Err(FormatError::Oversized {
+            declared: side,
+            available: SharedMemo::SIDE_CAP as u64,
+        });
+    }
+    let cells = warm.bytes((side * side) as usize)?;
+    warm.finish()?;
+    let memo = SharedMemo::from_warm_cells(side as u32, cells)
+        .ok_or(FormatError::Malformed("warm memo cell out of range"))?;
+    let skeleton = SpecScheme::build(kind, &graph);
+    Ok((SpecContext::from_restored(skeleton, memo), graph))
+}
+
+impl SpecContext<SpecScheme> {
+    /// Persists the spec-level state — the spec-labeling record (scheme
+    /// kind + specification graph) and the dense [`SharedMemo`]
+    /// warm-snapshot bytes — as one standalone container. A service that
+    /// [`load`](Self::load)s it answers its first skeleton-delegated
+    /// probes from the restored memo instead of re-running warm-up
+    /// searches.
+    pub fn save(&self, graph: &DiGraph) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        write_spec_context(&mut w, self, graph);
+        w.finish()
+    }
+
+    /// Restores a [`save`](Self::save)d context (and the specification
+    /// graph it was built over). The skeleton index is rebuilt
+    /// deterministically from the stored graph, so answers are
+    /// byte-identical to the saved instance; the warm memo is restored
+    /// verbatim.
+    pub fn load(bytes: &[u8]) -> Result<(Self, DiGraph), FormatError> {
+        read_spec_context(&SnapshotReader::parse(bytes)?)
+    }
+}
+
+// ====================================================================
+// Run label-column segments
+// ====================================================================
+
+/// Serializes one run's SoA label columns as a [`seg::RUN_COLUMNS`]
+/// payload: vertex count, then the four `u32` columns back to back — the
+/// layout [`read_run_columns`] maps straight back into a column store with
+/// no per-label decoding and no re-labeling.
+pub fn write_run_columns(cols: &SoaLabels) -> Vec<u8> {
+    let (q1, q2, q3, origin) = cols.raw_columns();
+    let mut out = Vec::with_capacity(2 + cols.len() * 16);
+    put_varint(&mut out, cols.len() as u64);
+    for col in [q1, q2, q3, origin] {
+        for &v in col {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Parses a [`write_run_columns`] payload.
+pub fn read_run_columns(payload: &[u8]) -> Result<SoaLabels, FormatError> {
+    let mut cur = Cursor::new(payload);
+    // 16 bytes per vertex across the four columns
+    let n = cur.guarded_count(16)?;
+    let read_col = |cur: &mut Cursor<'_>| -> Result<Vec<u32>, FormatError> {
+        let raw = cur.bytes(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    };
+    let q1 = read_col(&mut cur)?;
+    let q2 = read_col(&mut cur)?;
+    let q3 = read_col(&mut cur)?;
+    let origin = read_col(&mut cur)?;
+    cur.finish()?;
+    SoaLabels::from_raw_columns(q1, q2, q3, origin)
+        .ok_or(FormatError::Malformed("column lengths disagree"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(cur.varint().unwrap(), v);
+            cur.finish().unwrap();
+        }
+        // non-canonical: 11 continuation bytes
+        let mut cur = Cursor::new(&[0x80u8; 12]);
+        assert!(cur.varint().is_err());
+    }
+
+    #[test]
+    fn container_round_trips_and_validates() {
+        let mut w = SnapshotWriter::new();
+        w.push(7, vec![1, 2, 3]);
+        w.push(9, Vec::new());
+        w.push(7, vec![4, 5]);
+        let bytes = w.finish();
+        assert!(SnapshotReader::sniff(&bytes));
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        assert_eq!(r.segments().len(), 3);
+        assert_eq!(r.first(7).unwrap(), &[1, 2, 3]);
+        assert_eq!(r.all(7).collect::<Vec<_>>(), vec![&[1u8, 2, 3][..], &[4, 5][..]]);
+        assert_eq!(r.first(9).unwrap(), &[] as &[u8]);
+        assert_eq!(
+            r.first(8).unwrap_err(),
+            FormatError::MissingSegment { kind: 8 }
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let mut w = SnapshotWriter::new();
+        w.push(1, vec![0xAB; 37]);
+        w.push(2, (0..64u8).collect());
+        let bytes = w.finish();
+        assert!(SnapshotReader::parse(&bytes).is_ok());
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut fuzzed = bytes.clone();
+                fuzzed[byte] ^= 1 << bit;
+                assert!(
+                    SnapshotReader::parse(&fuzzed).is_err(),
+                    "flip at {byte}:{bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_offset_errors_cleanly() {
+        let mut w = SnapshotWriter::new();
+        w.push(3, vec![9; 21]);
+        let bytes = w.finish();
+        for len in 0..bytes.len() {
+            assert!(
+                SnapshotReader::parse(&bytes[..len]).is_err(),
+                "prefix of {len} bytes parsed"
+            );
+        }
+        // appended garbage is trailing bytes
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(matches!(
+            SnapshotReader::parse(&extra),
+            Err(FormatError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let bytes = SnapshotWriter::new().finish();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            SnapshotReader::parse(&bad_magic).unwrap_err(),
+            FormatError::BadMagic
+        );
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xFE;
+        assert_eq!(
+            SnapshotReader::parse(&bad_version).unwrap_err(),
+            FormatError::UnsupportedVersion(0x00FE)
+        );
+        assert_eq!(
+            SnapshotReader::parse(b"WF").unwrap_err(),
+            FormatError::BadMagic
+        );
+    }
+
+    #[test]
+    fn oversized_counts_are_guarded() {
+        // container level: a table claiming u32::MAX segments over 0 bytes
+        let mut bytes = SnapshotWriter::new().finish();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            SnapshotReader::parse(&bytes),
+            Err(FormatError::Oversized { .. })
+        ));
+        // cursor level: guarded_count over a tiny remainder
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1 << 40);
+        let mut cur = Cursor::new(&payload);
+        assert!(matches!(
+            cur.guarded_count(16),
+            Err(FormatError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_and_are_std_errors() {
+        let e: Box<dyn std::error::Error> = Box::new(FormatError::ChecksumMismatch { kind: 3 });
+        assert!(e.to_string().contains("CRC-32"));
+        assert!(FormatError::BadMagic.to_string().contains("magic"));
+        assert!(FormatError::Oversized {
+            declared: 9,
+            available: 1
+        }
+        .to_string()
+        .contains("9"));
+    }
+}

@@ -32,4 +32,4 @@ pub use fleet::FleetIndex;
 pub use gen::attach_data;
 pub use index::{DataLabel, ProvenanceIndex};
 pub use live::LiveIndex;
-pub use store::{serialize, StoreError, StoredProvenance};
+pub use store::{serialize, serialize_v0, StoreError, StoredProvenance};

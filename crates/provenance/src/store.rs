@@ -2,32 +2,42 @@
 //!
 //! The paper's motivation is storing provenance *in a database* and
 //! answering dependency queries from labels alone — without loading the run
-//! graph. This module serializes the data labels of §6 into a byte buffer
-//! (`bytes`-based, length-checked) and answers every §6 query from the
-//! deserialized form plus the specification's skeleton index.
+//! graph. This module serializes the data labels of §6 into the unified
+//! snapshot container ([`wfp_skl::snapshot`]): one CRC-protected
+//! [`seg::PROVENANCE_ITEMS`] segment on the shared framing layer, with the
+//! legacy (pre-snapshot) v0 byte stream still decodable via a sniffed
+//! compatibility path. Every §6 query is answered from the deserialized
+//! form plus the specification's skeleton index.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use wfp_model::ModuleId;
+use wfp_skl::snapshot::{self, put_str, put_varint, Cursor, FormatError, SnapshotReader, seg};
 use wfp_skl::{predicate, predicate_memo, LabeledRun, RunLabel, SharedMemo};
 use wfp_speclabel::SpecIndex;
 
 use crate::data::{DataItemId, RunData};
 use crate::index::{DataLabel, ProvenanceIndex};
 
-const MAGIC: u32 = 0x5746_5056; // "WFPV"
-const VERSION: u16 = 1;
+/// Legacy v0 magic ("WFPV", little-endian) and version.
+const V0_MAGIC: u32 = 0x5746_5056;
+const V0_VERSION: u16 = 1;
 
 /// Deserialization failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
-    /// The buffer does not start with the store magic.
+    /// The buffer starts with neither the snapshot magic nor the legacy
+    /// store magic.
     BadMagic,
-    /// Unsupported format version.
+    /// Unsupported format version (of the legacy v0 stream).
     BadVersion(u16),
-    /// The buffer ended prematurely.
+    /// The buffer ended prematurely (or a length field promised more data
+    /// than the buffer holds).
     Truncated,
     /// An item name is not valid UTF-8.
     BadName,
+    /// The snapshot container around the items is invalid (truncated,
+    /// corrupt, wrong version — see [`FormatError`]).
+    Format(FormatError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -37,53 +47,100 @@ impl std::fmt::Display for StoreError {
             StoreError::BadVersion(v) => write!(f, "unsupported store version {v}"),
             StoreError::Truncated => write!(f, "provenance store is truncated"),
             StoreError::BadName => write!(f, "item name is not valid UTF-8"),
+            StoreError::Format(e) => write!(f, "invalid provenance snapshot: {e}"),
         }
     }
 }
 
-impl std::error::Error for StoreError {}
-
-fn put_label(buf: &mut BytesMut, l: &RunLabel) {
-    buf.put_u32_le(l.q1);
-    buf.put_u32_le(l.q2);
-    buf.put_u32_le(l.q3);
-    buf.put_u32_le(l.origin.raw());
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
-fn get_label(buf: &mut &[u8]) -> Result<RunLabel, StoreError> {
-    if buf.remaining() < 16 {
-        return Err(StoreError::Truncated);
+impl From<FormatError> for StoreError {
+    fn from(e: FormatError) -> Self {
+        StoreError::Format(e)
     }
+}
+
+/// Maps shared-framing failures inside the *legacy* stream onto the
+/// original v0 error vocabulary (old callers match on these variants).
+fn v0_error(e: FormatError) -> StoreError {
+    match e {
+        FormatError::Truncated { .. } | FormatError::Oversized { .. } => StoreError::Truncated,
+        FormatError::BadUtf8 => StoreError::BadName,
+        e => StoreError::Format(e),
+    }
+}
+
+fn put_label(buf: &mut Vec<u8>, l: &RunLabel) {
+    buf.extend_from_slice(&l.q1.to_le_bytes());
+    buf.extend_from_slice(&l.q2.to_le_bytes());
+    buf.extend_from_slice(&l.q3.to_le_bytes());
+    buf.extend_from_slice(&l.origin.raw().to_le_bytes());
+}
+
+fn get_label(cur: &mut Cursor<'_>) -> Result<RunLabel, FormatError> {
     Ok(RunLabel {
-        q1: buf.get_u32_le(),
-        q2: buf.get_u32_le(),
-        q3: buf.get_u32_le(),
-        origin: ModuleId(buf.get_u32_le()),
+        q1: cur.u32()?,
+        q2: cur.u32()?,
+        q3: cur.u32()?,
+        origin: ModuleId(cur.u32()?),
     })
 }
 
-/// Serializes the data labels of `data` over `labeled` into a buffer.
+/// Bytes per serialized label.
+const LABEL_BYTES: usize = 16;
+
+/// Serializes the data labels of `data` over `labeled` into a snapshot
+/// container (see the module docs).
 pub fn serialize<S: SpecIndex>(labeled: &LabeledRun<S>, data: &RunData) -> Bytes {
     let index = ProvenanceIndex::build(labeled, data);
-    let mut buf = BytesMut::with_capacity(16 + 32 * data.item_count());
-    buf.put_u32_le(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(data.item_count() as u32);
+    let mut payload = Vec::with_capacity(8 + 32 * data.item_count());
+    put_varint(&mut payload, data.item_count() as u64);
+    for (id, item) in data.items() {
+        let label = index.label(id);
+        put_str(&mut payload, &item.name);
+        put_label(&mut payload, &label.output);
+        put_varint(&mut payload, label.inputs.len() as u64);
+        for input in &label.inputs {
+            put_label(&mut payload, input);
+        }
+    }
+    let mut w = snapshot::SnapshotWriter::new();
+    w.push(seg::PROVENANCE_ITEMS, payload);
+    Bytes::from(w.finish())
+}
+
+/// Serializes in the legacy (pre-snapshot) v0 framing: magic + version +
+/// fixed-width counts, no checksum. Kept so interop with stores written by
+/// older builds stays testable; new code writes [`serialize`].
+pub fn serialize_v0<S: SpecIndex>(labeled: &LabeledRun<S>, data: &RunData) -> Bytes {
+    let index = ProvenanceIndex::build(labeled, data);
+    let mut buf = Vec::with_capacity(16 + 32 * data.item_count());
+    buf.extend_from_slice(&V0_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&V0_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(data.item_count() as u32).to_le_bytes());
     for (id, item) in data.items() {
         let label = index.label(id);
         let name = item.name.as_bytes();
-        buf.put_u16_le(name.len() as u16);
-        buf.put_slice(name);
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name);
         put_label(&mut buf, &label.output);
-        buf.put_u16_le(label.inputs.len() as u16);
+        buf.extend_from_slice(&(label.inputs.len() as u16).to_le_bytes());
         for input in &label.inputs {
             put_label(&mut buf, input);
         }
     }
-    buf.freeze()
+    Bytes::from(buf)
 }
 
 /// A provenance store loaded from bytes: data labels only, no run graph.
+#[derive(Debug)]
 pub struct StoredProvenance {
     items: Vec<(String, DataLabel)>,
     /// memo side for the batch path, computed once at deserialize time
@@ -91,61 +148,90 @@ pub struct StoredProvenance {
 }
 
 impl StoredProvenance {
-    /// Parses a buffer produced by [`serialize`].
-    pub fn deserialize(mut buf: &[u8]) -> Result<Self, StoreError> {
-        if buf.remaining() < 10 {
-            return Err(StoreError::Truncated);
-        }
-        if buf.get_u32_le() != MAGIC {
-            return Err(StoreError::BadMagic);
-        }
-        let version = buf.get_u16_le();
-        if version != VERSION {
-            return Err(StoreError::BadVersion(version));
-        }
-        let count = buf.get_u32_le() as usize;
-        // The count field is untrusted: a flipped high bit must not size a
-        // multi-gigabyte preallocation. Every item costs at least 20 bytes
-        // (name length + output label + input count), so a count the
-        // remaining payload cannot possibly hold is already truncation.
-        const MIN_ITEM_BYTES: usize = 2 + 16 + 2;
-        if buf.remaining() < count.saturating_mul(MIN_ITEM_BYTES) {
-            return Err(StoreError::Truncated);
-        }
-        let mut items = Vec::with_capacity(count);
-        for _ in 0..count {
-            if buf.remaining() < 2 {
-                return Err(StoreError::Truncated);
-            }
-            let name_len = buf.get_u16_le() as usize;
-            if buf.remaining() < name_len {
-                return Err(StoreError::Truncated);
-            }
-            let name = std::str::from_utf8(&buf[..name_len])
-                .map_err(|_| StoreError::BadName)?
-                .to_string();
-            buf.advance(name_len);
-            let output = get_label(&mut buf)?;
-            if buf.remaining() < 2 {
-                return Err(StoreError::Truncated);
-            }
-            let k = buf.get_u16_le() as usize;
-            // same rule for the per-item input count (16 bytes per label)
-            if buf.remaining() < k.saturating_mul(16) {
-                return Err(StoreError::Truncated);
-            }
-            let mut inputs = Vec::with_capacity(k);
-            for _ in 0..k {
-                inputs.push(get_label(&mut buf)?);
-            }
-            items.push((name, DataLabel { output, inputs }));
-        }
+    /// Parses a buffer produced by [`serialize`] — or, sniffed by magic,
+    /// by the legacy [`serialize_v0`] — so stores written by older builds
+    /// keep loading.
+    pub fn deserialize(buf: &[u8]) -> Result<Self, StoreError> {
+        let items = if SnapshotReader::sniff(buf) {
+            let r = SnapshotReader::parse(buf)?;
+            Self::parse_items(r.first(seg::PROVENANCE_ITEMS)?)?
+        } else {
+            Self::parse_items_v0(buf)?
+        };
         let origin_bound = SharedMemo::origin_bound_of(
             items
                 .iter()
                 .flat_map(|(_, l)| std::iter::once(&l.output).chain(l.inputs.iter())),
         );
-        Ok(StoredProvenance { items, origin_bound })
+        Ok(StoredProvenance {
+            items,
+            origin_bound,
+        })
+    }
+
+    /// The container segment payload: varint counts and length-prefixed
+    /// names on the shared framing layer. Every count is guarded against
+    /// the remaining payload before it sizes an allocation.
+    fn parse_items(payload: &[u8]) -> Result<Vec<(String, DataLabel)>, StoreError> {
+        let mut cur = Cursor::new(payload);
+        // every item costs at least a name length, an output label and an
+        // input count
+        let count = cur.guarded_count(1 + LABEL_BYTES + 1)?;
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = cur.str()?.to_string();
+            let output = get_label(&mut cur)?;
+            let k = cur.guarded_count(LABEL_BYTES)?;
+            let mut inputs = Vec::with_capacity(k);
+            for _ in 0..k {
+                inputs.push(get_label(&mut cur)?);
+            }
+            items.push((name, DataLabel { output, inputs }));
+        }
+        cur.finish()?;
+        Ok(items)
+    }
+
+    /// The legacy v0 stream, now expressed over the same shared [`Cursor`]
+    /// (one framing/length-guard implementation for every format) but
+    /// reporting the original v0 error vocabulary.
+    fn parse_items_v0(buf: &[u8]) -> Result<Vec<(String, DataLabel)>, StoreError> {
+        let mut cur = Cursor::new(buf);
+        if cur.u32().map_err(|_| StoreError::Truncated)? != V0_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = cur.u16().map_err(|_| StoreError::Truncated)?;
+        if version != V0_VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let count = cur.u32().map_err(v0_error)? as u64;
+        // The count field is untrusted: a flipped high bit must not size a
+        // multi-gigabyte preallocation. Every item costs at least 20 bytes
+        // (name length + output label + input count), so a count the
+        // remaining payload cannot possibly hold is already truncation.
+        const MIN_ITEM_BYTES: u64 = (2 + LABEL_BYTES + 2) as u64;
+        if count.saturating_mul(MIN_ITEM_BYTES) > cur.remaining() as u64 {
+            return Err(StoreError::Truncated);
+        }
+        let mut items = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name_len = cur.u16().map_err(v0_error)? as usize;
+            let name = std::str::from_utf8(cur.bytes(name_len).map_err(v0_error)?)
+                .map_err(|_| StoreError::BadName)?
+                .to_string();
+            let output = get_label(&mut cur).map_err(v0_error)?;
+            let k = cur.u16().map_err(v0_error)? as u64;
+            // same rule for the per-item input count
+            if k.saturating_mul(LABEL_BYTES as u64) > cur.remaining() as u64 {
+                return Err(StoreError::Truncated);
+            }
+            let mut inputs = Vec::with_capacity(k as usize);
+            for _ in 0..k {
+                inputs.push(get_label(&mut cur).map_err(v0_error)?);
+            }
+            items.push((name, DataLabel { output, inputs }));
+        }
+        Ok(items)
     }
 
     /// Number of stored items.
@@ -279,6 +365,26 @@ mod tests {
     }
 
     #[test]
+    fn v0_streams_still_deserialize_identically() {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let scheme = SpecScheme::build(SchemeKind::Bfs, spec.graph());
+        let labeled = LabeledRun::build(&spec, scheme, &run).unwrap();
+        let data = attach_data(&run, 7, 1.5);
+        let v0 = serialize_v0(&labeled, &data);
+        let new = serialize(&labeled, &data);
+        assert_ne!(v0, new, "v0 and container framings differ");
+        let a = StoredProvenance::deserialize(&v0).unwrap();
+        let b = StoredProvenance::deserialize(&new).unwrap();
+        assert_eq!(a.item_count(), b.item_count());
+        for i in 0..a.item_count() {
+            let id = DataItemId(i as u32);
+            assert_eq!(a.name(id), b.name(id));
+            assert_eq!(a.label(id), b.label(id));
+        }
+    }
+
+    #[test]
     fn corrupted_buffers_are_rejected() {
         let spec = paper_spec();
         let run = paper_run(&spec);
@@ -289,23 +395,38 @@ mod tests {
         let data = b.finish();
         let bytes = serialize(&labeled, &data);
 
+        // container framing: truncation and payload flips are typed errors
+        assert!(StoredProvenance::deserialize(&bytes[..bytes.len() - 1]).is_err());
+        let mut flipped = bytes.to_vec();
+        *flipped.last_mut().unwrap() ^= 1;
         assert!(matches!(
-            StoredProvenance::deserialize(&bytes[..bytes.len() - 1]),
-            Err(StoreError::Truncated)
+            StoredProvenance::deserialize(&flipped),
+            Err(StoreError::Format(FormatError::ChecksumMismatch { .. }))
         ));
         assert!(matches!(
             StoredProvenance::deserialize(&[0u8; 10]),
             Err(StoreError::BadMagic)
         ));
-        let mut bad_version = bytes.to_vec();
+        assert!(matches!(
+            StoredProvenance::deserialize(&[]),
+            Err(StoreError::Truncated)
+        ));
+        // the wrapped format error is the source()
+        use std::error::Error as _;
+        let err = StoredProvenance::deserialize(&flipped).unwrap_err();
+        assert!(err.source().is_some());
+
+        // legacy framing keeps its original error vocabulary
+        let v0 = serialize_v0(&labeled, &data);
+        assert!(matches!(
+            StoredProvenance::deserialize(&v0[..v0.len() - 1]),
+            Err(StoreError::Truncated)
+        ));
+        let mut bad_version = v0.to_vec();
         bad_version[4] = 0xFF;
         assert!(matches!(
             StoredProvenance::deserialize(&bad_version),
             Err(StoreError::BadVersion(_))
-        ));
-        assert!(matches!(
-            StoredProvenance::deserialize(&[]),
-            Err(StoreError::Truncated)
         ));
     }
 

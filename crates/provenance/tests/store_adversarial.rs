@@ -2,14 +2,16 @@
 //! parses byte buffers that may come from a corrupted database page or an
 //! attacker-controlled file, so *every* malformed input must come back as
 //! a [`StoreError`] — never a panic, and never an attacker-sized
-//! allocation.
+//! allocation. Both framings are covered: the snapshot container written
+//! by [`serialize`] and the legacy v0 stream ([`serialize_v0`]).
 
 use wfp_model::fixtures::{paper_run, paper_spec};
-use wfp_provenance::{attach_data, serialize, StoreError, StoredProvenance};
+use wfp_provenance::{attach_data, serialize, serialize_v0, StoreError, StoredProvenance};
+use wfp_skl::snapshot::{self, FormatError, SnapshotReader, SnapshotWriter};
 use wfp_skl::LabeledRun;
 use wfp_speclabel::{SchemeKind, SpecScheme};
 
-fn valid_store_bytes() -> Vec<u8> {
+fn store_bytes(v0: bool) -> Vec<u8> {
     let spec = paper_spec();
     let run = paper_run(&spec);
     let labeled = LabeledRun::build(
@@ -19,42 +21,90 @@ fn valid_store_bytes() -> Vec<u8> {
     )
     .unwrap();
     let data = attach_data(&run, 13, 1.5);
-    serialize(&labeled, &data).to_vec()
+    if v0 {
+        serialize_v0(&labeled, &data).to_vec()
+    } else {
+        serialize(&labeled, &data).to_vec()
+    }
+}
+
+/// Rebuilds the container with the items segment replaced — how the tests
+/// below forge *CRC-consistent* malformed payloads (patching bytes in
+/// place only exercises the checksum, not the structural guards).
+fn with_items_payload(bytes: &[u8], payload: Vec<u8>) -> Vec<u8> {
+    let r = SnapshotReader::parse(bytes).unwrap();
+    let mut w = SnapshotWriter::new();
+    for &(kind, seg_payload) in r.segments() {
+        if kind == snapshot::seg::PROVENANCE_ITEMS {
+            w.push(kind, payload.clone());
+        } else {
+            w.push(kind, seg_payload.to_vec());
+        }
+    }
+    w.finish()
 }
 
 /// Truncation at every byte offset: each prefix must decode to an error
-/// (the full buffer to `Ok`), with no panic anywhere in between.
+/// (the full buffer to `Ok`), with no panic anywhere in between — in both
+/// framings.
 #[test]
 fn truncation_at_every_offset_errors_cleanly() {
-    let bytes = valid_store_bytes();
-    assert!(StoredProvenance::deserialize(&bytes).is_ok());
-    for len in 0..bytes.len() {
-        match StoredProvenance::deserialize(&bytes[..len]) {
-            Err(_) => {}
-            Ok(store) => panic!(
-                "prefix of {len}/{} bytes decoded to {} items",
-                bytes.len(),
-                store.item_count()
-            ),
+    for v0 in [false, true] {
+        let bytes = store_bytes(v0);
+        assert!(StoredProvenance::deserialize(&bytes).is_ok());
+        for len in 0..bytes.len() {
+            match StoredProvenance::deserialize(&bytes[..len]) {
+                Err(_) => {}
+                Ok(store) => panic!(
+                    "prefix of {len}/{} bytes (v0 = {v0}) decoded to {} items",
+                    bytes.len(),
+                    store.item_count()
+                ),
+            }
         }
     }
 }
 
-/// Single-bit flips over the whole buffer: decoding may succeed (the
-/// flipped bit may sit in a label payload) or fail, but must never panic.
-/// Flips in the magic/version words must fail with the matching error.
+/// Single-bit flips over the whole container: under the snapshot framing
+/// *every* flip must fail (header/table flips via the structural checks,
+/// payload flips via the per-segment CRC) — decoding corrupt labels
+/// silently is no longer possible.
 #[test]
-fn bit_flips_never_panic() {
-    let bytes = valid_store_bytes();
+fn container_bit_flips_are_all_detected() {
+    let bytes = store_bytes(false);
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut fuzzed = bytes.clone();
+            fuzzed[byte] ^= 1 << bit;
+            assert!(
+                StoredProvenance::deserialize(&fuzzed).is_err(),
+                "flip at {byte}:{bit} went undetected"
+            );
+        }
+    }
+}
+
+/// Single-bit flips over the legacy stream: decoding may succeed (the
+/// flipped bit may sit in a label payload — v0 has no checksum) or fail,
+/// but must never panic. Flips in the magic/version words must fail with
+/// the matching error.
+#[test]
+fn v0_bit_flips_never_panic() {
+    let bytes = store_bytes(true);
     for byte in 0..bytes.len() {
         for bit in 0..8 {
             let mut fuzzed = bytes.clone();
             fuzzed[byte] ^= 1 << bit;
             let result = StoredProvenance::deserialize(&fuzzed);
             if byte < 4 {
+                // the flip may land on the container magic, which routes
+                // to the (failing) container parser instead
                 assert!(
-                    matches!(result, Err(StoreError::BadMagic)),
-                    "magic flip at {byte}:{bit} must be BadMagic"
+                    matches!(
+                        result,
+                        Err(StoreError::BadMagic) | Err(StoreError::Format(_))
+                    ),
+                    "magic flip at {byte}:{bit} must fail"
                 );
             } else if byte < 6 {
                 assert!(
@@ -68,32 +118,58 @@ fn bit_flips_never_panic() {
     }
 }
 
-/// An oversized item-count field must be rejected as truncation *before*
-/// sizing any allocation: a u32::MAX count over a tiny payload would
-/// otherwise reserve gigabytes.
+/// An oversized item-count field must be rejected *before* sizing any
+/// allocation — in the container via [`FormatError::Oversized`], in v0 as
+/// truncation. The container payload is rebuilt (CRC-consistent) so the
+/// guard itself is what trips, not the checksum.
 #[test]
 fn oversized_count_field_is_rejected_without_allocating() {
-    let bytes = valid_store_bytes();
+    // container framing: a forged varint count over an empty payload
+    let bytes = store_bytes(false);
+    for count in [u64::MAX, u64::MAX / 2, 1 << 40, 1 << 24] {
+        let mut evil = Vec::new();
+        snapshot::put_varint(&mut evil, count);
+        assert!(
+            matches!(
+                StoredProvenance::deserialize(&with_items_payload(&bytes, evil)),
+                Err(StoreError::Format(FormatError::Oversized { .. }))
+            ),
+            "container count {count} must be Oversized"
+        );
+    }
+    // legacy framing: the fixed-width count field patched in place
+    let v0 = store_bytes(true);
     for count in [u32::MAX, u32::MAX / 2, 1 << 24] {
-        let mut fuzzed = bytes.clone();
+        let mut fuzzed = v0.clone();
         fuzzed[6..10].copy_from_slice(&count.to_le_bytes());
         assert!(
             matches!(
                 StoredProvenance::deserialize(&fuzzed),
                 Err(StoreError::Truncated)
             ),
-            "count {count} must be truncation"
+            "v0 count {count} must be truncation"
         );
     }
 }
 
 /// An oversized name-length field walks the cursor past the payload and
-/// must be reported as truncation, not read out of bounds.
+/// must be reported as truncation (v0) / a format error (container), not
+/// read out of bounds.
 #[test]
 fn oversized_name_length_is_rejected() {
-    let bytes = valid_store_bytes();
-    let mut fuzzed = bytes.clone();
-    // first item's name-length field sits right after the 10-byte header
+    // container: one item whose name claims 2^30 bytes
+    let bytes = store_bytes(false);
+    let mut evil = Vec::new();
+    snapshot::put_varint(&mut evil, 1); // one item
+    snapshot::put_varint(&mut evil, 1 << 30); // name length
+    assert!(matches!(
+        StoredProvenance::deserialize(&with_items_payload(&bytes, evil)),
+        Err(StoreError::Format(FormatError::Oversized { .. }))
+    ));
+    // v0: first item's name-length field sits right after the 10-byte
+    // header
+    let v0 = store_bytes(true);
+    let mut fuzzed = v0.clone();
     fuzzed[10..12].copy_from_slice(&u16::MAX.to_le_bytes());
     assert!(matches!(
         StoredProvenance::deserialize(&fuzzed),
@@ -101,16 +177,27 @@ fn oversized_name_length_is_rejected() {
     ));
 }
 
-/// An oversized per-item input-count field must likewise fail as
-/// truncation before reserving `k` labels.
+/// An oversized per-item input-count field must likewise fail before
+/// reserving `k` labels.
 #[test]
 fn oversized_input_count_is_rejected() {
-    let bytes = valid_store_bytes();
-    // locate the first item's input-count field: header(10) + namelen(2)
-    // + name + output label(16)
-    let name_len = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
+    // container: a valid name + output label, then an absurd input count
+    let bytes = store_bytes(false);
+    let mut evil = Vec::new();
+    snapshot::put_varint(&mut evil, 1);
+    snapshot::put_str(&mut evil, "x");
+    evil.extend_from_slice(&[0u8; 16]); // output label
+    snapshot::put_varint(&mut evil, 1 << 40); // input count
+    assert!(matches!(
+        StoredProvenance::deserialize(&with_items_payload(&bytes, evil)),
+        Err(StoreError::Format(FormatError::Oversized { .. }))
+    ));
+    // v0: locate the first item's input-count field: header(10) +
+    // namelen(2) + name + output label(16)
+    let v0 = store_bytes(true);
+    let name_len = u16::from_le_bytes([v0[10], v0[11]]) as usize;
     let k_at = 10 + 2 + name_len + 16;
-    let mut fuzzed = bytes.clone();
+    let mut fuzzed = v0.clone();
     fuzzed[k_at..k_at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
     assert!(matches!(
         StoredProvenance::deserialize(&fuzzed),
@@ -118,16 +205,46 @@ fn oversized_input_count_is_rejected() {
     ));
 }
 
-/// Non-UTF-8 item names are a distinct, catchable error.
+/// Non-UTF-8 item names are a distinct, catchable error in both framings.
 #[test]
 fn invalid_utf8_name_is_bad_name() {
-    let bytes = valid_store_bytes();
-    let name_len = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
+    // container: a rebuilt payload whose name bytes are a lone 0xFF
+    let bytes = store_bytes(false);
+    let mut evil = Vec::new();
+    snapshot::put_varint(&mut evil, 1);
+    snapshot::put_varint(&mut evil, 1); // name length
+    evil.push(0xFF); // never valid UTF-8
+    evil.extend_from_slice(&[0u8; 16]);
+    snapshot::put_varint(&mut evil, 0);
+    assert!(matches!(
+        StoredProvenance::deserialize(&with_items_payload(&bytes, evil)),
+        Err(StoreError::Format(FormatError::BadUtf8))
+    ));
+    // v0: flip the first name byte in place (no checksum to dodge)
+    let v0 = store_bytes(true);
+    let name_len = u16::from_le_bytes([v0[10], v0[11]]) as usize;
     assert!(name_len > 0, "generated items have names");
-    let mut fuzzed = bytes.clone();
-    fuzzed[12] = 0xFF; // a lone 0xFF is never valid UTF-8
+    let mut fuzzed = v0.clone();
+    fuzzed[12] = 0xFF;
     assert!(matches!(
         StoredProvenance::deserialize(&fuzzed),
         Err(StoreError::BadName)
+    ));
+}
+
+/// Trailing garbage after the last item is rejected in the container
+/// framing (exact-consumption check), where v0 silently ignored it.
+#[test]
+fn trailing_bytes_in_items_segment_are_rejected() {
+    let bytes = store_bytes(false);
+    let r = SnapshotReader::parse(&bytes).unwrap();
+    let mut payload = r
+        .first(snapshot::seg::PROVENANCE_ITEMS)
+        .unwrap()
+        .to_vec();
+    payload.push(0xAA);
+    assert!(matches!(
+        StoredProvenance::deserialize(&with_items_payload(&bytes, payload)),
+        Err(StoreError::Format(FormatError::TrailingBytes { .. }))
     ));
 }
