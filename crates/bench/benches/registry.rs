@@ -1,0 +1,107 @@
+//! Criterion bench: the multi-spec service registry (the PR 6 tentpole) —
+//! mixed-spec batch routing against hand-routed per-spec fleets, the lazy
+//! snapshot-directory cold start against relabeling from scratch, and the
+//! cost of one eviction/reload cycle. `repro -- registry` produces the
+//! committed table; this bench is the fast regression guard.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfp_bench::experiments::registry_workload;
+use wfp_skl::fleet::FleetEngine;
+use wfp_skl::{label_run, ServiceRegistry, SpecId};
+use wfp_speclabel::{SchemeKind, SpecScheme};
+
+fn bench_registry(c: &mut Criterion) {
+    let (generated, probes) = registry_workload(true);
+    let m = generated.specs.len();
+
+    let build_registry = || {
+        let mut registry = ServiceRegistry::new();
+        let mut ids = Vec::with_capacity(m);
+        for (i, (spec, gens)) in generated.specs.iter().zip(&generated.fleets).enumerate() {
+            let id = registry.register_spec(spec, SchemeKind::ALL[i]).unwrap();
+            for g in gens {
+                let (labels, _) = label_run(spec, &g.run).unwrap();
+                registry.register_labels(id, &labels).unwrap();
+            }
+            ids.push(id);
+        }
+        (registry, ids)
+    };
+    let (mut registry, ids) = build_registry();
+    let traffic: Vec<_> = probes
+        .iter()
+        .map(|&(s, run, u, v)| (ids[s], run, u, v))
+        .collect();
+
+    // the baseline: one fleet per spec, probes hand-routed by spec index
+    let fleets: Vec<FleetEngine<'_, SpecScheme>> = generated
+        .specs
+        .iter()
+        .zip(&generated.fleets)
+        .enumerate()
+        .map(|(i, (spec, gens))| {
+            let mut fleet =
+                FleetEngine::for_spec(spec, SpecScheme::build(SchemeKind::ALL[i], spec.graph()));
+            for g in gens {
+                let (labels, _) = label_run(spec, &g.run).unwrap();
+                fleet.register_labels(&labels);
+            }
+            fleet
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("wfp-bench-registry-cb-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    registry.save_dir(&dir).unwrap();
+
+    let mut group = c.benchmark_group("registry");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    group.bench_function("mixed-spec-batch/registry", |b| {
+        b.iter(|| black_box(registry.answer_batch(&traffic).unwrap().len()))
+    });
+    group.bench_function("mixed-spec-batch/hand-routed-fleets", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (s, fleet) in fleets.iter().enumerate() {
+                let shard: Vec<_> = probes
+                    .iter()
+                    .filter(|&&(ps, ..)| ps == s)
+                    .map(|&(_, run, u, v)| (run, u, v))
+                    .collect();
+                total += fleet.answer_batch(&shard).unwrap().len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("cold-start/relabel-from-scratch", |b| {
+        b.iter(|| black_box(build_registry().0.stats().resident))
+    });
+    group.bench_function("cold-start/lazy-snapshot-load", |b| {
+        b.iter(|| {
+            let mut r = ServiceRegistry::open_dir(&dir, None).unwrap();
+            for &id in &ids {
+                r.ensure_resident(id).unwrap();
+            }
+            black_box(r.stats().resident)
+        })
+    });
+    group.bench_function("evict-and-reload-one-fleet", |b| {
+        let mut r = ServiceRegistry::open_dir(&dir, None).unwrap();
+        let victim: SpecId = ids[0];
+        b.iter(|| {
+            r.ensure_resident(victim).unwrap();
+            r.evict(victim).unwrap();
+            black_box(r.stats().evictions)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_registry);
+criterion_main!(benches);

@@ -14,7 +14,7 @@ use wfp_bench::{ReproOptions, Table};
 
 const EXPERIMENTS: &[&str] = &[
     "table1", "table2", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-    "fig20", "baseline", "throughput", "live_ingest", "fleet", "persistence",
+    "fig20", "baseline", "throughput", "live_ingest", "fleet", "persistence", "registry",
 ];
 
 fn usage() -> ! {
@@ -44,6 +44,7 @@ fn run_one(name: &str, opts: &ReproOptions) -> (f64, Table) {
         "live_ingest" => experiments::live_ingest(opts),
         "fleet" => experiments::fleet(opts),
         "persistence" => experiments::persistence(opts),
+        "registry" => experiments::registry(opts),
         other => {
             eprintln!("unknown experiment {other:?}");
             usage();

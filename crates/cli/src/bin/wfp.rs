@@ -25,6 +25,9 @@ usage:
   wfp fleet    <spec.xml> [run.xml...] [--runs K] [--target VERTICES]
                [--seed S] [--probes M] [--threads N] [--scheme KIND]
                [--save DIR] [--load DIR]
+  wfp registry [spec.xml...] [--gen-specs N] [--runs K] [--target VERTICES]
+               [--seed S] [--probes M] [--budget BYTES] [--save DIR]
+               [--load DIR]
 
 KIND: tcm | bfs | dfs | treecover | chain | 2hop   (default: tcm)
 vertex names use the paper's numbered form, e.g. b3 = third execution of b;
@@ -38,7 +41,12 @@ under one shared skeleton context, answers --probes mixed cross-run queries
 (default 1000000) and reports the shared-vs-duplicated memory accounting.
 --save DIR persists the serving fleet (spec record + warm memo + per-run
 label columns) to DIR/fleet.wfps; --load DIR restores it warm, with no
-re-labeling (drop run.xml/--runs when loading).";
+re-labeling (drop run.xml/--runs when loading).
+registry serves many specs at once, each by its own fleet behind one
+content-addressed registry (schemes cycle per spec); --budget BYTES (or
+e.g. 64M, 512K) evicts least-recently-used fleets to their snapshot under
+memory pressure, --save DIR writes one *.wfps per spec + registry.manifest,
+and --load DIR opens the directory lazily: each fleet loads on first probe.";
 
 struct Args {
     positional: Vec<String>,
@@ -209,6 +217,29 @@ fn run() -> Result<String, CliError> {
                     load: load.as_deref(),
                 },
             )
+        }
+        "registry" => {
+            let spec_paths: Vec<PathBuf> = args.positional.iter().map(PathBuf::from).collect();
+            let refs: Vec<&std::path::Path> =
+                spec_paths.iter().map(PathBuf::as_path).collect();
+            let save = args.flags.get("save").map(PathBuf::from);
+            let load = args.flags.get("load").map(PathBuf::from);
+            let budget = args
+                .flags
+                .get("budget")
+                .map(|b| parse_budget(b))
+                .transpose()?;
+            cmd_registry(&RegistryOpts {
+                spec_paths: &refs,
+                gen_specs: args.num("gen-specs")?.unwrap_or(0),
+                runs_per_spec: args.num("runs")?.unwrap_or(4),
+                target: args.num("target")?.unwrap_or(2_000),
+                seed: args.num("seed")?.unwrap_or(0),
+                probes: args.num("probes")?.unwrap_or(100_000),
+                budget,
+                save: save.as_deref(),
+                load: load.as_deref(),
+            })
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),

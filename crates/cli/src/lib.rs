@@ -791,6 +791,230 @@ pub fn cmd_fleet(spec_path: &Path, opts: &FleetOpts<'_>) -> Result<String, CliEr
     Ok(out)
 }
 
+/// Parses a `--budget` byte count: a plain number, or a number with a
+/// binary suffix `K`, `M` or `G` (case-insensitive).
+pub fn parse_budget(text: &str) -> Result<usize, CliError> {
+    let t = text.trim();
+    let (digits, multiplier) = match t.char_indices().last() {
+        Some((i, 'k' | 'K')) => (&t[..i], 1usize << 10),
+        Some((i, 'm' | 'M')) => (&t[..i], 1usize << 20),
+        Some((i, 'g' | 'G')) => (&t[..i], 1usize << 30),
+        _ => (t, 1),
+    };
+    let value: usize = digits
+        .parse()
+        .map_err(|_| format!("invalid --budget {text:?} (expected BYTES, or e.g. 64M, 512K)"))?;
+    value
+        .checked_mul(multiplier)
+        .ok_or_else(|| format!("--budget {text:?} overflows").into())
+}
+
+/// Options for [`cmd_registry`].
+pub struct RegistryOpts<'a> {
+    /// Specification XML files to serve (one fleet each).
+    pub spec_paths: &'a [&'a Path],
+    /// Additional synthetic specs to generate (`--gen-specs N`).
+    pub gen_specs: usize,
+    /// Runs generated per spec.
+    pub runs_per_spec: usize,
+    /// Target vertex count per generated run.
+    pub target: usize,
+    /// Generator / traffic seed.
+    pub seed: u64,
+    /// Mixed cross-spec probes to answer.
+    pub probes: usize,
+    /// Resident-byte budget across all fleets (`--budget`, parsed by
+    /// [`parse_budget`]); `None` disables pressure eviction.
+    pub budget: Option<usize>,
+    /// Persist the registry as a snapshot directory after answering.
+    pub save: Option<&'a Path>,
+    /// Open a saved snapshot directory (lazy: fleets load on first probe)
+    /// instead of building one.
+    pub load: Option<&'a Path>,
+}
+
+/// `wfp registry [spec.xml...] [--gen-specs N] [--runs K] [--target V]
+///  [--seed S] [--probes M] [--budget BYTES] [--save DIR] [--load DIR]`
+///
+/// The multi-spec serving scenario: each specification (loaded from XML
+/// and/or generated) gets its own fleet of `K` runs, all behind one
+/// [`ServiceRegistry`] keyed by content-derived spec id, with the schemes
+/// cycling through all six spec-labeling kinds. `M` mixed probes are
+/// routed across the specs in one batch; with `--budget` the registry
+/// offloads least-recently-used fleets to their snapshot under memory
+/// pressure and reloads them transparently. `--save DIR` writes the
+/// snapshot directory (one `*.wfps` per spec + `registry.manifest`);
+/// `--load DIR` opens one lazily — nothing is loaded until its first
+/// probe, and the cold-load cost is reported per spec.
+///
+/// [`ServiceRegistry`]: wfp_skl::registry::ServiceRegistry
+pub fn cmd_registry(opts: &RegistryOpts<'_>) -> Result<String, CliError> {
+    use wfp_skl::registry::ServiceRegistry;
+    let mut out = String::new();
+
+    let mut registry: ServiceRegistry<'static> = if let Some(dir) = opts.load {
+        if !opts.spec_paths.is_empty() || opts.gen_specs > 0 {
+            return Err(
+                "--load opens a saved registry; drop the spec.xml arguments and --gen-specs"
+                    .into(),
+            );
+        }
+        let registry = ServiceRegistry::open_dir(dir, opts.budget)
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        writeln!(
+            out,
+            "opened registry at {}: {} specs in manifest, 0 loaded (lazy)",
+            dir.display(),
+            registry.len(),
+        )?;
+        registry
+    } else {
+        let mut specs: Vec<Specification> = Vec::new();
+        for p in opts.spec_paths {
+            specs.push(load_spec(p)?);
+        }
+        let mut fleets: Vec<Vec<GeneratedRun>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                generate_fleet(
+                    spec,
+                    opts.seed ^ (i as u64 + 1).wrapping_mul(0xD134_2543_DE82_EF95),
+                    opts.runs_per_spec,
+                    opts.target,
+                )
+            })
+            .collect();
+        if opts.gen_specs > 0 {
+            let generated = wfp_gen::generate_registry(
+                opts.seed,
+                opts.gen_specs,
+                opts.runs_per_spec,
+                opts.target,
+            );
+            specs.extend(generated.specs);
+            fleets.extend(generated.fleets);
+        }
+        if specs.is_empty() {
+            return Err("no specs: pass spec.xml files, --gen-specs N, or --load DIR".into());
+        }
+
+        let mut registry = ServiceRegistry::new();
+        registry.set_budget(opts.budget)?;
+        let started = std::time::Instant::now();
+        let mut total_runs = 0usize;
+        for (i, (spec, fleet)) in specs.iter().zip(&fleets).enumerate() {
+            let kind = SchemeKind::ALL[i % SchemeKind::ALL.len()];
+            let id = registry.register_spec(spec, kind)?;
+            for g in fleet {
+                let (labels, _) = label_run(spec, &g.run)?;
+                registry.register_labels(id, &labels)?;
+                total_runs += 1;
+            }
+        }
+        let label_ms = started.elapsed().as_secs_f64() * 1e3;
+        writeln!(
+            out,
+            "registry: {} specs ({} loaded, {} generated), {total_runs} runs, \
+             schemes cycling {}",
+            specs.len(),
+            opts.spec_paths.len(),
+            opts.gen_specs,
+            SchemeKind::ALL
+                .map(|k| k.to_string())
+                .join("/"),
+        )?;
+        writeln!(out, "labeled + registered in {label_ms:.1} ms")?;
+        registry
+    };
+
+    // per-spec probe-address books; under --load this is the lazy cold
+    // load itself, so time each spec's first touch
+    let ids: Vec<_> = registry.spec_ids().collect();
+    let mut books: Vec<Vec<(RunId, usize)>> = Vec::with_capacity(ids.len());
+    for &id in &ids {
+        let cold = !registry.resident(id);
+        let started = std::time::Instant::now();
+        registry.ensure_resident(id)?;
+        let fleet = registry.fleet(id).expect("just made resident");
+        let book: Vec<(RunId, usize)> = fleet
+            .run_ids()
+            .map(|r| (r, fleet.vertex_count(r).expect("active id")))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        if cold {
+            writeln!(
+                out,
+                "  spec {id} ({}): lazy-loaded {} runs in {:.1} ms",
+                registry.scheme(id).expect("registered"),
+                registry.run_count(id)?,
+                started.elapsed().as_secs_f64() * 1e3,
+            )?;
+        }
+        books.push(book);
+    }
+
+    let probeable: Vec<usize> = (0..ids.len()).filter(|&i| !books[i].is_empty()).collect();
+    if opts.probes > 0 && probeable.is_empty() {
+        return Err("every run of every spec is empty: nothing to probe".into());
+    }
+    let mut rng = wfp_graph::rng::Xoshiro256::seed_from_u64(opts.seed ^ 0xF1EE_7BA7_C0FF_EE00);
+    let traffic: Vec<_> = (0..opts.probes)
+        .map(|_| {
+            let which = probeable[rng.gen_usize(probeable.len())];
+            let (run, n) = books[which][rng.gen_usize(books[which].len())];
+            (
+                ids[which],
+                run,
+                RunVertexId(rng.gen_usize(n) as u32),
+                RunVertexId(rng.gen_usize(n) as u32),
+            )
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let answers = registry.answer_batch(&traffic)?;
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let stats = registry.stats();
+    let reachable = answers.iter().filter(|&&a| a).count();
+    writeln!(
+        out,
+        "{} mixed-spec probes: {} reachable; {:.3} ms ({:.0} q/s)",
+        traffic.len(),
+        reachable,
+        elapsed * 1e3,
+        traffic.len() as f64 / elapsed.max(1e-9),
+    )?;
+    write!(
+        out,
+        "residency: {}/{} fleets in memory, {} resident{}; \
+         {} evictions, {} lazy loads",
+        stats.resident,
+        stats.specs,
+        fmt_bytes(stats.resident_bytes),
+        match stats.budget {
+            Some(b) => format!(" (budget {})", fmt_bytes(b)),
+            None => " (no budget)".to_string(),
+        },
+        stats.evictions,
+        stats.lazy_loads,
+    )?;
+
+    if let Some(dir) = opts.save {
+        registry
+            .save_dir(dir)
+            .map_err(|e| format!("cannot save {}: {e}", dir.display()))?;
+        write!(
+            out,
+            "\nsaved registry to {}: {} spec snapshots + {}",
+            dir.display(),
+            stats.specs,
+            wfp_skl::registry::MANIFEST_FILE,
+        )?;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

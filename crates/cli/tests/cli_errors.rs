@@ -245,6 +245,101 @@ fn fleet_save_load_round_trip_exits_zero() {
     assert!(stdout.contains("no re-labeling"), "{stdout}");
 }
 
+// ---------------- wfp registry ----------------------------------------
+
+#[test]
+fn registry_load_missing_directory() {
+    assert_fails(
+        &["registry", "--load", "/nonexistent/regdir"],
+        &["/nonexistent/regdir", "registry.manifest"],
+    );
+}
+
+#[test]
+fn registry_load_rejects_corrupt_manifest() {
+    let dir = tmp("corrupt-registry");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("registry.manifest"), b"WFPSnot-a-real-manifest").unwrap();
+    assert_fails(
+        &["registry", "--load", dir.to_str().unwrap()],
+        &["snapshot format"],
+    );
+}
+
+#[test]
+fn registry_load_conflicts_with_spec_sources() {
+    let (sp, _) = paper_files();
+    let dir = tmp("unused-registry");
+    assert_fails(
+        &["registry", sp.to_str().unwrap(), "--load", dir.to_str().unwrap()],
+        &["--load", "spec.xml"],
+    );
+}
+
+#[test]
+fn registry_without_specs_is_an_error() {
+    assert_fails(&["registry"], &["no specs"]);
+}
+
+#[test]
+fn registry_rejects_malformed_budget() {
+    assert_fails(
+        &["registry", "--gen-specs", "1", "--budget", "12xyz"],
+        &["invalid --budget", "12xyz"],
+    );
+    assert_fails(
+        &["registry", "--gen-specs", "1", "--budget", "999999999999G"],
+        &["--budget", "overflows"],
+    );
+}
+
+#[test]
+fn registry_save_load_round_trip_exits_zero() {
+    let dir = tmp("roundtrip-registry");
+    let out = wfp(&[
+        "registry",
+        "--gen-specs",
+        "3",
+        "--runs",
+        "2",
+        "--target",
+        "60",
+        "--probes",
+        "400",
+        "--save",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("registry: 3 specs"), "{stdout}");
+    assert!(stdout.contains("saved registry to"), "{stdout}");
+    assert!(dir.join("registry.manifest").is_file());
+    let snapshots = fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref().unwrap().path().extension().is_some_and(|x| x == "wfps")
+        })
+        .count();
+    assert_eq!(snapshots, 3, "one *.wfps per spec");
+
+    // reopening is lazy, answers the same traffic, and a tight budget
+    // forces evictions without changing the exit code
+    let out = wfp(&[
+        "registry",
+        "--probes",
+        "400",
+        "--budget",
+        "24K",
+        "--load",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 loaded (lazy)"), "{stdout}");
+    assert!(stdout.contains("lazy-loaded"), "{stdout}");
+    assert!(stdout.contains("lazy loads"), "{stdout}");
+}
+
 // ---------------- sanity: the happy path stays green ------------------
 
 #[test]

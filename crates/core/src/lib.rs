@@ -44,6 +44,7 @@ pub mod live;
 pub mod online;
 pub mod orders;
 pub mod origin;
+pub mod registry;
 pub mod snapshot;
 
 pub use batch::label_runs_parallel;
@@ -61,4 +62,5 @@ pub use label::{
 pub use online::{OnlineError, OnlineLabeler};
 pub use orders::{generate_three_orders, ContextEncoding};
 pub use origin::{compute_origins, compute_origins_numbered, OriginError};
+pub use registry::{RegistryError, RegistryStats, ServiceRegistry, SpecId};
 pub use snapshot::{FormatError, SnapshotReader, SnapshotWriter};

@@ -1,0 +1,1289 @@
+//! Multi-spec serving: a [`ServiceRegistry`] of [`FleetEngine`]s keyed by
+//! content-derived spec identity, with a lazy snapshot *directory* and
+//! memory-pressure-driven eviction across fleets.
+//!
+//! A [`FleetEngine`] serves many runs of **one** specification; a
+//! provenance service serves many specifications at once (the ROADMAP's
+//! "heavy traffic from millions of users, many workflows"). The registry
+//! is the layer between:
+//!
+//! * **identity** — a spec is addressed by [`SpecId`], the FNV-1a hash of
+//!   its canonical spec-labeling record (scheme tag + series–parallel
+//!   structure, [`snapshot::spec_record_payload`]). The id computed from an
+//!   in-memory spec always agrees with one recomputed from a loaded
+//!   snapshot, which is what makes manifest/file cross-validation possible;
+//! * **routing** — [`answer_batch`](ServiceRegistry::answer_batch) takes
+//!   probes tagged `(SpecId, RunId, u, v)`, shards them per fleet, and
+//!   returns answers in input order, so mixed-spec traffic is one call;
+//! * **persistence** — [`save_dir`](ServiceRegistry::save_dir) writes one
+//!   `<specid>.wfps` container per spec plus a versioned, CRC-guarded
+//!   `registry.manifest` index ([`write_manifest`]).
+//!   [`open_dir`](ServiceRegistry::open_dir) reads *only* the manifest:
+//!   each fleet is loaded lazily on its first probe;
+//! * **pressure** — a configurable byte budget over the fleets'
+//!   [`FleetStats`](crate::FleetStats) memory signal. When resident bytes exceed the budget,
+//!   least-recently-used fleets are offloaded to their snapshot (memory or
+//!   directory backed) and reload transparently on the next probe.
+//!
+//! Integrity has the same contract as the rest of the snapshot layer: a
+//! truncated or bit-flipped manifest, a forged entry, or a `*.wfps` file
+//! that does not hash to its manifest id is a typed error
+//! ([`RegistryError`] / [`FormatError`]) — never a panic and never a
+//! silently empty registry.
+
+use std::path::{Path, PathBuf};
+
+use wfp_graph::{DiGraph, FxHashMap, FxHashSet};
+use wfp_model::{RunVertexId, Specification};
+use wfp_speclabel::{SchemeKind, SpecScheme};
+
+use crate::fleet::{FleetEngine, FleetError, RunId};
+use crate::label::RunLabel;
+use crate::live::LiveRun;
+use crate::snapshot::{
+    self, put_str, put_varint, seg, Cursor, FormatError, SnapshotReader, SnapshotWriter,
+};
+
+/// File name of the registry index inside a snapshot directory.
+pub const MANIFEST_FILE: &str = "registry.manifest";
+
+/// Version byte of the manifest payload layout (inside the container's
+/// own versioned framing).
+pub const MANIFEST_VERSION: u8 = 1;
+
+// ====================================================================
+// Spec identity
+// ====================================================================
+
+/// Content-derived identity of a served specification: the 64-bit FNV-1a
+/// hash of its canonical spec-labeling record (scheme tag + vertex count +
+/// edge list, exactly the bytes [`snapshot::spec_record_payload`] writes
+/// into every snapshot). Two registrations of the same structure under the
+/// same scheme collide on purpose; the same structure under two schemes
+/// are two distinct services.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecId(pub u64);
+
+impl SpecId {
+    /// The id of `graph` labeled under `kind`.
+    pub fn of(kind: SchemeKind, graph: &DiGraph) -> SpecId {
+        SpecId(fnv64(&snapshot::spec_record_payload(kind, graph)))
+    }
+
+    /// The default snapshot file name for this spec inside a directory:
+    /// sixteen lowercase hex digits plus `.wfps`.
+    pub fn file_name(self) -> String {
+        format!("{self}.wfps")
+    }
+}
+
+impl std::fmt::Display for SpecId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// 64-bit FNV-1a. Not cryptographic — like the CRCs below, ids detect
+/// mix-ups and corruption, not adversaries with write access.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ====================================================================
+// Errors
+// ====================================================================
+
+/// Failures of the multi-spec registry.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The spec id was never registered (and is not in the manifest).
+    UnknownSpec(SpecId),
+    /// The spec id is already registered; a spec/scheme pair is one
+    /// service.
+    DuplicateSpec(SpecId),
+    /// A fleet-level failure, tagged with the fleet's spec.
+    Fleet {
+        /// The spec whose fleet failed.
+        spec: SpecId,
+        /// The underlying fleet error.
+        error: FleetError,
+    },
+    /// A snapshot or manifest failed to parse.
+    Format(FormatError),
+    /// A filesystem operation failed.
+    Io {
+        /// The path that failed.
+        path: PathBuf,
+        /// The OS error message.
+        message: String,
+    },
+    /// The manifest (or the in-memory store) references a snapshot that
+    /// does not exist.
+    MissingSnapshot {
+        /// The spec whose snapshot is missing.
+        spec: SpecId,
+        /// The file name the manifest promised.
+        file: String,
+    },
+    /// A loaded `*.wfps` file does not hash to the spec id its manifest
+    /// entry (or registration) claims — the directory was reshuffled or
+    /// an entry was forged.
+    SpecMismatch {
+        /// The id the manifest entry claims.
+        expected: SpecId,
+        /// The id recomputed from the loaded snapshot's content.
+        loaded: SpecId,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownSpec(id) => write!(f, "spec {id} is not registered"),
+            RegistryError::DuplicateSpec(id) => {
+                write!(f, "spec {id} is already registered")
+            }
+            RegistryError::Fleet { spec, error } => write!(f, "spec {spec}: {error}"),
+            RegistryError::Format(e) => write!(f, "snapshot format: {e}"),
+            RegistryError::Io { path, message } => {
+                write!(f, "i/o on {}: {message}", path.display())
+            }
+            RegistryError::MissingSnapshot { spec, file } => {
+                write!(f, "spec {spec}: snapshot {file} is missing")
+            }
+            RegistryError::SpecMismatch { expected, loaded } => write!(
+                f,
+                "snapshot content hashes to spec {loaded}, but the manifest claims {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Fleet { error, .. } => Some(error),
+            RegistryError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for RegistryError {
+    fn from(e: FormatError) -> Self {
+        RegistryError::Format(e)
+    }
+}
+
+// ====================================================================
+// Manifest
+// ====================================================================
+
+/// One line of the registry manifest: a served spec and the snapshot file
+/// that backs it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Content-derived spec identity ([`SpecId::of`]).
+    pub id: SpecId,
+    /// The skeleton scheme the fleet was built under.
+    pub kind: SchemeKind,
+    /// Snapshot file name, relative to the directory. Restricted to
+    /// `[A-Za-z0-9._-]` with a mandatory `.wfps` suffix and no `..`, so a
+    /// forged manifest cannot point outside its directory.
+    pub file: String,
+    /// Runs the fleet held when the manifest was written (informational —
+    /// the snapshot itself is authoritative).
+    pub runs: usize,
+}
+
+/// Serializes manifest entries as a standalone snapshot container holding
+/// one [`seg::REGISTRY_MANIFEST`] segment — so the manifest inherits the
+/// container's magic, version and CRC guards.
+pub fn write_manifest(entries: &[ManifestEntry]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(MANIFEST_VERSION);
+    put_varint(&mut payload, entries.len() as u64);
+    for e in entries {
+        payload.extend_from_slice(&e.id.0.to_le_bytes());
+        payload.push(snapshot::scheme_tag(e.kind));
+        put_str(&mut payload, &e.file);
+        put_varint(&mut payload, e.runs as u64);
+    }
+    let mut w = SnapshotWriter::new();
+    w.push(seg::REGISTRY_MANIFEST, payload);
+    w.finish()
+}
+
+/// Parses and validates a [`write_manifest`] container: version and CRC
+/// checks from the container framing, then per-entry validation (known
+/// scheme tag, safe file name, no duplicate ids). Every failure is a typed
+/// [`FormatError`].
+pub fn read_manifest(bytes: &[u8]) -> Result<Vec<ManifestEntry>, FormatError> {
+    let r = SnapshotReader::parse(bytes)?;
+    let mut cur = Cursor::new(r.first(seg::REGISTRY_MANIFEST)?);
+    let version = cur.u8()?;
+    if version != MANIFEST_VERSION {
+        return Err(FormatError::UnsupportedVersion(version as u16));
+    }
+    // each entry costs at least 8 (id) + 1 (tag) + 2 (min file) + 1 (runs)
+    let count = cur.guarded_count(12)?;
+    let mut entries = Vec::with_capacity(count);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    for _ in 0..count {
+        let id = SpecId(cur.u64()?);
+        let kind = snapshot::scheme_from_tag(cur.u8()?)?;
+        let file = cur.str()?;
+        validate_file_name(file)?;
+        let runs = cur.varint()?;
+        if runs > u32::MAX as u64 {
+            return Err(FormatError::Malformed("manifest run count exceeds u32"));
+        }
+        if !seen.insert(id.0) {
+            return Err(FormatError::Malformed("duplicate spec id in manifest"));
+        }
+        entries.push(ManifestEntry {
+            id,
+            kind,
+            file: file.to_string(),
+            runs: runs as usize,
+        });
+    }
+    cur.finish()?;
+    Ok(entries)
+}
+
+/// A manifest file name must stay inside its directory and must not
+/// collide with the manifest itself: `[A-Za-z0-9._-]+` only (no path
+/// separators), no `..`, and a mandatory `.wfps` suffix.
+fn validate_file_name(file: &str) -> Result<(), FormatError> {
+    let safe = |c: char| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.');
+    if file.is_empty() || !file.chars().all(safe) {
+        return Err(FormatError::Malformed("unsafe manifest file name"));
+    }
+    if file.contains("..") {
+        return Err(FormatError::Malformed("manifest file name escapes directory"));
+    }
+    if !file.ends_with(".wfps") || file.len() == ".wfps".len() {
+        return Err(FormatError::Malformed("manifest file name is not *.wfps"));
+    }
+    Ok(())
+}
+
+// ====================================================================
+// The registry
+// ====================================================================
+
+/// Where offloaded fleets park their snapshot bytes.
+enum Store {
+    /// In-process: eviction keeps the (compact) snapshot in a map. The
+    /// default for registries built with [`ServiceRegistry::new`].
+    Memory(FxHashMap<u64, Vec<u8>>),
+    /// A snapshot directory ([`ServiceRegistry::open_dir`]): eviction
+    /// writes the fleet's `*.wfps` back and reload reads it.
+    Dir(PathBuf),
+}
+
+/// Residency state of one registered spec.
+enum State<'s> {
+    /// The fleet is in memory and serving.
+    Resident {
+        fleet: FleetEngine<'s, SpecScheme>,
+        graph: DiGraph,
+    },
+    /// The fleet lives only as snapshot bytes in the backing store; the
+    /// next probe reloads it transparently.
+    Offloaded,
+}
+
+struct Slot<'s> {
+    id: SpecId,
+    kind: SchemeKind,
+    file: String,
+    /// Cached run count (kept in sync on every mutation / offload), so
+    /// offloaded specs still report their size without a load.
+    runs: usize,
+    /// Logical LRU stamp: higher = more recently used.
+    last_used: u64,
+    state: State<'s>,
+}
+
+/// Aggregate registry accounting. See [`ServiceRegistry::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Registered specs (resident + offloaded).
+    pub specs: usize,
+    /// Specs currently resident in memory.
+    pub resident: usize,
+    /// Specs currently offloaded to their snapshot.
+    pub offloaded: usize,
+    /// Bytes held by resident fleets (spec context + run columns, the
+    /// [`FleetStats`](crate::FleetStats) memory signal summed across fleets).
+    pub resident_bytes: usize,
+    /// The configured byte budget, if any.
+    pub budget: Option<usize>,
+    /// Lifetime offloads (pressure-driven and explicit).
+    pub evictions: u64,
+    /// Lifetime lazy reloads from the backing snapshot.
+    pub lazy_loads: u64,
+}
+
+/// A registry of [`FleetEngine`]s keyed by [`SpecId`] — the multi-spec
+/// serving layer. See the [module docs](self).
+///
+/// The lifetime `'s` bounds the specifications borrowed by in-flight
+/// [`LiveRun`]s ([`begin_live`](Self::begin_live)); a registry with no
+/// live runs can use any lifetime.
+pub struct ServiceRegistry<'s> {
+    slots: Vec<Slot<'s>>,
+    by_id: FxHashMap<u64, usize>,
+    store: Store,
+    budget: Option<usize>,
+    clock: u64,
+    evictions: u64,
+    lazy_loads: u64,
+}
+
+impl Default for ServiceRegistry<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'s> ServiceRegistry<'s> {
+    /// An empty, memory-backed registry with no byte budget.
+    pub fn new() -> Self {
+        ServiceRegistry {
+            slots: Vec::new(),
+            by_id: FxHashMap::default(),
+            store: Store::Memory(FxHashMap::default()),
+            budget: None,
+            clock: 0,
+            evictions: 0,
+            lazy_loads: 0,
+        }
+    }
+
+    /// An empty, memory-backed registry holding at most `budget` resident
+    /// bytes across all fleets.
+    pub fn with_budget(budget: usize) -> Self {
+        let mut r = Self::new();
+        r.budget = Some(budget);
+        r
+    }
+
+    /// Opens a snapshot directory written by [`save_dir`](Self::save_dir):
+    /// reads **only** the `registry.manifest` index, verifies every
+    /// referenced `*.wfps` file exists, and registers each spec as
+    /// offloaded — the fleet itself is loaded lazily on its first probe.
+    pub fn open_dir(dir: impl Into<PathBuf>, budget: Option<usize>) -> Result<Self, RegistryError> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let bytes = std::fs::read(&manifest_path).map_err(|e| RegistryError::Io {
+            path: manifest_path.clone(),
+            message: e.to_string(),
+        })?;
+        let entries = read_manifest(&bytes)?;
+        let mut slots = Vec::with_capacity(entries.len());
+        let mut by_id = FxHashMap::default();
+        for e in entries {
+            if !dir.join(&e.file).is_file() {
+                return Err(RegistryError::MissingSnapshot {
+                    spec: e.id,
+                    file: e.file,
+                });
+            }
+            by_id.insert(e.id.0, slots.len());
+            slots.push(Slot {
+                id: e.id,
+                kind: e.kind,
+                file: e.file,
+                runs: e.runs,
+                last_used: 0,
+                state: State::Offloaded,
+            });
+        }
+        Ok(ServiceRegistry {
+            slots,
+            by_id,
+            store: Store::Dir(dir),
+            budget,
+            clock: 0,
+            evictions: 0,
+            lazy_loads: 0,
+        })
+    }
+
+    // ---------------- registration & lookup ----------------
+
+    /// Registers `spec` for serving under scheme `kind`, returning its
+    /// content-derived [`SpecId`]. The new fleet starts resident and
+    /// empty. Errors with [`RegistryError::DuplicateSpec`] if the same
+    /// structure is already served under the same scheme.
+    pub fn register_spec(
+        &mut self,
+        spec: &Specification,
+        kind: SchemeKind,
+    ) -> Result<SpecId, RegistryError> {
+        let id = SpecId::of(kind, spec.graph());
+        if self.by_id.contains_key(&id.0) {
+            return Err(RegistryError::DuplicateSpec(id));
+        }
+        let fleet = FleetEngine::for_spec(spec, SpecScheme::build(kind, spec.graph()));
+        let idx = self.slots.len();
+        self.by_id.insert(id.0, idx);
+        self.clock += 1;
+        self.slots.push(Slot {
+            id,
+            kind,
+            file: id.file_name(),
+            runs: 0,
+            last_used: self.clock,
+            state: State::Resident {
+                fleet,
+                graph: spec.graph().clone(),
+            },
+        });
+        self.enforce_budget(Some(idx))?;
+        Ok(id)
+    }
+
+    /// Number of registered specs.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no spec is registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True if `spec` is registered (resident or offloaded).
+    pub fn contains(&self, spec: SpecId) -> bool {
+        self.by_id.contains_key(&spec.0)
+    }
+
+    /// Registered spec ids, in registration (manifest) order.
+    pub fn spec_ids(&self) -> impl Iterator<Item = SpecId> + '_ {
+        self.slots.iter().map(|s| s.id)
+    }
+
+    /// The scheme `spec` is served under.
+    pub fn scheme(&self, spec: SpecId) -> Option<SchemeKind> {
+        self.by_id.get(&spec.0).map(|&i| self.slots[i].kind)
+    }
+
+    /// True if `spec` is currently resident in memory.
+    pub fn resident(&self, spec: SpecId) -> bool {
+        self.by_id
+            .get(&spec.0)
+            .is_some_and(|&i| matches!(self.slots[i].state, State::Resident { .. }))
+    }
+
+    /// Runs registered under `spec` (cached across offload, so this never
+    /// forces a load).
+    pub fn run_count(&self, spec: SpecId) -> Result<usize, RegistryError> {
+        let idx = self.index_of(spec)?;
+        Ok(match &self.slots[idx].state {
+            State::Resident { fleet, .. } => fleet.run_count(),
+            State::Offloaded => self.slots[idx].runs,
+        })
+    }
+
+    /// The resident fleet for `spec`, if it is resident *now*. Never
+    /// forces a load — use [`ensure_resident`](Self::ensure_resident)
+    /// first to probe through this accessor.
+    pub fn fleet(&self, spec: SpecId) -> Option<&FleetEngine<'s, SpecScheme>> {
+        match &self.slots[*self.by_id.get(&spec.0)?].state {
+            State::Resident { fleet, .. } => Some(fleet),
+            State::Offloaded => None,
+        }
+    }
+
+    // ---------------- run lifecycle, routed by spec ----------------
+
+    /// Registers a frozen run (its offline labels) under `spec`,
+    /// reloading the fleet first if it was offloaded.
+    pub fn register_labels(
+        &mut self,
+        spec: SpecId,
+        labels: &[RunLabel],
+    ) -> Result<RunId, RegistryError> {
+        let idx = self.index_of(spec)?;
+        self.touch(idx)?;
+        let (run, count) = {
+            let (fleet, _) = self.resident_mut(idx);
+            (fleet.register_labels(labels), fleet.run_count())
+        };
+        self.slots[idx].runs = count;
+        self.enforce_budget(Some(idx))?;
+        Ok(run)
+    }
+
+    /// Starts a live (query-while-running) run under `spec`. The borrowed
+    /// `spec_ref` must be the same structure the id was registered for —
+    /// this is checked by content hash, so a mixed-up specification is a
+    /// typed [`RegistryError::SpecMismatch`], not silent mislabeling.
+    pub fn begin_live(
+        &mut self,
+        spec: SpecId,
+        spec_ref: &'s Specification,
+    ) -> Result<RunId, RegistryError> {
+        let idx = self.index_of(spec)?;
+        let offered = SpecId::of(self.slots[idx].kind, spec_ref.graph());
+        if offered != spec {
+            return Err(RegistryError::SpecMismatch {
+                expected: spec,
+                loaded: offered,
+            });
+        }
+        self.touch(idx)?;
+        let (run, count) = {
+            let (fleet, _) = self.resident_mut(idx);
+            (fleet.begin_live(spec_ref), fleet.run_count())
+        };
+        self.slots[idx].runs = count;
+        Ok(run)
+    }
+
+    /// The in-flight labeler of a live run (to feed execution events).
+    /// The fleet is pinned resident while live runs exist — eviction
+    /// refuses in-flight state — so this never triggers a load.
+    pub fn live_mut(
+        &mut self,
+        spec: SpecId,
+        run: RunId,
+    ) -> Result<&mut LiveRun<'s, SpecScheme>, RegistryError> {
+        let idx = self.index_of(spec)?;
+        self.clock += 1;
+        self.slots[idx].last_used = self.clock;
+        let (fleet, _) = self.resident_or_err(idx, run)?;
+        fleet
+            .live_mut(run)
+            .map_err(|error| RegistryError::Fleet { spec, error })
+    }
+
+    /// Freezes a completed live run in place (same [`RunId`], labels
+    /// extracted in execution order).
+    pub fn freeze_run(&mut self, spec: SpecId, run: RunId) -> Result<(), RegistryError> {
+        let idx = self.index_of(spec)?;
+        let (fleet, _) = self.resident_or_err(idx, run)?;
+        fleet
+            .freeze_run(run)
+            .map_err(|error| RegistryError::Fleet { spec, error })
+    }
+
+    // ---------------- probes ----------------
+
+    /// One reachability probe: does vertex `u` reach `v` in run `run` of
+    /// `spec`? Reloads the fleet lazily if it was offloaded.
+    pub fn answer(
+        &mut self,
+        spec: SpecId,
+        run: RunId,
+        u: RunVertexId,
+        v: RunVertexId,
+    ) -> Result<bool, RegistryError> {
+        let idx = self.index_of(spec)?;
+        self.touch(idx)?;
+        let answer = {
+            let (fleet, _) = self.resident_mut(idx);
+            fleet
+                .answer(run, u, v)
+                .map_err(|error| RegistryError::Fleet { spec, error })?
+        };
+        self.enforce_budget(Some(idx))?;
+        Ok(answer)
+    }
+
+    /// Mixed-spec batch evaluation: probes are `(spec, run, u, v)` and may
+    /// interleave specs freely. Internally the batch is sharded per fleet
+    /// (in first-occurrence order) and each shard flows through that
+    /// fleet's run-sharded kernel; answers return **in input order**
+    /// regardless of sharding. Offloaded fleets are lazily reloaded as
+    /// their first probe arrives, and the byte budget is re-enforced after
+    /// each fleet's shard (the fleet currently answering is never its own
+    /// victim).
+    ///
+    /// Any unknown spec id, unknown run id, or out-of-range vertex fails
+    /// the batch as a whole.
+    pub fn answer_batch(
+        &mut self,
+        probes: &[(SpecId, RunId, RunVertexId, RunVertexId)],
+    ) -> Result<Vec<bool>, RegistryError> {
+        // resolve every spec id up front: a batch with one bad id is
+        // rejected before any work
+        // per-fleet shard: the sub-batch plus each probe's input position
+        type Shard = (Vec<(RunId, RunVertexId, RunVertexId)>, Vec<usize>);
+        let mut order: Vec<usize> = Vec::new();
+        let mut shards: FxHashMap<usize, Shard> = FxHashMap::default();
+        for (pos, &(spec, run, u, v)) in probes.iter().enumerate() {
+            let idx = self.index_of(spec)?;
+            let (sub, positions) = shards.entry(idx).or_insert_with(|| {
+                order.push(idx);
+                (Vec::new(), Vec::new())
+            });
+            sub.push((run, u, v));
+            positions.push(pos);
+        }
+        let mut out = vec![false; probes.len()];
+        for idx in order {
+            let (sub, positions) = shards.remove(&idx).expect("sharded above");
+            self.touch(idx)?;
+            let spec = self.slots[idx].id;
+            let answers = {
+                let (fleet, _) = self.resident_mut(idx);
+                fleet
+                    .answer_batch(&sub)
+                    .map_err(|error| RegistryError::Fleet { spec, error })?
+            };
+            for (pos, a) in positions.into_iter().zip(answers) {
+                out[pos] = a;
+            }
+            self.enforce_budget(Some(idx))?;
+        }
+        Ok(out)
+    }
+
+    /// Forces `spec` resident (the lazy load a first probe would do),
+    /// then re-enforces the budget against the *other* fleets.
+    pub fn ensure_resident(&mut self, spec: SpecId) -> Result<(), RegistryError> {
+        let idx = self.index_of(spec)?;
+        self.touch(idx)?;
+        self.enforce_budget(Some(idx))
+    }
+
+    // ---------------- eviction & budget ----------------
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Reconfigures the byte budget and immediately enforces it (so
+    /// shrinking the budget offloads least-recently-used fleets now).
+    pub fn set_budget(&mut self, budget: Option<usize>) -> Result<(), RegistryError> {
+        self.budget = budget;
+        self.enforce_budget(None)
+    }
+
+    /// Bytes currently held by resident fleets (the [`FleetStats`] spec +
+    /// run memory signal, summed).
+    ///
+    /// [`FleetStats`]: crate::fleet::FleetStats
+    pub fn resident_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| match &s.state {
+                State::Resident { fleet, .. } => {
+                    let st = fleet.stats();
+                    st.spec_bytes + st.run_bytes
+                }
+                State::Offloaded => 0,
+            })
+            .sum()
+    }
+
+    /// Explicitly offloads `spec` to its snapshot (memory store or
+    /// directory). A fleet with in-flight live runs refuses with
+    /// [`FleetError::StillLive`]; an already-offloaded spec is a no-op.
+    pub fn evict(&mut self, spec: SpecId) -> Result<(), RegistryError> {
+        let idx = self.index_of(spec)?;
+        self.offload(idx)
+    }
+
+    /// Aggregate accounting across the registry.
+    pub fn stats(&self) -> RegistryStats {
+        let resident = self
+            .slots
+            .iter()
+            .filter(|s| matches!(s.state, State::Resident { .. }))
+            .count();
+        RegistryStats {
+            specs: self.slots.len(),
+            resident,
+            offloaded: self.slots.len() - resident,
+            resident_bytes: self.resident_bytes(),
+            budget: self.budget,
+            evictions: self.evictions,
+            lazy_loads: self.lazy_loads,
+        }
+    }
+
+    // ---------------- persistence ----------------
+
+    /// Writes the whole registry as a snapshot directory: one `*.wfps`
+    /// container per spec (resident fleets are serialized; offloaded
+    /// fleets are copied from their backing snapshot) plus the
+    /// [`MANIFEST_FILE`] index. Fails with [`FleetError::StillLive`] if
+    /// any resident fleet has an in-flight run.
+    pub fn save_dir(&self, dir: &Path) -> Result<(), RegistryError> {
+        std::fs::create_dir_all(dir).map_err(|e| RegistryError::Io {
+            path: dir.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let mut entries = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let (bytes, runs) = match &slot.state {
+                State::Resident { fleet, graph } => (
+                    fleet.save(graph).map_err(|error| RegistryError::Fleet {
+                        spec: slot.id,
+                        error,
+                    })?,
+                    fleet.run_count(),
+                ),
+                State::Offloaded => (self.fetch(slot)?, slot.runs),
+            };
+            let path = dir.join(&slot.file);
+            std::fs::write(&path, &bytes).map_err(|e| RegistryError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+            entries.push(ManifestEntry {
+                id: slot.id,
+                kind: slot.kind,
+                file: slot.file.clone(),
+                runs,
+            });
+        }
+        let manifest_path = dir.join(MANIFEST_FILE);
+        std::fs::write(&manifest_path, write_manifest(&entries)).map_err(|e| {
+            RegistryError::Io {
+                path: manifest_path.clone(),
+                message: e.to_string(),
+            }
+        })
+    }
+
+    // ---------------- internals ----------------
+
+    fn index_of(&self, spec: SpecId) -> Result<usize, RegistryError> {
+        self.by_id
+            .get(&spec.0)
+            .copied()
+            .ok_or(RegistryError::UnknownSpec(spec))
+    }
+
+    /// The resident fleet at `idx`; panics if it is not resident — callers
+    /// go through [`touch`](Self::touch) first, which establishes the
+    /// invariant.
+    fn resident_mut(&mut self, idx: usize) -> (&mut FleetEngine<'s, SpecScheme>, &DiGraph) {
+        match &mut self.slots[idx].state {
+            State::Resident { fleet, graph } => (fleet, graph),
+            State::Offloaded => unreachable!("touched slot must be resident"),
+        }
+    }
+
+    /// Like [`resident_mut`](Self::resident_mut) for operations on live
+    /// runs, which must not trigger a load (an offloaded fleet cannot hold
+    /// live state, so the run id is reported as not-live).
+    fn resident_or_err(
+        &mut self,
+        idx: usize,
+        run: RunId,
+    ) -> Result<(&mut FleetEngine<'s, SpecScheme>, &DiGraph), RegistryError> {
+        let spec = self.slots[idx].id;
+        match &mut self.slots[idx].state {
+            State::Resident { fleet, graph } => Ok((fleet, graph)),
+            State::Offloaded => Err(RegistryError::Fleet {
+                spec,
+                error: FleetError::NotLive(run),
+            }),
+        }
+    }
+
+    /// Stamps `idx` most-recently-used and makes it resident, lazily
+    /// loading (and cross-validating) its snapshot if it was offloaded.
+    fn touch(&mut self, idx: usize) -> Result<(), RegistryError> {
+        self.clock += 1;
+        self.slots[idx].last_used = self.clock;
+        if matches!(self.slots[idx].state, State::Resident { .. }) {
+            return Ok(());
+        }
+        let bytes = self.fetch(&self.slots[idx])?;
+        let (fleet, graph) = FleetEngine::load(&bytes)?;
+        let loaded = SpecId::of(fleet.context().skeleton().kind(), &graph);
+        let slot = &mut self.slots[idx];
+        if loaded != slot.id {
+            return Err(RegistryError::SpecMismatch {
+                expected: slot.id,
+                loaded,
+            });
+        }
+        if fleet.context().skeleton().kind() != slot.kind {
+            // reachable only via a forged manifest: the id hashes the
+            // snapshot's own tag, so id can match while the manifest lies
+            // about the scheme
+            return Err(RegistryError::Format(FormatError::Malformed(
+                "manifest scheme tag does not match snapshot",
+            )));
+        }
+        slot.runs = fleet.run_count();
+        slot.state = State::Resident { fleet, graph };
+        self.lazy_loads += 1;
+        Ok(())
+    }
+
+    /// Reads `slot`'s snapshot bytes from the backing store.
+    fn fetch(&self, slot: &Slot<'s>) -> Result<Vec<u8>, RegistryError> {
+        match &self.store {
+            Store::Memory(map) => {
+                map.get(&slot.id.0)
+                    .cloned()
+                    .ok_or_else(|| RegistryError::MissingSnapshot {
+                        spec: slot.id,
+                        file: slot.file.clone(),
+                    })
+            }
+            Store::Dir(dir) => {
+                let path = dir.join(&slot.file);
+                std::fs::read(&path).map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::NotFound {
+                        RegistryError::MissingSnapshot {
+                            spec: slot.id,
+                            file: slot.file.clone(),
+                        }
+                    } else {
+                        RegistryError::Io {
+                            path,
+                            message: e.to_string(),
+                        }
+                    }
+                })
+            }
+        }
+    }
+
+    /// Snapshots the fleet at `idx` into the backing store and drops it
+    /// from memory. No-op if already offloaded.
+    fn offload(&mut self, idx: usize) -> Result<(), RegistryError> {
+        let spec = self.slots[idx].id;
+        let (bytes, runs) = match &self.slots[idx].state {
+            State::Offloaded => return Ok(()),
+            State::Resident { fleet, graph } => (
+                fleet
+                    .save(graph)
+                    .map_err(|error| RegistryError::Fleet { spec, error })?,
+                fleet.run_count(),
+            ),
+        };
+        match &mut self.store {
+            Store::Memory(map) => {
+                map.insert(spec.0, bytes);
+            }
+            Store::Dir(dir) => {
+                let path = dir.join(&self.slots[idx].file);
+                std::fs::write(&path, &bytes).map_err(|e| RegistryError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                })?;
+            }
+        }
+        let slot = &mut self.slots[idx];
+        slot.runs = runs;
+        slot.state = State::Offloaded;
+        self.evictions += 1;
+        Ok(())
+    }
+
+    /// While resident bytes exceed the budget, offload the
+    /// least-recently-used evictable fleet. `keep` (the fleet answering
+    /// the current probe) and fleets with live runs are never victims; if
+    /// only those remain, the registry stays over budget rather than
+    /// failing — pressure is best-effort, correctness is not.
+    fn enforce_budget(&mut self, keep: Option<usize>) -> Result<(), RegistryError> {
+        let Some(budget) = self.budget else {
+            return Ok(());
+        };
+        loop {
+            if self.resident_bytes() <= budget {
+                return Ok(());
+            }
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| {
+                    Some(*i) != keep
+                        && match &s.state {
+                            State::Resident { fleet, .. } => fleet.stats().live == 0,
+                            State::Offloaded => false,
+                        }
+                })
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i);
+            let Some(i) = victim else {
+                return Ok(());
+            };
+            self.offload(i)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryEngine;
+    use crate::label::LabeledRun;
+    use wfp_model::fixtures::{paper_run, paper_spec};
+
+    /// Three distinct services off one structure: the scheme tag is part
+    /// of the content hash, so one spec under three schemes is three ids.
+    const KINDS: [SchemeKind; 3] = [SchemeKind::Tcm, SchemeKind::Bfs, SchemeKind::Dfs];
+
+    fn labels(spec: &Specification, kind: SchemeKind) -> Vec<RunLabel> {
+        let run = paper_run(spec);
+        LabeledRun::build(spec, SpecScheme::build(kind, spec.graph()), &run)
+            .unwrap()
+            .labels()
+            .to_vec()
+    }
+
+    /// A registry of the paper spec under `KINDS`, two frozen runs each,
+    /// plus the per-scheme oracle engines and the spec ids.
+    fn build_registry(
+        spec: &Specification,
+        budget: Option<usize>,
+    ) -> (
+        ServiceRegistry<'static>,
+        Vec<SpecId>,
+        Vec<QueryEngine<SpecScheme>>,
+    ) {
+        let mut reg = ServiceRegistry::new();
+        reg.set_budget(budget).unwrap();
+        let mut ids = Vec::new();
+        let mut oracles = Vec::new();
+        for &kind in &KINDS {
+            let id = reg.register_spec(spec, kind).unwrap();
+            let l = labels(spec, kind);
+            for _ in 0..2 {
+                reg.register_labels(id, &l).unwrap();
+            }
+            oracles.push(QueryEngine::from_labels(
+                &l,
+                SpecScheme::build(kind, spec.graph()),
+            ));
+            ids.push(id);
+        }
+        (reg, ids, oracles)
+    }
+
+    fn mixed_probes(
+        ids: &[SpecId],
+        n: usize,
+    ) -> Vec<(SpecId, RunId, RunVertexId, RunVertexId)> {
+        let mut probes = Vec::new();
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                for (i, &id) in ids.iter().enumerate() {
+                    probes.push((
+                        id,
+                        RunId((u as usize + i) as u32 % 2),
+                        RunVertexId(u),
+                        RunVertexId(v),
+                    ));
+                }
+            }
+        }
+        probes
+    }
+
+    fn expected(
+        probes: &[(SpecId, RunId, RunVertexId, RunVertexId)],
+        ids: &[SpecId],
+        oracles: &[QueryEngine<SpecScheme>],
+    ) -> Vec<bool> {
+        probes
+            .iter()
+            .map(|&(id, _, u, v)| {
+                let which = ids.iter().position(|&i| i == id).unwrap();
+                oracles[which].answer(u, v)
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("wfp-registry-tests")
+            .join(format!("{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn spec_id_is_content_derived() {
+        let spec = paper_spec();
+        let a = SpecId::of(SchemeKind::Tcm, spec.graph());
+        let b = SpecId::of(SchemeKind::Tcm, spec.graph());
+        assert_eq!(a, b, "same content, same id");
+        let c = SpecId::of(SchemeKind::Bfs, spec.graph());
+        assert_ne!(a, c, "scheme tag is part of the identity");
+        assert_eq!(a.file_name(), format!("{a}.wfps"));
+        assert_eq!(format!("{a}").len(), 16);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_spec_are_typed_errors() {
+        let spec = paper_spec();
+        let (mut reg, ids, _) = build_registry(&spec, None);
+        assert!(matches!(
+            reg.register_spec(&spec, KINDS[0]),
+            Err(RegistryError::DuplicateSpec(id)) if id == ids[0]
+        ));
+        let bogus = SpecId(0xDEAD_BEEF);
+        assert!(matches!(
+            reg.answer(bogus, RunId(0), RunVertexId(0), RunVertexId(0)),
+            Err(RegistryError::UnknownSpec(id)) if id == bogus
+        ));
+        // one bad spec id fails a mixed batch as a whole
+        let mut probes = mixed_probes(&ids, 3);
+        probes.push((bogus, RunId(0), RunVertexId(0), RunVertexId(0)));
+        assert!(matches!(
+            reg.answer_batch(&probes),
+            Err(RegistryError::UnknownSpec(_))
+        ));
+    }
+
+    #[test]
+    fn budget_zero_serves_correctly_with_constant_churn() {
+        let spec = paper_spec();
+        let (mut reg, ids, oracles) = build_registry(&spec, Some(0));
+        let n = paper_run(&spec).vertex_count();
+        let probes = mixed_probes(&ids, n);
+        let want = expected(&probes, &ids, &oracles);
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want);
+        let stats = reg.stats();
+        // budget 0: at most the last-served fleet stays resident (it is
+        // never its own victim), everything else was pushed out
+        assert!(stats.resident <= 1, "resident={}", stats.resident);
+        assert!(stats.evictions >= 2);
+        assert!(stats.lazy_loads >= 2);
+        // and a second pass still answers identically
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want);
+    }
+
+    #[test]
+    fn budget_smaller_than_one_fleet_keeps_the_serving_fleet() {
+        let spec = paper_spec();
+        let (mut reg, ids, _) = build_registry(&spec, Some(1));
+        reg.answer(ids[0], RunId(0), RunVertexId(0), RunVertexId(1))
+            .unwrap();
+        assert!(reg.resident(ids[0]), "the serving fleet is never evicted");
+        assert!(!reg.resident(ids[1]) && !reg.resident(ids[2]));
+        // serving another spec displaces the previous one
+        reg.answer(ids[1], RunId(0), RunVertexId(0), RunVertexId(1))
+            .unwrap();
+        assert!(reg.resident(ids[1]));
+        assert!(!reg.resident(ids[0]));
+    }
+
+    #[test]
+    fn exact_fit_budget_evicts_nothing() {
+        let spec = paper_spec();
+        let (mut reg, _, _) = build_registry(&spec, None);
+        let fit = reg.resident_bytes();
+        reg.set_budget(Some(fit)).unwrap();
+        let stats = reg.stats();
+        assert_eq!(stats.resident, 3, "<= budget is within budget");
+        assert_eq!(stats.evictions, 0);
+        // one byte less forces exactly one eviction
+        reg.set_budget(Some(fit - 1)).unwrap();
+        assert_eq!(reg.stats().resident, 2);
+        assert_eq!(reg.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_order_is_least_recently_used() {
+        let spec = paper_spec();
+        let (mut reg, ids, _) = build_registry(&spec, None);
+        // recency: ids[1] oldest, then ids[2], then ids[0]
+        for &i in &[1usize, 2, 0] {
+            reg.answer(ids[i], RunId(0), RunVertexId(0), RunVertexId(1))
+                .unwrap();
+        }
+        let total = reg.resident_bytes();
+        reg.set_budget(Some(total - 1)).unwrap();
+        assert!(!reg.resident(ids[1]), "LRU victim first");
+        assert!(reg.resident(ids[2]) && reg.resident(ids[0]));
+        let total = reg.resident_bytes();
+        reg.set_budget(Some(total - 1)).unwrap();
+        assert!(!reg.resident(ids[2]), "next LRU victim");
+        assert!(reg.resident(ids[0]));
+    }
+
+    #[test]
+    fn stats_stay_correct_across_evict_and_reload() {
+        let spec = paper_spec();
+        let (mut reg, ids, oracles) = build_registry(&spec, None);
+        let n = paper_run(&spec).vertex_count();
+        let probes = mixed_probes(&ids, n);
+        let want = expected(&probes, &ids, &oracles);
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want);
+
+        for &id in &ids {
+            assert_eq!(reg.run_count(id).unwrap(), 2);
+            reg.evict(id).unwrap();
+            assert!(!reg.resident(id));
+            assert_eq!(reg.run_count(id).unwrap(), 2, "count survives offload");
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.offloaded, 3);
+        assert_eq!(stats.resident_bytes, 0);
+        assert_eq!(stats.evictions, 3);
+        // evicting an offloaded spec is a no-op
+        reg.evict(ids[0]).unwrap();
+        assert_eq!(reg.stats().evictions, 3);
+
+        // transparent reload: same answers, same per-fleet accounting
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want);
+        let stats = reg.stats();
+        assert_eq!(stats.resident, 3);
+        assert_eq!(stats.lazy_loads, 3);
+        for &id in &ids {
+            let fleet = reg.fleet(id).expect("resident after probes");
+            assert_eq!(fleet.stats().frozen, 2);
+            assert_eq!(fleet.stats().context_refs, 1);
+        }
+    }
+
+    #[test]
+    fn live_fleets_are_never_pressure_victims_and_refuse_eviction() {
+        let spec = paper_spec();
+        let mut reg = ServiceRegistry::new();
+        let id = reg.register_spec(&spec, SchemeKind::Tcm).unwrap();
+        let other = reg.register_spec(&spec, SchemeKind::Bfs).unwrap();
+        reg.register_labels(other, &labels(&spec, SchemeKind::Bfs))
+            .unwrap();
+        let run = reg.begin_live(id, &spec).unwrap();
+        assert!(matches!(
+            reg.evict(id),
+            Err(RegistryError::Fleet {
+                error: FleetError::StillLive(r),
+                ..
+            }) if r == run
+        ));
+        reg.set_budget(Some(0)).unwrap();
+        assert!(reg.resident(id), "in-flight state is not evictable");
+        assert!(!reg.resident(other), "frozen-only fleets still are");
+    }
+
+    #[test]
+    fn begin_live_cross_checks_the_spec_by_content() {
+        let spec = paper_spec();
+        let mut reg = ServiceRegistry::new();
+        let id = reg.register_spec(&spec, SchemeKind::Tcm).unwrap();
+        // same structure, but registered id was computed under Tcm; the
+        // reference is fine — a *wrong id* is the error
+        let other = SpecId::of(SchemeKind::Bfs, spec.graph());
+        let mut reg2 = ServiceRegistry::new();
+        reg2.register_spec(&spec, SchemeKind::Bfs).unwrap();
+        assert!(reg.begin_live(id, &spec).is_ok());
+        // content matches under Bfs too — the check is per registered id
+        assert!(reg2.begin_live(other, &spec).is_ok());
+        assert!(matches!(
+            reg.begin_live(SpecId(42), &spec),
+            Err(RegistryError::UnknownSpec(_))
+        ));
+    }
+
+    #[test]
+    fn directory_roundtrip_is_lazy_and_identical() {
+        let spec = paper_spec();
+        let (mut reg, ids, oracles) = build_registry(&spec, None);
+        let n = paper_run(&spec).vertex_count();
+        let probes = mixed_probes(&ids, n);
+        let want = expected(&probes, &ids, &oracles);
+        // warm, then persist
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want);
+        let dir = tmp("roundtrip");
+        reg.save_dir(&dir).unwrap();
+        assert!(dir.join(MANIFEST_FILE).is_file());
+        for &id in &ids {
+            assert!(dir.join(id.file_name()).is_file());
+        }
+
+        // open reads only the manifest: nothing is resident yet
+        let mut loaded = ServiceRegistry::open_dir(&dir, None).unwrap();
+        assert_eq!(loaded.stats().resident, 0);
+        assert_eq!(loaded.spec_ids().collect::<Vec<_>>(), ids);
+        for &id in &ids {
+            assert_eq!(loaded.scheme(id), reg.scheme(id));
+            assert_eq!(loaded.run_count(id).unwrap(), 2);
+        }
+        // first probes lazily load exactly the specs they touch
+        let (p_spec, p_run, p_u, p_v) = probes[0];
+        let pos = 0;
+        assert_eq!(
+            loaded.answer(p_spec, p_run, p_u, p_v).unwrap(),
+            want[pos]
+        );
+        assert_eq!(loaded.stats().lazy_loads, 1);
+        assert_eq!(loaded.stats().resident, 1);
+        // the full mixed batch matches byte-for-byte
+        assert_eq!(loaded.answer_batch(&probes).unwrap(), want);
+        assert_eq!(loaded.stats().lazy_loads, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_rejects_forgeries_and_missing_files() {
+        let spec = paper_spec();
+        let (reg, ids, _) = build_registry(&spec, None);
+        let dir = tmp("adversarial");
+        reg.save_dir(&dir).unwrap();
+
+        // referencing a file that is gone is typed, not a silent absence
+        std::fs::remove_file(dir.join(ids[1].file_name())).unwrap();
+        assert!(matches!(
+            ServiceRegistry::open_dir(&dir, None),
+            Err(RegistryError::MissingSnapshot { spec, .. }) if spec == ids[1]
+        ));
+        // a swapped snapshot is caught by the content hash at lazy load
+        std::fs::copy(dir.join(ids[0].file_name()), dir.join(ids[1].file_name())).unwrap();
+        let mut swapped = ServiceRegistry::open_dir(&dir, None).unwrap();
+        assert!(matches!(
+            swapped.answer(ids[1], RunId(0), RunVertexId(0), RunVertexId(0)),
+            Err(RegistryError::SpecMismatch { expected, loaded })
+                if expected == ids[1] && loaded == ids[0]
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_entry_validation() {
+        let entry = |file: &str| ManifestEntry {
+            id: SpecId(1),
+            kind: SchemeKind::Tcm,
+            file: file.to_string(),
+            runs: 0,
+        };
+        // the empty name dies in the count guard (Oversized) rather than
+        // name validation — either way a typed error, never acceptance
+        let bytes = write_manifest(&[entry("")]);
+        assert!(read_manifest(&bytes).is_err(), "empty name must be rejected");
+        for bad in ["a/b.wfps", "..wfps", "x..y.wfps", "x.txt", ".wfps", "a\\b.wfps"] {
+            let bytes = write_manifest(&[entry(bad)]);
+            assert!(
+                matches!(read_manifest(&bytes), Err(FormatError::Malformed(_))),
+                "file name {bad:?} must be rejected"
+            );
+        }
+        let dup = write_manifest(&[entry("a.wfps"), entry("b.wfps")]);
+        assert!(matches!(
+            read_manifest(&dup),
+            Err(FormatError::Malformed("duplicate spec id in manifest"))
+        ));
+        let ok = write_manifest(&[ManifestEntry {
+            id: SpecId(7),
+            kind: SchemeKind::Hop2,
+            file: "07.wfps".into(),
+            runs: 3,
+        }]);
+        assert_eq!(read_manifest(&ok).unwrap().len(), 1);
+    }
+}

@@ -64,6 +64,10 @@ pub mod seg {
     pub const PROVENANCE_ITEMS: u16 = 0x0006;
     /// One run's registered data items (`wfp-provenance` fleet index).
     pub const RUN_ITEMS: u16 = 0x0007;
+    /// Multi-spec registry manifest: the index of a snapshot *directory*
+    /// (`wfp_skl::registry`) — spec ids, scheme tags and per-spec file
+    /// names.
+    pub const REGISTRY_MANIFEST: u16 = 0x0008;
 }
 
 // ====================================================================
@@ -494,7 +498,7 @@ impl<'a> SnapshotReader<'a> {
 // Spec-labeling record: scheme kind + specification graph + warm memo
 // ====================================================================
 
-fn scheme_tag(kind: SchemeKind) -> u8 {
+pub(crate) fn scheme_tag(kind: SchemeKind) -> u8 {
     match kind {
         SchemeKind::Tcm => 0,
         SchemeKind::Bfs => 1,
@@ -505,7 +509,7 @@ fn scheme_tag(kind: SchemeKind) -> u8 {
     }
 }
 
-fn scheme_from_tag(tag: u8) -> Result<SchemeKind, FormatError> {
+pub(crate) fn scheme_from_tag(tag: u8) -> Result<SchemeKind, FormatError> {
     Ok(match tag {
         0 => SchemeKind::Tcm,
         1 => SchemeKind::Bfs,
@@ -517,6 +521,24 @@ fn scheme_from_tag(tag: u8) -> Result<SchemeKind, FormatError> {
     })
 }
 
+/// The canonical [`seg::SPEC_LABELING`] payload for a scheme kind + spec
+/// graph: scheme tag, vertex count, edge count, then the edge list in
+/// insertion order — all varint-encoded. This byte string is both what the
+/// snapshot stores *and* what `wfp_skl::registry::SpecId` hashes, so a spec
+/// id computed in memory always agrees with one recomputed from a loaded
+/// snapshot.
+pub fn spec_record_payload(kind: SchemeKind, graph: &DiGraph) -> Vec<u8> {
+    let mut spec = Vec::new();
+    spec.push(scheme_tag(kind));
+    put_varint(&mut spec, graph.vertex_count() as u64);
+    put_varint(&mut spec, graph.edge_count() as u64);
+    for &(from, to) in graph.edges() {
+        put_varint(&mut spec, from as u64);
+        put_varint(&mut spec, to as u64);
+    }
+    spec
+}
+
 /// Writes the two spec-level segments ([`seg::SPEC_LABELING`] +
 /// [`seg::MEMO_WARM`]) describing `ctx` into `w`. The skeleton itself is
 /// *not* serialized — the record carries the scheme kind and the
@@ -525,15 +547,10 @@ fn scheme_from_tag(tag: u8) -> Result<SchemeKind, FormatError> {
 /// dense warm-memo tier, so a restarted service answers its first
 /// `+`-LCA probes from the memo instead of re-running warm-up searches.
 pub fn write_spec_context(w: &mut SnapshotWriter, ctx: &SpecContext<SpecScheme>, graph: &DiGraph) {
-    let mut spec = Vec::new();
-    spec.push(scheme_tag(ctx.skeleton().kind()));
-    put_varint(&mut spec, graph.vertex_count() as u64);
-    put_varint(&mut spec, graph.edge_count() as u64);
-    for &(from, to) in graph.edges() {
-        put_varint(&mut spec, from as u64);
-        put_varint(&mut spec, to as u64);
-    }
-    w.push(seg::SPEC_LABELING, spec);
+    w.push(
+        seg::SPEC_LABELING,
+        spec_record_payload(ctx.skeleton().kind(), graph),
+    );
 
     let memo = ctx.memo();
     let mut warm = Vec::new();

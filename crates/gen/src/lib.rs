@@ -25,7 +25,7 @@ pub mod specgen;
 pub use queries::random_pairs;
 pub use real::{real_workflows, stand_in, RealWorkflow};
 pub use rungen::{
-    generate_fleet, generate_run, generate_run_bounded, generate_run_with_target,
-    CountDistribution, GeneratedRun, RunGenConfig,
+    generate_fleet, generate_registry, generate_run, generate_run_bounded,
+    generate_run_with_target, CountDistribution, GeneratedRegistry, GeneratedRun, RunGenConfig,
 };
 pub use specgen::{generate_spec, generate_spec_clamped, GenError, SpecGenConfig};

@@ -332,6 +332,52 @@ pub fn generate_fleet(
         .collect()
 }
 
+/// A mixed-spec workload: `specs[i]` is served by the fleet of runs
+/// `fleets[i]`. See [`generate_registry`].
+pub struct GeneratedRegistry {
+    /// The specifications, structurally distinct per index.
+    pub specs: Vec<Specification>,
+    /// Per spec: its generated runs (with ground-truth plans).
+    pub fleets: Vec<Vec<GeneratedRun>>,
+}
+
+/// Simulates a multi-spec **registry** workload: `spec_count` structurally
+/// distinct specifications (hierarchy size, module and edge counts all
+/// vary with the index), each with `runs_per_spec` generated runs of
+/// approximately `target_vertices` vertices — the workload shape
+/// `wfp_skl::registry::ServiceRegistry` serves. Deterministic in
+/// `(seed, spec_count, runs_per_spec, target_vertices)`.
+///
+/// Scheme assignment is left to the caller (this crate does not depend on
+/// `wfp-speclabel`); cycling `SchemeKind::ALL` over the index is the usual
+/// choice.
+pub fn generate_registry(
+    seed: u64,
+    spec_count: usize,
+    runs_per_spec: usize,
+    target_vertices: usize,
+) -> GeneratedRegistry {
+    let mut specs = Vec::with_capacity(spec_count);
+    let mut fleets = Vec::with_capacity(spec_count);
+    for i in 0..spec_count as u64 {
+        let size = 3 + (i as usize % 4);
+        let cfg = crate::SpecGenConfig {
+            // feasibility mirror of the differential suites: a series
+            // chain of `size` subgraphs needs this many modules at least
+            modules: 2 + 2 * (size - 1) + size + 4 + 2 * (i as usize % 5),
+            edges: 2 + 2 * (size - 1) + size + 8 + (i as usize % 7),
+            hierarchy_size: size,
+            hierarchy_depth: 2 + (i as usize % (size.min(4) - 1)),
+            seed: seed ^ (i.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        let spec = crate::generate_spec_clamped(&cfg).expect("feasible by construction");
+        let fleet_seed = seed ^ (i.wrapping_add(1)).wrapping_mul(0xD134_2543_DE82_EF95);
+        fleets.push(generate_fleet(&spec, fleet_seed, runs_per_spec, target_vertices));
+        specs.push(spec);
+    }
+    GeneratedRegistry { specs, fleets }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

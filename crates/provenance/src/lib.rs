@@ -25,6 +25,7 @@ pub mod fleet;
 pub mod gen;
 pub mod index;
 pub mod live;
+pub mod registry;
 pub mod store;
 
 pub use data::{DataError, DataItem, DataItemId, RunData, RunDataBuilder};
@@ -32,4 +33,5 @@ pub use fleet::FleetIndex;
 pub use gen::attach_data;
 pub use index::{DataLabel, ProvenanceIndex};
 pub use live::LiveIndex;
+pub use registry::RegistryIndex;
 pub use store::{serialize, serialize_v0, StoreError, StoredProvenance};
