@@ -1,0 +1,57 @@
+//! Criterion bench: the branchless column-sweep batch kernel vs the scalar
+//! per-pair reference vs the same sweep over bit-packed label columns (the
+//! PR 7 tentpole). `repro -- kernel` produces the committed table; this
+//! bench is the fast regression guard.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wfp_bench::experiments::throughput_workload;
+use wfp_skl::{LabeledRun, QueryEngine};
+use wfp_speclabel::{SchemeKind, SpecScheme};
+
+fn bench_kernel(c: &mut Criterion) {
+    let (spec, run, pairs) = throughput_workload(false);
+
+    let mut group = c.benchmark_group("kernel_1M");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+        let labeled =
+            LabeledRun::build(&spec, SpecScheme::build(kind, spec.graph()), &run).unwrap();
+        let engine = QueryEngine::from_labeled(labeled);
+        let packed = engine.seal_packed();
+        // one cold pass doubles as the agreement check before timing
+        let mut out = Vec::new();
+        let sweep_answers = engine.answer_batch(&pairs);
+        assert_eq!(
+            engine.answer_batch_scalar_into(&pairs, &mut out),
+            &sweep_answers[..]
+        );
+        assert_eq!(packed.answer_batch(&pairs), sweep_answers);
+
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "scalar"),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| black_box(engine.answer_batch_scalar_into(pairs, &mut out).len()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "sweep"),
+            &pairs,
+            |b, pairs| b.iter(|| black_box(engine.answer_batch_into(pairs, &mut out).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}+SKL"), "packed"),
+            &pairs,
+            |b, pairs| b.iter(|| black_box(packed.answer_batch_into(pairs, &mut out).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

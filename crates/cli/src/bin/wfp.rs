@@ -24,7 +24,7 @@ usage:
   wfp ingest   <spec.xml> <events.log> [--scheme KIND] [--probe FILE]
   wfp fleet    <spec.xml> [run.xml...] [--runs K] [--target VERTICES]
                [--seed S] [--probes M] [--threads N] [--scheme KIND]
-               [--save DIR] [--load DIR]
+               [--packed] [--save DIR] [--load DIR]
   wfp registry [spec.xml...] [--gen-specs N] [--runs K] [--target VERTICES]
                [--seed S] [--probes M] [--budget BYTES] [--save DIR]
                [--load DIR]
@@ -39,9 +39,11 @@ then re-checked against the frozen labels when the run completes.
 fleet loads the given runs and/or generates --runs more, registers them all
 under one shared skeleton context, answers --probes mixed cross-run queries
 (default 1000000) and reports the shared-vs-duplicated memory accounting.
---save DIR persists the serving fleet (spec record + warm memo + per-run
-label columns) to DIR/fleet.wfps; --load DIR restores it warm, with no
-re-labeling (drop run.xml/--runs when loading).
+--packed seals every frozen run into bit-packed label columns before serving
+(identical answers, smaller memory and snapshots). --save DIR persists the
+serving fleet (spec record + warm memo + per-run label columns) to
+DIR/fleet.wfps; --load DIR restores it warm, with no re-labeling (drop
+run.xml/--runs when loading).
 registry serves many specs at once, each by its own fleet behind one
 content-addressed registry (schemes cycle per spec); --budget BYTES (or
 e.g. 64M, 512K) evicts least-recently-used fleets to their snapshot under
@@ -53,12 +55,19 @@ struct Args {
     flags: std::collections::HashMap<String, String>,
 }
 
+/// Flags that take no value: present means on.
+const BOOL_FLAGS: &[&str] = &["packed"];
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut flags = std::collections::HashMap::new();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_string(), value.clone());
         } else if let Some(name) = a.strip_prefix('-') {
@@ -213,6 +222,7 @@ fn run() -> Result<String, CliError> {
                     probes: args.num("probes")?.unwrap_or(1_000_000),
                     scheme: args.scheme()?,
                     threads: args.num("threads")?.unwrap_or(1),
+                    packed: args.flags.contains_key("packed"),
                     save: save.as_deref(),
                     load: load.as_deref(),
                 },

@@ -614,6 +614,10 @@ pub struct FleetOpts<'a> {
     pub scheme: SchemeKind,
     /// Worker threads for the probe batch.
     pub threads: usize,
+    /// Seal every frozen run into bit-packed label columns before
+    /// serving (`--packed`): smaller resident footprint and snapshot,
+    /// identical answers.
+    pub packed: bool,
     /// Persist the serving fleet to `DIR/fleet.wfps` after answering.
     pub save: Option<&'a Path>,
     /// Restore the fleet from `DIR/fleet.wfps` instead of labeling runs.
@@ -621,7 +625,8 @@ pub struct FleetOpts<'a> {
 }
 
 /// `wfp fleet <spec.xml> [run.xml...] [--runs K] [--target N] [--seed S]
-///  [--probes M] [--scheme KIND] [--threads T] [--save DIR] [--load DIR]`
+///  [--probes M] [--scheme KIND] [--threads T] [--packed] [--save DIR]
+///  [--load DIR]`
 ///
 /// The multi-run serving scenario the paper's amortization argument is
 /// about: load the given runs and/or generate `K` more (all conforming to
@@ -632,12 +637,15 @@ pub struct FleetOpts<'a> {
 /// hold. With `--save DIR` the serving fleet (spec record + warm memo +
 /// per-run label columns) is persisted as one snapshot container; with
 /// `--load DIR` it is restored **without re-labeling a single run** and
-/// with the memo warm from the saved process's traffic.
+/// with the memo warm from the saved process's traffic. `--packed` seals
+/// every frozen run into bit-packed label columns before serving —
+/// identical answers from a smaller resident footprint, and the snapshot
+/// stores the compressed segments.
 pub fn cmd_fleet(spec_path: &Path, opts: &FleetOpts<'_>) -> Result<String, CliError> {
     let spec = load_spec(spec_path)?;
     let mut out = String::new();
 
-    let fleet: FleetEngine<'_, SpecScheme> = if let Some(dir) = opts.load {
+    let mut fleet: FleetEngine<'_, SpecScheme> = if let Some(dir) = opts.load {
         if !opts.run_paths.is_empty() || opts.gen_runs > 0 {
             return Err(
                 "--load restores a saved fleet; drop the run.xml arguments and --runs".into(),
@@ -665,7 +673,7 @@ pub fn cmd_fleet(spec_path: &Path, opts: &FleetOpts<'_>) -> Result<String, CliEr
             "restored fleet from {} in {load_ms:.1} ms: {} runs ({} evicted), \
              scheme {}, {} warm memo cells (no re-labeling)",
             path.display(),
-            stats.frozen,
+            stats.frozen + stats.packed,
             stats.evicted,
             fleet.context().skeleton().kind(),
             fleet.context().memo().warm_entries(),
@@ -710,6 +718,19 @@ pub fn cmd_fleet(spec_path: &Path, opts: &FleetOpts<'_>) -> Result<String, CliEr
         writeln!(out, "labeled in {label_ms:.1} ms (no per-run skeletons built)")?;
         fleet
     };
+
+    if opts.packed {
+        let before = fleet.stats().run_bytes;
+        let sealed = fleet.seal_packed_all();
+        let after = fleet.stats().run_bytes;
+        writeln!(
+            out,
+            "packed: sealed {sealed} runs into bit-packed columns \
+             (run columns {} → {})",
+            fmt_bytes(before),
+            fmt_bytes(after),
+        )?;
+    }
 
     // mixed probe traffic: uniformly random (run, u, v) triples over the
     // active runs that executed at least one module (a loaded run XML may
@@ -785,7 +806,7 @@ pub fn cmd_fleet(spec_path: &Path, opts: &FleetOpts<'_>) -> Result<String, CliEr
             "\nsaved fleet snapshot to {} ({}: 1 spec record + warm memo + {} run segments)",
             path.display(),
             fmt_bytes(bytes.len()),
-            stats.frozen,
+            stats.frozen + stats.packed,
         )?;
     }
     Ok(out)
@@ -1253,6 +1274,7 @@ mod tests {
             probes,
             scheme: SchemeKind::Bfs,
             threads: 1,
+            packed: false,
             save: None,
             load: None,
         }
@@ -1329,6 +1351,57 @@ mod tests {
         cmd_gen_spec(&cfg, &other_sp).unwrap();
         let err = cmd_fleet(&other_sp, &load_opts).unwrap_err().to_string();
         assert!(err.contains("different specification"), "{err}");
+    }
+
+    #[test]
+    fn fleet_packed_serves_and_round_trips_smaller_snapshots() {
+        let (sp, rp) = write_paper_files();
+        let paths = [rp.as_path()];
+
+        // raw baseline snapshot of the identical fleet + traffic
+        let raw_dir = tmp("fleet-raw-snap");
+        let raw_opts = FleetOpts {
+            save: Some(&raw_dir),
+            ..fleet_opts(&paths, 3, 2_000)
+        };
+        let raw_out = cmd_fleet(&sp, &raw_opts).unwrap();
+        let raw_len = fs::metadata(raw_dir.join(FLEET_SNAPSHOT_FILE)).unwrap().len();
+
+        let dir = tmp("fleet-packed-snap");
+        let packed_opts = FleetOpts {
+            packed: true,
+            save: Some(&dir),
+            ..fleet_opts(&paths, 3, 2_000)
+        };
+        let out = cmd_fleet(&sp, &packed_opts).unwrap();
+        assert!(out.contains("sealed 4 runs"), "{out}");
+        assert!(out.contains("4 run segments"), "{out}");
+        // identical traffic, identical decision counts as the raw fleet
+        // (compare up to the memo/timing half, which varies run to run)
+        let count_line = |s: &str| {
+            let l = s.lines().find(|l| l.contains("2000 probes")).unwrap();
+            l.split(" (").next().unwrap().to_string()
+        };
+        assert_eq!(count_line(&out), count_line(&raw_out));
+        let packed_len = fs::metadata(dir.join(FLEET_SNAPSHOT_FILE)).unwrap().len();
+        assert!(
+            packed_len < raw_len,
+            "packed snapshot {packed_len} B must undercut raw {raw_len} B"
+        );
+
+        // restore: runs come back packed, memo warm, no re-labeling
+        let load_opts = FleetOpts {
+            load: Some(&dir),
+            ..fleet_opts(&[], 0, 2_000)
+        };
+        let out = cmd_fleet(&sp, &load_opts).unwrap();
+        assert!(out.contains("restored fleet"), "{out}");
+        assert!(out.contains("4 runs (0 evicted)"), "{out}");
+        assert!(out.contains("(0 probes,"), "{out}");
+        // decision counters are cumulative (the snapshot carries them), so
+        // only the answers themselves are comparable after the reload
+        let reachable = |s: &str| count_line(s).split(';').next().unwrap().to_string();
+        assert_eq!(reachable(&out), reachable(&raw_out));
     }
 
     #[test]

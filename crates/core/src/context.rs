@@ -46,6 +46,7 @@ use wfp_speclabel::SpecIndex;
 
 use crate::engine::SoaLabels;
 use crate::label::RunLabel;
+use crate::packed::PackedColumns;
 
 /// Cell states of the warm snapshot tier.
 const MEMO_UNKNOWN: u8 = 0;
@@ -173,6 +174,20 @@ impl SharedMemo {
                 shard.insert(key, ans);
             }
             ans
+        }
+    }
+
+    /// Credits `n` avoided probes to the hit counter without touching the
+    /// cells. The sweep kernel's per-batch probe table answers repeated
+    /// `(a, b)` lanes locally after their first lane warmed the memo cell
+    /// through [`reaches`](Self::reaches); each such lane would have been
+    /// a memo hit under per-lane probing, so the kernel accounts for them
+    /// here in bulk — one atomic add per batch instead of one per lane —
+    /// keeping the probe/hit counters identical to the scalar kernel's.
+    #[inline]
+    pub fn note_hits(&self, n: u64) {
+        if n != 0 {
+            self.hits.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -455,6 +470,92 @@ impl std::fmt::Debug for RunHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunHandle")
             .field("vertices", &self.cols.len())
+            .finish()
+    }
+}
+
+/// A [`RunHandle`] whose label columns stay bit-packed
+/// ([`PackedColumns`]): the packed-resident form a fleet serves when a
+/// run is sealed cold ([`crate::fleet::FleetEngine::seal_packed`]) or the
+/// registry's packed tier compresses it under memory pressure. Queries
+/// decode inside the sweep kernel's gather — answers and counters are
+/// byte-identical to the raw handle, at a fraction of the footprint.
+pub struct PackedRunHandle {
+    cols: PackedColumns,
+    context_only: AtomicU64,
+    skeleton_queries: AtomicU64,
+}
+
+impl PackedRunHandle {
+    /// Packs a raw run handle, carrying its decision counters over so
+    /// fleet statistics stay continuous across a seal.
+    pub fn pack(handle: &RunHandle) -> Self {
+        let packed = Self::from_columns(PackedColumns::pack(handle.columns()));
+        packed.count(handle.context_only(), handle.skeleton_queries());
+        packed
+    }
+
+    /// Wraps already-packed columns (fresh counters — the snapshot layer
+    /// restores persisted counters separately).
+    pub fn from_columns(cols: PackedColumns) -> Self {
+        PackedRunHandle {
+            cols,
+            context_only: AtomicU64::new(0),
+            skeleton_queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Decodes back to a raw run handle, counters included — the inverse
+    /// of [`pack`](Self::pack), byte-identical columns guaranteed.
+    pub fn unpack(&self) -> RunHandle {
+        let handle = RunHandle::from_columns(self.cols.unpack());
+        handle.count(self.context_only(), self.skeleton_queries());
+        handle
+    }
+
+    /// Number of labeled vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The packed label columns.
+    pub fn columns(&self) -> &PackedColumns {
+        &self.cols
+    }
+
+    /// Re-gathers the label of vertex `v` (spot checks only).
+    pub fn label(&self, v: RunVertexId) -> RunLabel {
+        self.cols.label(v)
+    }
+
+    /// Pairs decided by the context encoding alone, over this run.
+    pub fn context_only(&self) -> u64 {
+        self.context_only.load(Ordering::Relaxed)
+    }
+
+    /// Pairs delegated to the skeleton, over this run.
+    pub fn skeleton_queries(&self) -> u64 {
+        self.skeleton_queries.load(Ordering::Relaxed)
+    }
+
+    /// Folds one batch's decision counts into the run's counters.
+    #[inline]
+    pub(crate) fn count(&self, context_only: u64, skeleton: u64) {
+        self.context_only.fetch_add(context_only, Ordering::Relaxed);
+        self.skeleton_queries.fetch_add(skeleton, Ordering::Relaxed);
+    }
+
+    /// Approximate heap footprint in bytes: the packed frames.
+    pub fn memory_bytes(&self) -> usize {
+        self.cols.memory_bytes()
+    }
+}
+
+impl std::fmt::Debug for PackedRunHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedRunHandle")
+            .field("vertices", &self.cols.len())
+            .field("bytes", &self.cols.memory_bytes())
             .finish()
     }
 }

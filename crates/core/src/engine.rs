@@ -48,8 +48,8 @@
 //! assert_eq!(engine.answer_batch(&[(b1, c3), (c3, c3)]), vec![false, true]);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use wfp_model::RunVertexId;
 use wfp_speclabel::SpecIndex;
@@ -400,54 +400,77 @@ impl<S: SpecIndex> QueryEngine<S> {
         // must degrade to a bounded fan-out, not a spawn failure.
         const MAX_SHARDS: usize = 64;
         let threads = threads.clamp(1, MAX_SHARDS).min(pairs.len().max(1));
-        // Fixed-size chunks pulled from a shared cursor: big enough to
-        // amortize the per-chunk send, small enough to balance shards.
+        // Fixed-size chunks pulled from a shared queue: big enough to
+        // amortize the per-chunk claim, small enough to balance shards.
         let chunk = (pairs.len().div_ceil(threads.max(1) * 8)).clamp(1024, 1 << 20);
         let chunk_count = pairs.len().div_ceil(chunk);
         // A shard beyond the chunk count would clone a skeleton only to
-        // find the cursor already exhausted.
+        // find the queue already exhausted.
         let threads = threads.min(chunk_count);
         if threads <= 1 {
             return self.answer_batch(pairs);
         }
-        let cursor = AtomicUsize::new(0);
         let cols = self.run.columns();
         let memo = self.ctx.probe_memo();
-        let (tx, rx) = std::sync::mpsc::channel();
-        let (mut ctx_total, mut skel_total) = (0u64, 0u64);
         let mut out = vec![false; pairs.len()];
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let skeleton = self.ctx.skeleton().clone();
-                scope.spawn(move || {
-                    let mut buf: Vec<bool> = Vec::with_capacity(chunk);
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= chunk_count {
-                            break;
+        let ctx_total = AtomicU64::new(0);
+        let skel_total = AtomicU64::new(0);
+        {
+            // Shards claim (input-chunk, output-window) work items from one
+            // shared queue and sweep answers straight into their disjoint
+            // window of the preallocated output — no per-chunk buffer
+            // allocation and no funnel copy. The two chunkings are
+            // identical, so the zip hands each input chunk exactly its own
+            // output window; chunks are ≥1024 pairs, so the queue lock is
+            // touched at most once per ~1k answers.
+            let work = Mutex::new(pairs.chunks(chunk).zip(out.chunks_mut(chunk)));
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let work = &work;
+                    let (ctx_total, skel_total) = (&ctx_total, &skel_total);
+                    let skeleton = self.ctx.skeleton().clone();
+                    scope.spawn(move || {
+                        let (mut ctx_sum, mut skel_sum) = (0u64, 0u64);
+                        loop {
+                            let claimed = work.lock().expect("work queue poisoned").next();
+                            let Some((chunk_pairs, window)) = claimed else {
+                                break;
+                            };
+                            let (c, s) =
+                                sweep_into_slice(cols, &skeleton, memo, chunk_pairs, window);
+                            ctx_sum += c;
+                            skel_sum += s;
                         }
-                        let start = idx * chunk;
-                        let end = (start + chunk).min(pairs.len());
-                        buf.clear();
-                        let (ctx, skel) =
-                            answer_into(cols, &skeleton, memo, &pairs[start..end], &mut buf);
-                        if tx.send((start, std::mem::take(&mut buf), ctx, skel)).is_err() {
-                            break;
-                        }
-                        buf = Vec::with_capacity(chunk);
-                    }
-                });
-            }
-            drop(tx);
-            for (start, answers, ctx, skel) in rx {
-                out[start..start + answers.len()].copy_from_slice(&answers);
-                ctx_total += ctx;
-                skel_total += skel;
-            }
-        });
-        self.run.count(ctx_total, skel_total);
+                        ctx_total.fetch_add(ctx_sum, Ordering::Relaxed);
+                        skel_total.fetch_add(skel_sum, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        self.run.count(ctx_total.into_inner(), skel_total.into_inner());
+        out
+    }
+
+    /// [`answer_batch_into`](Self::answer_batch_into) through the reference
+    /// **scalar** kernel — the per-lane branch chain the column sweep
+    /// replaced. Kept public as the A/B baseline for the kernel bench and
+    /// the differential suite; answers and decision counters are
+    /// byte-identical to the sweep paths.
+    pub fn answer_batch_scalar_into<'o>(
+        &self,
+        pairs: &[(RunVertexId, RunVertexId)],
+        out: &'o mut Vec<bool>,
+    ) -> &'o [bool] {
+        out.clear();
+        out.reserve(pairs.len());
+        let (ctx, skel) = answer_into_scalar(
+            self.run.columns(),
+            self.ctx.skeleton(),
+            self.ctx.probe_memo(),
+            pairs,
+            out,
+        );
+        self.run.count(ctx, skel);
         out
     }
 }
@@ -469,16 +492,229 @@ pub(crate) fn answer_one<S: SpecIndex>(
     }
 }
 
-/// The shared batch kernel: answers `pairs` over the columns, appending to
-/// `out`. Returns `(context_only, skeleton)` decision counts.
+/// A column store the sweep kernel can gather lanes from. Implemented by
+/// the raw [`SoaColumns`] (direct column loads) and by the bit-packed
+/// [`crate::packed::PackedColumns`] (shift-and-mask decode of the same
+/// lanes) — both run the identical two-phase kernel, which is what
+/// makes the packed-resident serving path answer byte-identically.
+pub(crate) trait ColumnGather {
+    /// Coordinate type the context fast path compares.
+    type Coord: Copy + Ord;
+    /// Number of labeled vertices.
+    fn lane_count(&self) -> usize;
+    /// `(q1, q2, q3)` of vertex `i`.
+    fn coords(&self, i: usize) -> (Self::Coord, Self::Coord, Self::Coord);
+    /// Origin module of vertex `i`.
+    fn origin_of(&self, i: usize) -> u32;
+    /// Exclusive upper bound on the origin ids stored in the columns —
+    /// sizes the sweep's per-batch probe table.
+    fn origin_bound(&self) -> u32;
+
+    /// Phase-1 block kernel: evaluates the branchless context fast path of
+    /// Algorithm 3 over up to [`BLOCK`] lanes of `chunk`, returning the
+    /// `(resolved, answer)` bit masks. Panics (`"query vertex out of
+    /// range"`) on the first out-of-range lane, before gathering it.
+    ///
+    /// The default body gathers one lane at a time via
+    /// [`coords`](Self::coords); implementations override it when they can
+    /// prove the per-column bounds checks away (see [`SoaColumns`]).
+    #[inline]
+    fn block_masks(&self, chunk: &[(RunVertexId, RunVertexId)]) -> (u64, u64) {
+        debug_assert!(chunk.len() <= BLOCK);
+        let n = self.lane_count();
+        let (mut resolved_mask, mut answer_mask) = (0u64, 0u64);
+        for (i, &(u, v)) in chunk.iter().enumerate() {
+            let (a, b) = (u.index(), v.index());
+            assert!(a < n && b < n, "query vertex out of range");
+            let (a1, a2, a3) = self.coords(a);
+            let (b1, b2, b3) = self.coords(b);
+            let split = (a2 < b2) != (a3 < b3);
+            let resolved = (split & (a2 != b2) & (a3 != b3)) as u64;
+            let ans = ((a1 < b1) & (a3 > b3)) as u64;
+            resolved_mask |= resolved << i;
+            answer_mask |= (resolved & ans) << i;
+        }
+        (resolved_mask, answer_mask)
+    }
+}
+
+impl<Q: Copy + Ord> ColumnGather for SoaColumns<Q> {
+    type Coord = Q;
+
+    #[inline(always)]
+    fn lane_count(&self) -> usize {
+        self.q1.len()
+    }
+
+    #[inline(always)]
+    fn coords(&self, i: usize) -> (Q, Q, Q) {
+        (self.q1[i], self.q2[i], self.q3[i])
+    }
+
+    #[inline(always)]
+    fn origin_of(&self, i: usize) -> u32 {
+        self.origin[i]
+    }
+
+    #[inline(always)]
+    fn origin_bound(&self) -> u32 {
+        SoaColumns::origin_bound(self)
+    }
+
+    /// Override: equal-length sub-slices plus the per-lane range assert
+    /// let the compiler elide all six per-column bounds checks, so the
+    /// block body is pure straight-line compare/mask arithmetic.
+    #[inline]
+    fn block_masks(&self, chunk: &[(RunVertexId, RunVertexId)]) -> (u64, u64) {
+        debug_assert!(chunk.len() <= BLOCK);
+        let n = self.q1.len();
+        let (q1, q2, q3) = (&self.q1[..n], &self.q2[..n], &self.q3[..n]);
+        let (mut resolved_mask, mut answer_mask) = (0u64, 0u64);
+        for (i, &(u, v)) in chunk.iter().enumerate() {
+            let (a, b) = (u.index(), v.index());
+            assert!(a < n && b < n, "query vertex out of range");
+            let (a1, a2, a3) = (q1[a], q2[a], q3[a]);
+            let (b1, b2, b3) = (q1[b], q2[b], q3[b]);
+            let split = (a2 < b2) != (a3 < b3);
+            let resolved = (split & (a2 != b2) & (a3 != b3)) as u64;
+            let ans = ((a1 < b1) & (a3 > b3)) as u64;
+            resolved_mask |= resolved << i;
+            answer_mask |= (resolved & ans) << i;
+        }
+        (resolved_mask, answer_mask)
+    }
+}
+
+/// Lanes per sweep block: one machine word of resolved/answer mask bits.
+pub(crate) const BLOCK: usize = 64;
+
+/// Cap on the sweep's per-batch probe table: `origin_bound²` one-byte
+/// cells, at most 1 MiB. That covers specifications up to 1024 modules —
+/// the paper's largest has 200 — while an untrusted origin bound can never
+/// size an unbounded allocation (the same posture as
+/// [`SharedMemo::SIDE_CAP`]).
+const PROBE_TABLE_CAP: usize = 1 << 20;
+
+/// The two-phase column-sweep batch kernel, writing answers into a
+/// caller-provided slice (`out.len() == pairs.len()`). Returns
+/// `(context_only, skeleton)` decision counts.
+///
+/// **Phase 1** walks `pairs` in blocks of [`BLOCK`] lanes
+/// ([`ColumnGather::block_masks`]): both endpoints' `(q1,q2,q3)` are
+/// gathered and the context fast path of Algorithm 3 is evaluated as
+/// branchless compare/mask arithmetic — no `Option`, no early exit, one
+/// resolved bit and one answer bit per lane accumulated into two
+/// block-wide machine words — so the lanes are independent straight-line
+/// code and a mispredicted `+`-LCA lane never stalls its neighbours. The
+/// complemented resolved mask *is* the compact emission of unresolved
+/// lanes.
+///
+/// **Phase 2** drains each block's unresolved bits and groups the probes
+/// by their `(origin_a, origin_b)` key in a dense per-batch table, so
+/// every distinct skeleton probe is answered once: the first lane of a
+/// group goes through the [`SharedMemo`] (warming its cell exactly like
+/// the scalar kernel would), repeat lanes are local table loads whose
+/// avoided probes are credited to the memo in bulk
+/// ([`SharedMemo::note_hits`]) — final probe/hit counters match the scalar
+/// kernel lane for lane. Specifications too wide for the table, or batches
+/// too small to amortize zeroing it, fall back to per-lane memo probes:
+/// the scalar kernel's exact path.
 ///
 /// `memo` carries the policy decided by [`SpecContext::probe_memo`]:
 /// `None` for skeletons whose probes are already constant-time bit lookups
-/// ([`SpecIndex::constant_time_queries`], e.g. TCM — the memo round trip
-/// costs more than the probe it would save), `Some(shared)` otherwise.
+/// ([`SpecIndex::constant_time_queries`]), `Some(shared)` otherwise.
 /// Direct probes under `None` do not appear in the memo's counters.
+pub(crate) fn sweep_into_slice<C: ColumnGather, S: SpecIndex>(
+    cols: &C,
+    skeleton: &S,
+    memo: Option<&SharedMemo>,
+    pairs: &[(RunVertexId, RunVertexId)],
+    out: &mut [bool],
+) -> (u64, u64) {
+    assert_eq!(out.len(), pairs.len(), "output slice must match the batch");
+    let bound = cols.origin_bound() as usize;
+    let mut table = match bound.checked_mul(bound) {
+        Some(cells)
+            if cells <= PROBE_TABLE_CAP && cells <= pairs.len().saturating_mul(BLOCK) =>
+        {
+            vec![0u8; cells]
+        }
+        _ => Vec::new(),
+    };
+    let mut ctx = 0u64;
+    let mut skel = 0u64;
+    let mut repeat_hits = 0u64;
+    for (blk, chunk) in pairs.chunks(BLOCK).enumerate() {
+        let off = blk * BLOCK;
+        let k = chunk.len();
+        let (resolved_mask, answer_mask) = cols.block_masks(chunk);
+        ctx += u64::from(resolved_mask.count_ones());
+        for (i, slot) in out[off..off + k].iter_mut().enumerate() {
+            *slot = (answer_mask >> i) & 1 == 1;
+        }
+        let live = if k == BLOCK { u64::MAX } else { (1u64 << k) - 1 };
+        let mut rest = !resolved_mask & live;
+        skel += u64::from(rest.count_ones());
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let (u, v) = chunk[i];
+            let (oa, ob) = (cols.origin_of(u.index()), cols.origin_of(v.index()));
+            let ans = if table.is_empty() {
+                match memo {
+                    Some(memo) => memo.reaches(oa, ob, skeleton),
+                    None => skeleton.reaches(oa, ob),
+                }
+            } else {
+                let cell = &mut table[oa as usize * bound + ob as usize];
+                match *cell {
+                    0 => {
+                        let ans = match memo {
+                            Some(memo) => memo.reaches(oa, ob, skeleton),
+                            None => skeleton.reaches(oa, ob),
+                        };
+                        *cell = 1 + u8::from(ans);
+                        ans
+                    }
+                    known => {
+                        repeat_hits += 1;
+                        known == 2
+                    }
+                }
+            };
+            out[off + i] = ans;
+        }
+    }
+    if let Some(memo) = memo {
+        // Repeat lanes the table absorbed would each have been a memo hit
+        // under the scalar kernel (their first lane just warmed the cell);
+        // credit them in bulk so the counters stay identical.
+        memo.note_hits(repeat_hits);
+    }
+    (ctx, skel)
+}
+
+/// The shared batch kernel: answers `pairs` over the columns via the
+/// two-phase sweep ([`sweep_into_slice`]), appending to `out`. Returns
+/// `(context_only, skeleton)` decision counts.
 #[inline]
 pub(crate) fn answer_into<Q: Copy + Ord, S: SpecIndex>(
+    cols: &SoaColumns<Q>,
+    skeleton: &S,
+    memo: Option<&SharedMemo>,
+    pairs: &[(RunVertexId, RunVertexId)],
+    out: &mut Vec<bool>,
+) -> (u64, u64) {
+    let base = out.len();
+    out.resize(base + pairs.len(), false);
+    sweep_into_slice(cols, skeleton, memo, pairs, &mut out[base..])
+}
+
+/// The reference scalar kernel the sweep replaced: one data-dependent
+/// branch chain per lane, appending to `out`. Kept as the A/B baseline
+/// ([`QueryEngine::answer_batch_scalar_into`]) and the differential
+/// suite's independent oracle.
+pub(crate) fn answer_into_scalar<Q: Copy + Ord, S: SpecIndex>(
     cols: &SoaColumns<Q>,
     skeleton: &S,
     memo: Option<&SharedMemo>,
@@ -606,6 +842,33 @@ mod tests {
                 let parallel = engine.answer_batch_parallel(&pairs, threads);
                 assert_eq!(parallel, sequential, "{kind}, threads = {threads}");
             }
+        }
+    }
+
+    #[test]
+    fn scalar_reference_kernel_matches_the_sweep_exactly() {
+        // Answers AND decision counters must agree between the branchless
+        // sweep and the per-lane reference kernel, memoized (BFS) or not
+        // (TCM), including partial trailing blocks.
+        for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+            let (run, engine) = paper_engine(kind);
+            let mut pairs = all_pairs(&run);
+            pairs.truncate(pairs.len() - pairs.len() % BLOCK + 3);
+            let sweep = engine.answer_batch(&pairs);
+            let after_sweep = engine.stats();
+            let mut buf = Vec::new();
+            assert_eq!(engine.answer_batch_scalar_into(&pairs, &mut buf), sweep, "{kind}");
+            let after_scalar = engine.stats();
+            assert_eq!(
+                after_scalar.context_only - after_sweep.context_only,
+                after_sweep.context_only,
+                "{kind}: scalar context-only count diverged"
+            );
+            assert_eq!(
+                after_scalar.skeleton - after_sweep.skeleton,
+                after_sweep.skeleton,
+                "{kind}: scalar skeleton count diverged"
+            );
         }
     }
 

@@ -45,16 +45,15 @@
 //! assert_eq!(fleet.stats().frozen, 2);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use wfp_model::{RunVertexId, Specification};
 use wfp_speclabel::SpecIndex;
 
 use wfp_speclabel::SpecScheme;
 
-use crate::context::{RunHandle, SpecContext};
-use crate::engine::{answer_into, EngineStats};
+use crate::context::{PackedRunHandle, RunHandle, SpecContext};
+use crate::engine::{answer_into, sweep_into_slice, EngineStats};
 use crate::label::{LabeledRun, RunLabel};
 use crate::live::LiveRun;
 use crate::online::OnlineError;
@@ -101,9 +100,9 @@ pub enum FleetError {
     },
     /// Freezing an in-flight run failed (the event stream is incomplete).
     FreezeFailed(RunId, OnlineError),
-    /// A snapshot was requested while this run is still in-flight: live
-    /// order-maintenance state is not persistable — freeze (or evict) the
-    /// run first.
+    /// A snapshot or a packed seal was requested while this run is still
+    /// in-flight: live order-maintenance state is neither persistable nor
+    /// packable — freeze (or evict) the run first.
     StillLive(RunId),
 }
 
@@ -121,7 +120,10 @@ impl std::fmt::Display for FleetError {
             }
             FleetError::FreezeFailed(r, e) => write!(f, "cannot freeze {r}: {e}"),
             FleetError::StillLive(r) => {
-                write!(f, "cannot snapshot {r}: it is still in-flight (freeze it first)")
+                write!(
+                    f,
+                    "cannot snapshot or seal {r}: it is still in-flight (freeze it first)"
+                )
             }
         }
     }
@@ -139,6 +141,10 @@ impl std::error::Error for FleetError {
 /// One registry slot.
 enum Slot<'s, S> {
     Frozen(RunHandle),
+    /// A frozen run sealed into bit-packed columns
+    /// ([`FleetEngine::seal_packed`]): still serving, at a fraction of the
+    /// resident footprint — the tier between "raw frozen" and "evicted".
+    FrozenPacked(PackedRunHandle),
     Live(Box<LiveRun<'s, S>>),
     Evicted,
 }
@@ -147,8 +153,11 @@ enum Slot<'s, S> {
 /// one fleet. See [`FleetEngine::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FleetStats {
-    /// Frozen runs currently registered.
+    /// Frozen runs currently registered with raw (full-width) columns.
     pub frozen: usize,
+    /// Frozen runs currently serving in bit-packed form
+    /// ([`FleetEngine::seal_packed`]).
+    pub packed: usize,
     /// In-flight live runs currently registered.
     pub live: usize,
     /// Runs evicted over the fleet's lifetime.
@@ -170,9 +179,9 @@ pub struct FleetStats {
 }
 
 impl FleetStats {
-    /// Active (non-evicted) runs.
+    /// Active (non-evicted) runs, raw, packed, or live.
     pub fn active(&self) -> usize {
-        self.frozen + self.live
+        self.frozen + self.packed + self.live
     }
 
     /// Bytes saved by sharing the spec-level state instead of duplicating
@@ -274,7 +283,7 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
         match self.slots.get_mut(run.index()) {
             None => Err(FleetError::UnknownRun(run)),
             Some(Slot::Evicted) => Err(FleetError::Evicted(run)),
-            Some(Slot::Frozen(_)) => Err(FleetError::NotLive(run)),
+            Some(Slot::Frozen(_) | Slot::FrozenPacked(_)) => Err(FleetError::NotLive(run)),
             Some(Slot::Live(live)) => Ok(live),
         }
     }
@@ -288,7 +297,9 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
         let slot = match self.slots.get_mut(run.index()) {
             None => return Err(FleetError::UnknownRun(run)),
             Some(Slot::Evicted) => return Err(FleetError::Evicted(run)),
-            Some(Slot::Frozen(_)) => return Err(FleetError::NotLive(run)),
+            Some(Slot::Frozen(_) | Slot::FrozenPacked(_)) => {
+                return Err(FleetError::NotLive(run))
+            }
             Some(slot) => slot,
         };
         if let Slot::Live(live) = &*slot {
@@ -309,6 +320,47 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
         handle.count(decisions.context_only, decisions.skeleton);
         *slot = Slot::Frozen(handle);
         Ok(())
+    }
+
+    /// Seals a frozen run's columns into their bit-packed form
+    /// ([`PackedRunHandle`]): the run keeps serving — the sweep kernel
+    /// decodes inside its gather, answers stay byte-identical, decision
+    /// counters carry over — at a fraction of the resident footprint. The
+    /// tier between "raw frozen" and "evicted" for cold or
+    /// memory-pressured fleets. Idempotent on already-packed runs; an
+    /// in-flight run must be frozen first ([`FleetError::StillLive`]).
+    pub fn seal_packed(&mut self, run: RunId) -> Result<(), FleetError> {
+        let slot = match self.slots.get_mut(run.index()) {
+            None => return Err(FleetError::UnknownRun(run)),
+            Some(Slot::Evicted) => return Err(FleetError::Evicted(run)),
+            Some(Slot::Live(_)) => return Err(FleetError::StillLive(run)),
+            Some(Slot::FrozenPacked(_)) => return Ok(()),
+            Some(slot) => slot,
+        };
+        let handle = match std::mem::replace(slot, Slot::Evicted) {
+            Slot::Frozen(h) => h,
+            _ => unreachable!("matched Frozen above"),
+        };
+        *slot = Slot::FrozenPacked(PackedRunHandle::pack(&handle));
+        Ok(())
+    }
+
+    /// [`seal_packed`](Self::seal_packed) for every raw frozen run,
+    /// returning how many were sealed (live runs and tombstones are left
+    /// alone).
+    pub fn seal_packed_all(&mut self) -> usize {
+        let mut sealed = 0;
+        for slot in &mut self.slots {
+            if matches!(slot, Slot::Frozen(_)) {
+                let handle = match std::mem::replace(slot, Slot::Evicted) {
+                    Slot::Frozen(h) => h,
+                    _ => unreachable!("matched Frozen above"),
+                };
+                *slot = Slot::FrozenPacked(PackedRunHandle::pack(&handle));
+                sealed += 1;
+            }
+        }
+        sealed
     }
 
     /// Evicts a run, releasing its label columns. The id stays tombstoned:
@@ -353,6 +405,7 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
     pub fn vertex_count(&self, run: RunId) -> Result<usize, FleetError> {
         Ok(match self.slot(run)? {
             Slot::Frozen(h) => h.vertex_count(),
+            Slot::FrozenPacked(h) => h.vertex_count(),
             Slot::Live(l) => l.vertex_count(),
             Slot::Evicted => unreachable!("slot() filtered"),
         })
@@ -366,6 +419,14 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
         Ok(match self.slot(run)? {
             Slot::Frozen(h) => {
                 let (ans, path) = crate::engine::answer_one(h.columns(), &self.ctx, u, v);
+                match path {
+                    crate::label::QueryPath::ContextOnly => h.count(1, 0),
+                    crate::label::QueryPath::Skeleton => h.count(0, 1),
+                }
+                ans
+            }
+            Slot::FrozenPacked(h) => {
+                let (ans, path) = crate::packed::answer_one_packed(h.columns(), &self.ctx, u, v);
                 match path {
                     crate::label::QueryPath::ContextOnly => h.count(1, 0),
                     crate::label::QueryPath::Skeleton => h.count(0, 1),
@@ -423,6 +484,17 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
                     );
                     h.count(c, s);
                 }
+                Slot::FrozenPacked(h) => {
+                    buf.resize(pairs.len(), false);
+                    let (c, s) = sweep_into_slice(
+                        h.columns(),
+                        self.ctx.skeleton(),
+                        self.ctx.probe_memo(),
+                        &pairs,
+                        &mut buf,
+                    );
+                    h.count(c, s);
+                }
                 Slot::Live(l) => {
                     let (c, s) = answer_into(
                         l.columns(),
@@ -459,14 +531,24 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
         const MAX_SHARDS: usize = 64;
         let groups = self.group(probes)?;
         // Workers only ever touch frozen runs (a live run's column store is
-        // deliberately single-threaded), so partition into plain
-        // `&RunHandle` references — the worker closures never see the
-        // registry itself.
-        let mut frozen_groups: Vec<(&RunHandle, Vec<usize>)> = Vec::new();
+        // deliberately single-threaded), so partition into plain handle
+        // references — raw or packed — and the worker closures never see
+        // the registry itself.
+        #[derive(Clone, Copy)]
+        enum FrozenRef<'a> {
+            Raw(&'a RunHandle),
+            Packed(&'a PackedRunHandle),
+        }
+        // One work unit: a frozen run, its slice of the flattened pair
+        // buffer, and its disjoint window of the answer buffer.
+        type WorkUnit<'a, 'b> =
+            (FrozenRef<'a>, &'b [(RunVertexId, RunVertexId)], &'b mut [bool]);
+        let mut frozen_groups: Vec<(FrozenRef<'_>, Vec<usize>)> = Vec::new();
         let mut live_groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for (slot_idx, idxs) in groups {
             match &self.slots[slot_idx] {
-                Slot::Frozen(h) => frozen_groups.push((h, idxs)),
+                Slot::Frozen(h) => frozen_groups.push((FrozenRef::Raw(h), idxs)),
+                Slot::FrozenPacked(h) => frozen_groups.push((FrozenRef::Packed(h), idxs)),
                 Slot::Live(_) => live_groups.push((slot_idx, idxs)),
                 Slot::Evicted => unreachable!("group() filtered"),
             }
@@ -475,7 +557,7 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
         // (skewed traffic, or a single-run fleet) still fans out across
         // workers instead of degrading to one work unit per run.
         const UNIT: usize = 1 << 15;
-        let units: Vec<(&RunHandle, &[usize])> = frozen_groups
+        let units: Vec<(FrozenRef<'_>, &[usize])> = frozen_groups
             .iter()
             .flat_map(|&(handle, ref idxs)| idxs.chunks(UNIT).map(move |c| (handle, c)))
             .collect();
@@ -487,66 +569,97 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
             return self.answer_batch(probes);
         }
 
-        let cursor = AtomicUsize::new(0);
+        // Frozen units run permuted: their pairs are flattened unit by
+        // unit into one contiguous buffer, each unit gets the matching
+        // disjoint window of one preallocated answer buffer, and workers
+        // sweep straight into their window — no per-unit allocation, no
+        // result funnel. A single linear pass scatters the permuted
+        // answers back to input order afterwards.
+        let total: usize = units.iter().map(|(_, idxs)| idxs.len()).sum();
+        let mut flat_pairs: Vec<(RunVertexId, RunVertexId)> = Vec::with_capacity(total);
+        for (_, idxs) in &units {
+            flat_pairs.extend(idxs.iter().map(|&i| (probes[i].1, probes[i].2)));
+        }
+        let mut perm_out = vec![false; total];
         let memo = self.ctx.probe_memo();
-        let (tx, rx) = std::sync::mpsc::channel();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let units = &units;
-                let skeleton = self.ctx.skeleton().clone();
-                scope.spawn(move || {
-                    loop {
-                        let g = cursor.fetch_add(1, Ordering::Relaxed);
-                        if g >= units.len() {
-                            break;
-                        }
-                        let (handle, idxs) = units[g];
-                        let pairs: Vec<(RunVertexId, RunVertexId)> =
-                            idxs.iter().map(|&i| (probes[i].1, probes[i].2)).collect();
-                        let mut buf = Vec::with_capacity(pairs.len());
-                        let (c, s) =
-                            answer_into(handle.columns(), &skeleton, memo, &pairs, &mut buf);
-                        handle.count(c, s);
-                        if tx.send((g, buf)).is_err() {
-                            break;
-                        }
-                    }
-                });
+        {
+            let mut work: Vec<WorkUnit<'_, '_>> = Vec::with_capacity(units.len());
+            let mut pairs_rest: &[(RunVertexId, RunVertexId)] = &flat_pairs;
+            let mut out_rest: &mut [bool] = &mut perm_out;
+            for &(handle, idxs) in &units {
+                let (unit_pairs, pr) = pairs_rest.split_at(idxs.len());
+                let (window, or) = out_rest.split_at_mut(idxs.len());
+                pairs_rest = pr;
+                out_rest = or;
+                work.push((handle, unit_pairs, window));
             }
-            drop(tx);
+            let queue = Mutex::new(work.into_iter());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let queue = &queue;
+                    let skeleton = self.ctx.skeleton().clone();
+                    scope.spawn(move || loop {
+                        let claimed = queue.lock().expect("work queue poisoned").next();
+                        let Some((handle, unit_pairs, window)) = claimed else {
+                            break;
+                        };
+                        match handle {
+                            FrozenRef::Raw(h) => {
+                                let (c, s) = sweep_into_slice(
+                                    h.columns(),
+                                    &skeleton,
+                                    memo,
+                                    unit_pairs,
+                                    window,
+                                );
+                                h.count(c, s);
+                            }
+                            FrozenRef::Packed(h) => {
+                                let (c, s) = sweep_into_slice(
+                                    h.columns(),
+                                    &skeleton,
+                                    memo,
+                                    unit_pairs,
+                                    window,
+                                );
+                                h.count(c, s);
+                            }
+                        }
+                    });
+                }
 
-            // live groups on the calling thread, overlapping the workers
-            let mut pairs: Vec<(RunVertexId, RunVertexId)> = Vec::new();
-            let mut buf: Vec<bool> = Vec::new();
-            for (slot_idx, idxs) in &live_groups {
-                let live = match &self.slots[*slot_idx] {
-                    Slot::Live(l) => l,
-                    _ => unreachable!("partitioned as live"),
-                };
-                pairs.clear();
-                pairs.extend(idxs.iter().map(|&i| (probes[i].1, probes[i].2)));
-                buf.clear();
-                let (c, s) = answer_into(
-                    live.columns(),
-                    self.ctx.skeleton(),
-                    self.ctx.probe_memo(),
-                    &pairs,
-                    &mut buf,
-                );
-                live.count(c, s);
-                for (&i, &ans) in idxs.iter().zip(&buf) {
-                    out[i] = ans;
+                // live groups on the calling thread, overlapping the workers
+                let mut pairs: Vec<(RunVertexId, RunVertexId)> = Vec::new();
+                let mut buf: Vec<bool> = Vec::new();
+                for (slot_idx, idxs) in &live_groups {
+                    let live = match &self.slots[*slot_idx] {
+                        Slot::Live(l) => l,
+                        _ => unreachable!("partitioned as live"),
+                    };
+                    pairs.clear();
+                    pairs.extend(idxs.iter().map(|&i| (probes[i].1, probes[i].2)));
+                    buf.clear();
+                    let (c, s) = answer_into(
+                        live.columns(),
+                        self.ctx.skeleton(),
+                        self.ctx.probe_memo(),
+                        &pairs,
+                        &mut buf,
+                    );
+                    live.count(c, s);
+                    for (&i, &ans) in idxs.iter().zip(&buf) {
+                        out[i] = ans;
+                    }
                 }
+            });
+        }
+        let mut offset = 0;
+        for (_, idxs) in &units {
+            for (&i, &ans) in idxs.iter().zip(&perm_out[offset..]) {
+                out[i] = ans;
             }
-            for (g, answers) in rx {
-                let (_, idxs) = units[g];
-                for (&i, &ans) in idxs.iter().zip(&answers) {
-                    out[i] = ans;
-                }
-            }
-        });
+            offset += idxs.len();
+        }
         Ok(out)
     }
 
@@ -567,6 +680,12 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
             match slot {
                 Slot::Frozen(h) => {
                     stats.frozen += 1;
+                    stats.run_bytes += h.memory_bytes();
+                    stats.engine.context_only += h.context_only();
+                    stats.engine.skeleton += h.skeleton_queries();
+                }
+                Slot::FrozenPacked(h) => {
+                    stats.packed += 1;
                     stats.run_bytes += h.memory_bytes();
                     stats.engine.context_only += h.context_only();
                     stats.engine.skeleton += h.skeleton_queries();
@@ -596,6 +715,10 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
 /// Slot states in the fleet-manifest segment.
 const SLOT_EVICTED: u8 = 0;
 const SLOT_FROZEN: u8 = 1;
+/// A frozen run stored as a bit-packed [`snapshot::seg::PACKED_COLUMNS`]
+/// segment (PR 7); readers that predate the state fail with
+/// "unknown slot state" instead of misreading segments.
+const SLOT_FROZEN_PACKED: u8 = 2;
 
 impl<'s> FleetEngine<'s, SpecScheme> {
     /// Appends this fleet's segments to a container: the spec record
@@ -629,17 +752,27 @@ impl<'s> FleetEngine<'s, SpecScheme> {
                     snapshot::put_varint(&mut manifest, h.context_only());
                     snapshot::put_varint(&mut manifest, h.skeleton_queries());
                 }
+                Slot::FrozenPacked(h) => {
+                    manifest.push(SLOT_FROZEN_PACKED);
+                    snapshot::put_varint(&mut manifest, h.context_only());
+                    snapshot::put_varint(&mut manifest, h.skeleton_queries());
+                }
                 Slot::Evicted => manifest.push(SLOT_EVICTED),
                 Slot::Live(_) => unreachable!("rejected above"),
             }
         }
         w.push(snapshot::seg::FLEET_MANIFEST, manifest);
         for slot in &self.slots {
-            if let Slot::Frozen(h) = slot {
-                w.push(
+            match slot {
+                Slot::Frozen(h) => w.push(
                     snapshot::seg::RUN_COLUMNS,
                     snapshot::write_run_columns(h.columns()),
-                );
+                ),
+                Slot::FrozenPacked(h) => w.push(
+                    snapshot::seg::PACKED_COLUMNS,
+                    snapshot::write_packed_columns(h.columns()),
+                ),
+                _ => {}
             }
         }
         Ok(())
@@ -670,26 +803,48 @@ impl<'s> FleetEngine<'s, SpecScheme> {
         let slot_count = cur.guarded_count(1)?;
         let mut fleet = FleetEngine::new(ctx.shared());
         let mut runs = r.all(snapshot::seg::RUN_COLUMNS);
+        let mut packed_runs = r.all(snapshot::seg::PACKED_COLUMNS);
         for _ in 0..slot_count {
-            match cur.u8()? {
-                SLOT_FROZEN => {
+            let state = cur.u8()?;
+            match state {
+                SLOT_FROZEN | SLOT_FROZEN_PACKED => {
                     let context_only = cur.varint()?;
                     let skeleton_queries = cur.varint()?;
-                    let payload = runs.next().ok_or(snapshot::FormatError::Malformed(
+                    // raw and packed runs ride separate segment kinds, so
+                    // each manifest state consumes from its own stream and
+                    // old raw-only snapshots keep decoding unchanged
+                    let payload = if state == SLOT_FROZEN {
+                        runs.next()
+                    } else {
+                        packed_runs.next()
+                    }
+                    .ok_or(snapshot::FormatError::Malformed(
                         "manifest promises more runs than stored",
                     ))?;
-                    let cols = snapshot::read_run_columns(payload)?;
                     // origins index the skeleton's per-module arrays; a
                     // forged column must be a typed error, not an
                     // out-of-bounds panic on the first skeleton probe
-                    if cols.origin_bound() as usize > graph.vertex_count() {
-                        return Err(snapshot::FormatError::Malformed(
-                            "run origin outside the specification graph",
-                        ));
+                    if state == SLOT_FROZEN {
+                        let cols = snapshot::read_run_columns(payload)?;
+                        if cols.origin_bound() as usize > graph.vertex_count() {
+                            return Err(snapshot::FormatError::Malformed(
+                                "run origin outside the specification graph",
+                            ));
+                        }
+                        let handle = RunHandle::from_columns(cols);
+                        handle.count(context_only, skeleton_queries);
+                        fleet.push(Slot::Frozen(handle));
+                    } else {
+                        let cols = snapshot::read_packed_columns(payload)?;
+                        if cols.origin_bound() as usize > graph.vertex_count() {
+                            return Err(snapshot::FormatError::Malformed(
+                                "run origin outside the specification graph",
+                            ));
+                        }
+                        let handle = PackedRunHandle::from_columns(cols);
+                        handle.count(context_only, skeleton_queries);
+                        fleet.push(Slot::FrozenPacked(handle));
                     }
-                    let handle = RunHandle::from_columns(cols);
-                    handle.count(context_only, skeleton_queries);
-                    fleet.push(Slot::Frozen(handle));
                 }
                 SLOT_EVICTED => {
                     fleet.push(Slot::Evicted);
@@ -699,7 +854,7 @@ impl<'s> FleetEngine<'s, SpecScheme> {
             }
         }
         cur.finish()?;
-        if runs.next().is_some() {
+        if runs.next().is_some() || packed_runs.next().is_some() {
             return Err(snapshot::FormatError::Malformed(
                 "stored runs exceed the manifest",
             ));
@@ -1006,6 +1161,96 @@ mod tests {
         // the restored-plus-new total) was a memo hit
         assert_eq!(stats.engine.memo_hits * 2, stats.engine.skeleton);
         assert!(stats.engine.memo_hits > 0);
+    }
+
+    #[test]
+    fn sealed_packed_runs_serve_identically_and_persist() {
+        let spec = paper_spec();
+        for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+            let labels = labels(&spec, kind);
+            let mut fleet = FleetEngine::for_spec(&spec, SpecScheme::build(kind, spec.graph()));
+            let ids: Vec<RunId> = (0..4).map(|_| fleet.register_labels(&labels)).collect();
+            let mut probes = Vec::new();
+            for &id in &ids {
+                probes.extend(all_probes(id, labels.len()));
+            }
+            let baseline = fleet.answer_batch(&probes).unwrap();
+            let raw_bytes = fleet.stats().run_bytes;
+            let raw_snapshot = fleet.save(spec.graph()).unwrap();
+
+            // Seal half the fleet: mixed raw + packed serving.
+            fleet.seal_packed(ids[1]).unwrap();
+            fleet.seal_packed(ids[3]).unwrap();
+            fleet.seal_packed(ids[3]).unwrap(); // idempotent
+            let stats = fleet.stats();
+            assert_eq!((stats.frozen, stats.packed), (2, 2), "{kind}");
+            assert_eq!(stats.active(), 4);
+            assert!(
+                stats.run_bytes < raw_bytes,
+                "{kind}: packing did not shrink resident bytes"
+            );
+            // Counters carried across the seal: the baseline batch is
+            // still accounted in full.
+            assert_eq!(stats.engine.total(), probes.len() as u64);
+
+            // Scalar, batch and parallel all byte-identical to raw.
+            assert_eq!(fleet.answer_batch(&probes).unwrap(), baseline, "{kind}");
+            for threads in [2usize, 4] {
+                assert_eq!(
+                    fleet.answer_batch_parallel(&probes, threads).unwrap(),
+                    baseline,
+                    "{kind}, {threads} threads"
+                );
+            }
+            let (_, u, v) = probes[7];
+            assert_eq!(fleet.answer(ids[1], u, v).unwrap(), baseline[7]);
+
+            // Mixed snapshot round trip: slot kinds, counters and answers
+            // all survive.
+            let bytes = fleet.save(spec.graph()).unwrap();
+            let (loaded, _) = FleetEngine::load(&bytes).unwrap();
+            let lstats = loaded.stats();
+            assert_eq!((lstats.frozen, lstats.packed), (2, 2), "{kind}");
+            assert_eq!(loaded.answer_batch(&probes).unwrap(), baseline, "{kind}");
+
+            // An all-packed snapshot is measurably smaller than the raw one.
+            fleet.seal_packed_all();
+            assert_eq!(fleet.stats().frozen, 0);
+            let packed_snapshot = fleet.save(spec.graph()).unwrap();
+            assert!(
+                packed_snapshot.len() < raw_snapshot.len(),
+                "{kind}: packed snapshot {} !< raw {}",
+                packed_snapshot.len(),
+                raw_snapshot.len()
+            );
+            let (reloaded, _) = FleetEngine::load(&packed_snapshot).unwrap();
+            assert_eq!(reloaded.answer_batch(&probes).unwrap(), baseline, "{kind}");
+        }
+    }
+
+    #[test]
+    fn seal_packed_rejects_live_and_evicted_runs() {
+        let spec = paper_spec();
+        let mut fleet =
+            FleetEngine::for_spec(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()));
+        let frozen = fleet.register_labels(&labels(&spec, SchemeKind::Tcm));
+        let live = fleet.begin_live(&spec);
+        assert!(matches!(
+            fleet.seal_packed(live),
+            Err(FleetError::StillLive(id)) if id == live
+        ));
+        assert!(matches!(
+            fleet.seal_packed(RunId(99)),
+            Err(FleetError::UnknownRun(_))
+        ));
+        fleet.evict(frozen).unwrap();
+        assert!(matches!(
+            fleet.seal_packed(frozen),
+            Err(FleetError::Evicted(_))
+        ));
+        // seal_packed_all leaves live runs and tombstones alone
+        assert_eq!(fleet.seal_packed_all(), 0);
+        assert_eq!(fleet.stats().live, 1);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod live;
 pub mod online;
 pub mod orders;
 pub mod origin;
+pub mod packed;
 pub mod registry;
 pub mod snapshot;
 
@@ -51,7 +52,7 @@ pub use batch::label_runs_parallel;
 pub use construct::{
     construct_plan, construct_plan_with_stats, ConstructError, ConstructStats, Issue,
 };
-pub use context::{RunHandle, SharedMemo, SpecContext};
+pub use context::{PackedRunHandle, RunHandle, SharedMemo, SpecContext};
 pub use engine::{predicate_memo, EngineStats, QueryEngine, SoaColumns, SoaLabels};
 pub use fleet::{FleetEngine, FleetError, FleetStats, RunId};
 pub use live::{LiveRun, LiveStats};
@@ -62,5 +63,6 @@ pub use label::{
 pub use online::{OnlineError, OnlineLabeler};
 pub use orders::{generate_three_orders, ContextEncoding};
 pub use origin::{compute_origins, compute_origins_numbered, OriginError};
+pub use packed::{PackedColumns, PackedEngine};
 pub use registry::{RegistryError, RegistryStats, ServiceRegistry, SpecId};
 pub use snapshot::{FormatError, SnapshotReader, SnapshotWriter};

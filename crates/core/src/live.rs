@@ -322,6 +322,19 @@ impl<'s, S: SpecIndex> LiveRun<'s, S> {
         Ok((RunHandle::from_labels(&labels), ctx))
     }
 
+    /// [`freeze`](Self::freeze) straight into the bit-packed tier: the
+    /// extracted labels are frame-of-reference encoded immediately
+    /// ([`crate::PackedColumns`]), so a completed run lands in the
+    /// compressed serving representation without ever holding raw
+    /// columns — same shared context, same warm memo, identical answers.
+    pub fn freeze_packed(self) -> Result<crate::PackedEngine<S>, OnlineError> {
+        let (run, ctx) = self.freeze_handle()?;
+        Ok(crate::PackedEngine::from_parts(
+            ctx,
+            crate::context::PackedRunHandle::pack(&run),
+        ))
+    }
+
     /// The offline scheme's exact labels plus `n⁺` and the shared context
     /// — for callers that want the raw parts rather than an engine.
     #[allow(clippy::type_complexity)]
@@ -430,6 +443,30 @@ mod tests {
         // … and the frozen engine answered the whole matrix without one
         // new skeleton probe: every sub-answer was already warm
         assert_eq!(engine.stats().skeleton_probes, probes_before);
+    }
+
+    #[test]
+    fn freeze_packed_lands_compressed_with_identical_answers() {
+        let spec = paper_spec();
+        let mut live = LiveRun::new(&spec, scheme(&spec, SchemeKind::Bfs));
+        let vs = stream_paper_run(&mut live);
+        let pairs: Vec<_> = vs
+            .iter()
+            .flat_map(|&u| vs.iter().map(move |&v| (u, v)))
+            .collect();
+        let live_answers = live.answer_batch(&pairs);
+        let probes_before = live.stats().engine.skeleton_probes;
+
+        let packed = live.freeze_packed().unwrap();
+        assert_eq!(packed.vertex_count(), vs.len());
+        assert!(
+            packed.columns().memory_bytes() < vs.len() * 16,
+            "packed columns must undercut the raw 16 bytes/vertex"
+        );
+        assert_eq!(packed.answer_batch(&pairs), live_answers);
+        // the warm memo travelled with the shared context: the whole
+        // matrix re-answers without one new skeleton probe
+        assert_eq!(packed.stats().skeleton_probes, probes_before);
     }
 
     #[test]

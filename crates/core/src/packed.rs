@@ -1,0 +1,565 @@
+//! Bit-packed label columns: the compressed resident form of a frozen run.
+//!
+//! The raw [`SoaLabels`] store spends a full
+//! `u32` per coordinate — 16 bytes per vertex — even though the paper's
+//! point is that run labels are *short*: `q1/q2/q3` are preorder positions
+//! in `[0, 3n)` and `origin` is a module id in `[0, n_G)`. This module
+//! packs each column independently with frame-of-reference encoding (store
+//! `min`, then `value − min` at the smallest bit width covering
+//! `max − min`), chosen per column when a run is sealed:
+//!
+//! * **Resident footprint** — a packed run costs `Σ widths / 8` bytes per
+//!   vertex (typically ~6–7 instead of 16), so cold, evicted, or
+//!   memory-pressured fleets can stay *serving* in packed form instead of
+//!   being dropped to disk ([`crate::fleet::FleetEngine::seal_packed`],
+//!   the registry's packed tier).
+//! * **Snapshot size** — the same frames are the
+//!   [`seg::PACKED_COLUMNS`](crate::snapshot::seg::PACKED_COLUMNS) segment
+//!   payload, CRC-guarded like every segment, with the raw `RUN_COLUMNS`
+//!   encoding still decoding for old snapshots.
+//! * **Direct serving** — queries do **not** unpack the run: the two-phase
+//!   sweep kernel ([`crate::engine`]) gathers 64-lane blocks through a
+//!   shift-and-mask decode into the same stack scratch the raw columns
+//!   use, so answers are byte-identical and the unpack cost is a handful
+//!   of ALU ops per lane against a column that now fits deeper in cache.
+//!
+//! [`PackedEngine`] is the single-run packed counterpart of
+//! [`QueryEngine`]; fleets mix packed and raw
+//! slots freely.
+
+use std::sync::Arc;
+
+use wfp_model::RunVertexId;
+use wfp_speclabel::SpecIndex;
+
+use crate::context::{PackedRunHandle, SpecContext};
+use crate::engine::{ColumnGather, EngineStats, QueryEngine, SoaLabels};
+use crate::label::{QueryPath, RunLabel};
+use crate::snapshot::{put_varint, Cursor, FormatError};
+
+/// Version byte leading every packed-columns payload, bumped independently
+/// of the container version so the encoding can evolve without invalidating
+/// whole snapshots.
+pub const PACKED_VERSION: u8 = 1;
+
+/// One frame-of-reference packed column: `base + deltas` at a fixed bit
+/// width, deltas stored little-endian-contiguous in 64-bit words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PackedColumn {
+    /// The column minimum; every stored delta is relative to it.
+    base: u32,
+    /// Bits per delta, `0..=32`. Width 0 means the column is constant.
+    width: u32,
+    /// Packed deltas plus one trailing zero pad word, so a two-word
+    /// straddling read at the last element never indexes past the end.
+    words: Vec<u64>,
+}
+
+impl PackedColumn {
+    fn pack(vals: &[u32]) -> Self {
+        let base = vals.iter().copied().min().unwrap_or(0);
+        let spread = vals.iter().copied().max().unwrap_or(0) - base;
+        let width = if spread == 0 {
+            0
+        } else {
+            32 - spread.leading_zeros()
+        };
+        let mut words = vec![0u64; Self::word_count(vals.len() as u64, width) + 1];
+        for (i, &v) in vals.iter().enumerate() {
+            let delta = u64::from(v - base);
+            let bit = i as u64 * u64::from(width);
+            let (w, s) = ((bit >> 6) as usize, (bit & 63) as u32);
+            words[w] |= delta << s;
+            if s + width > 64 {
+                words[w + 1] |= delta >> (64 - s);
+            }
+        }
+        PackedColumn { base, width, words }
+    }
+
+    /// Packed words needed for `len` deltas of `width` bits (pad excluded).
+    fn word_count(len: u64, width: u32) -> usize {
+        ((len * u64::from(width)).div_ceil(64)) as usize
+    }
+
+    /// Decodes element `i`. The caller guards `i < len`; a two-word window
+    /// makes the extraction branchless for every alignment.
+    #[inline(always)]
+    fn get(&self, i: usize) -> u32 {
+        if self.width == 0 {
+            return self.base;
+        }
+        let bit = i as u64 * u64::from(self.width);
+        let (w, s) = ((bit >> 6) as usize, (bit & 63) as u32);
+        // Branchless two-word window without 128-bit shifts: the straddle
+        // contribution is `words[w+1] << (64 - s)`, computed as a double
+        // shift so `s == 0` degenerates to zero instead of an overflow.
+        let lo = self.words[w] >> s;
+        let hi = (self.words[w + 1] << 1) << (63 - s);
+        let mask = (1u64 << self.width) - 1;
+        self.base + ((lo | hi) & mask) as u32
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.words.len() * 8 + std::mem::size_of::<u32>() * 2
+    }
+}
+
+/// Bit-packed struct-of-arrays label storage for one frozen run: the four
+/// columns of [`SoaLabels`], each frame-of-reference encoded at its own
+/// width. Serves the sweep kernel directly (no unpacking step) and
+/// round-trips losslessly via [`unpack`](Self::unpack).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedColumns {
+    len: usize,
+    q1: PackedColumn,
+    q2: PackedColumn,
+    q3: PackedColumn,
+    origin: PackedColumn,
+    origin_bound: u32,
+}
+
+impl PackedColumns {
+    /// Packs raw label columns, choosing each column's base and bit width
+    /// from its actual value range.
+    pub fn pack(cols: &SoaLabels) -> Self {
+        let (q1, q2, q3, origin) = cols.raw_columns();
+        PackedColumns {
+            len: cols.len(),
+            q1: PackedColumn::pack(q1),
+            q2: PackedColumn::pack(q2),
+            q3: PackedColumn::pack(q3),
+            origin: PackedColumn::pack(origin),
+            origin_bound: cols.origin_bound(),
+        }
+    }
+
+    /// Decodes back to raw `u32` columns — byte-identical to the columns
+    /// that were packed.
+    pub fn unpack(&self) -> SoaLabels {
+        let col = |c: &PackedColumn| (0..self.len).map(|i| c.get(i)).collect::<Vec<u32>>();
+        SoaLabels::from_raw_columns(col(&self.q1), col(&self.q2), col(&self.q3), col(&self.origin))
+            .expect("packed columns share one length")
+    }
+
+    /// Number of packed labels.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no labels are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive upper bound on the stored origin ids (0 when empty).
+    pub fn origin_bound(&self) -> u32 {
+        self.origin_bound
+    }
+
+    /// The four per-column bit widths `(q1, q2, q3, origin)`.
+    pub fn widths(&self) -> (u32, u32, u32, u32) {
+        (
+            self.q1.width,
+            self.q2.width,
+            self.q3.width,
+            self.origin.width,
+        )
+    }
+
+    /// Re-gathers the label of vertex `v` (spot checks and the scalar
+    /// probe path; the batch paths decode inside the sweep).
+    pub fn label(&self, v: RunVertexId) -> RunLabel {
+        let i = v.index();
+        assert!(i < self.len, "query vertex out of range");
+        RunLabel {
+            q1: self.q1.get(i),
+            q2: self.q2.get(i),
+            q3: self.q3.get(i),
+            origin: wfp_model::ModuleId(self.origin.get(i)),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.q1.memory_bytes()
+            + self.q2.memory_bytes()
+            + self.q3.memory_bytes()
+            + self.origin.memory_bytes()
+    }
+
+    /// Serializes as a [`seg::PACKED_COLUMNS`] payload: version byte, four
+    /// `(base, width)` column headers, the vertex count, then the packed
+    /// words of each column back to back (pad words excluded).
+    ///
+    /// [`seg::PACKED_COLUMNS`]: crate::snapshot::seg::PACKED_COLUMNS
+    pub(crate) fn to_payload(&self) -> Vec<u8> {
+        let cols = [&self.q1, &self.q2, &self.q3, &self.origin];
+        let mut out = Vec::with_capacity(32 + self.memory_bytes());
+        out.push(PACKED_VERSION);
+        for c in cols {
+            out.extend_from_slice(&c.base.to_le_bytes());
+            out.push(c.width as u8);
+        }
+        put_varint(&mut out, self.len as u64);
+        for c in cols {
+            let exact = PackedColumn::word_count(self.len as u64, c.width);
+            for &w in &c.words[..exact] {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a [`to_payload`](Self::to_payload) buffer, rejecting
+    /// inconsistent headers before sizing any allocation: widths above 32
+    /// bits, `base + mask` overflowing the `u32` value space, vertex
+    /// counts beyond the id space or beyond what the stored words can
+    /// back. The origin bound is recomputed from the decoded deltas, so a
+    /// forged payload cannot promise a smaller bound than it stores.
+    pub(crate) fn from_payload(payload: &[u8]) -> Result<Self, FormatError> {
+        let mut cur = Cursor::new(payload);
+        let version = cur.u8()?;
+        if version != PACKED_VERSION {
+            return Err(FormatError::UnsupportedVersion(u16::from(version)));
+        }
+        let mut headers = [(0u32, 0u32); 4];
+        for h in &mut headers {
+            let base = cur.u32()?;
+            let width = u32::from(cur.u8()?);
+            if width > 32 {
+                return Err(FormatError::Malformed("packed column width exceeds 32 bits"));
+            }
+            let mask = if width == 0 { 0 } else { (1u64 << width) - 1 };
+            if u64::from(base) + mask > u64::from(u32::MAX) {
+                return Err(FormatError::Malformed("packed column range overflows u32"));
+            }
+            *h = (base, width);
+        }
+        let len = cur.varint()?;
+        if len > u64::from(u32::MAX) {
+            return Err(FormatError::Malformed(
+                "packed columns exceed the vertex id space",
+            ));
+        }
+        let mut read_col = |&(base, width): &(u32, u32)| -> Result<PackedColumn, FormatError> {
+            let exact = PackedColumn::word_count(len, width);
+            let raw = cur.bytes(exact * 8)?;
+            let mut words = Vec::with_capacity(exact + 1);
+            words.extend(
+                raw.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
+            );
+            words.push(0);
+            Ok(PackedColumn { base, width, words })
+        };
+        let q1 = read_col(&headers[0])?;
+        let q2 = read_col(&headers[1])?;
+        let q3 = read_col(&headers[2])?;
+        let origin = read_col(&headers[3])?;
+        cur.finish()?;
+        let len = len as usize;
+        // Recompute the origin bound honestly. A zero-width origin column
+        // is closed-form; otherwise the scan is bounded by the stored
+        // words (len ≤ words·64/width), so a forged count cannot buy
+        // unbounded work.
+        let origin_bound = if len == 0 {
+            0
+        } else if origin.width == 0 {
+            origin.base.saturating_add(1)
+        } else {
+            (0..len)
+                .map(|i| origin.get(i).saturating_add(1))
+                .max()
+                .unwrap_or(0)
+        };
+        Ok(PackedColumns {
+            len,
+            q1,
+            q2,
+            q3,
+            origin,
+            origin_bound,
+        })
+    }
+}
+
+impl ColumnGather for PackedColumns {
+    type Coord = u32;
+
+    #[inline(always)]
+    fn lane_count(&self) -> usize {
+        self.len
+    }
+
+    #[inline(always)]
+    fn coords(&self, i: usize) -> (u32, u32, u32) {
+        (self.q1.get(i), self.q2.get(i), self.q3.get(i))
+    }
+
+    #[inline(always)]
+    fn origin_of(&self, i: usize) -> u32 {
+        self.origin.get(i)
+    }
+
+    #[inline(always)]
+    fn origin_bound(&self) -> u32 {
+        PackedColumns::origin_bound(self)
+    }
+}
+
+/// A batched reachability engine over one **packed** run — the
+/// [`QueryEngine`] counterpart for packed-resident serving: same shared
+/// [`SpecContext`], same two-phase sweep kernel, same counters, with the
+/// label columns staying in their compressed frames the whole time.
+pub struct PackedEngine<S> {
+    ctx: Arc<SpecContext<S>>,
+    run: PackedRunHandle,
+}
+
+impl<S: SpecIndex> PackedEngine<S> {
+    /// A view over an already-shared context and a packed run handle.
+    pub fn from_parts(ctx: Arc<SpecContext<S>>, run: PackedRunHandle) -> Self {
+        PackedEngine { ctx, run }
+    }
+
+    /// Number of labeled vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.run.vertex_count()
+    }
+
+    /// The packed label columns.
+    pub fn columns(&self) -> &PackedColumns {
+        self.run.columns()
+    }
+
+    /// The shared spec-level state this engine answers through.
+    pub fn context(&self) -> &Arc<SpecContext<S>> {
+        &self.ctx
+    }
+
+    /// The per-run packed columns and counters.
+    pub fn run(&self) -> &PackedRunHandle {
+        &self.run
+    }
+
+    /// Cumulative decision statistics (shaped like
+    /// [`QueryEngine::stats`]).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            context_only: self.run.context_only(),
+            skeleton: self.run.skeleton_queries(),
+            skeleton_probes: self.ctx.memo().probes(),
+            memo_hits: self.ctx.memo().hits(),
+        }
+    }
+
+    /// Whether `u ⇝ v` — the scalar entry point over packed labels.
+    #[inline]
+    pub fn answer(&self, u: RunVertexId, v: RunVertexId) -> bool {
+        let (ans, path) = answer_one_packed(self.run.columns(), &self.ctx, u, v);
+        match path {
+            QueryPath::ContextOnly => self.run.count(1, 0),
+            QueryPath::Skeleton => self.run.count(0, 1),
+        }
+        ans
+    }
+
+    /// Answers every pair of `pairs` in order through the packed sweep.
+    pub fn answer_batch(&self, pairs: &[(RunVertexId, RunVertexId)]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.answer_batch_into(pairs, &mut out);
+        out
+    }
+
+    /// [`answer_batch`](Self::answer_batch) into a caller-owned buffer
+    /// (cleared first), returning it as a slice.
+    pub fn answer_batch_into<'o>(
+        &self,
+        pairs: &[(RunVertexId, RunVertexId)],
+        out: &'o mut Vec<bool>,
+    ) -> &'o [bool] {
+        out.clear();
+        out.resize(pairs.len(), false);
+        let (ctx, skel) = crate::engine::sweep_into_slice(
+            self.run.columns(),
+            self.ctx.skeleton(),
+            self.ctx.probe_memo(),
+            pairs,
+            out,
+        );
+        self.run.count(ctx, skel);
+        out
+    }
+}
+
+/// The allocation-free scalar kernel over packed columns: decode both
+/// labels, then the same memoized predicate as the raw path.
+#[inline]
+pub(crate) fn answer_one_packed<S: SpecIndex>(
+    cols: &PackedColumns,
+    ctx: &SpecContext<S>,
+    u: RunVertexId,
+    v: RunVertexId,
+) -> (bool, QueryPath) {
+    let (a, b) = (cols.label(u), cols.label(v));
+    match ctx.probe_memo() {
+        Some(memo) => crate::engine::predicate_memo_traced(&a, &b, ctx.skeleton(), memo),
+        None => crate::label::predicate_traced(&a, &b, ctx.skeleton()),
+    }
+}
+
+impl<S: SpecIndex> QueryEngine<S> {
+    /// Seals this engine's run into a [`PackedEngine`] over the **same**
+    /// shared context: the label columns are re-encoded into per-column
+    /// frames, decision counters carry over, and answers stay
+    /// byte-identical (the sweep decodes inside its gather).
+    pub fn seal_packed(&self) -> PackedEngine<S> {
+        PackedEngine {
+            ctx: Arc::clone(self.context()),
+            run: PackedRunHandle::pack(self.run()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabeledRun;
+    use wfp_model::fixtures::{paper_run, paper_spec};
+    use wfp_speclabel::{SchemeKind, SpecScheme};
+
+    fn paper_columns(kind: SchemeKind) -> SoaLabels {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        let labeled = LabeledRun::build(&spec, SpecScheme::build(kind, spec.graph()), &run).unwrap();
+        SoaLabels::from_labels(labeled.labels())
+    }
+
+    #[test]
+    fn pack_round_trips_every_scheme_and_shrinks() {
+        for &kind in &SchemeKind::ALL {
+            let cols = paper_columns(kind);
+            let packed = PackedColumns::pack(&cols);
+            assert_eq!(packed.len(), cols.len());
+            assert_eq!(packed.origin_bound(), cols.origin_bound());
+            let back = packed.unpack();
+            assert_eq!(back.raw_columns(), cols.raw_columns(), "{kind}");
+            assert!(
+                packed.memory_bytes() < cols.len() * 16,
+                "{kind}: packed columns did not shrink"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_round_trips_and_preserves_every_value() {
+        let cols = paper_columns(SchemeKind::Bfs);
+        let packed = PackedColumns::pack(&cols);
+        let bytes = packed.to_payload();
+        let decoded = PackedColumns::from_payload(&bytes).unwrap();
+        assert_eq!(decoded.unpack().raw_columns(), cols.raw_columns());
+        assert_eq!(decoded.origin_bound(), packed.origin_bound());
+        assert_eq!(decoded.widths(), packed.widths());
+    }
+
+    #[test]
+    fn degenerate_widths_zero_one_and_full() {
+        // width 0 (constant column), width 1 (two values), width 32
+        // (extremes of the u32 range) all pack and round-trip.
+        let n = 130; // crosses two 64-lane blocks with a partial tail
+        let q1: Vec<u32> = (0..n).collect();
+        let q2: Vec<u32> = (0..n).map(|i| 7 + (i & 1)).collect();
+        let q3: Vec<u32> = (0..n).map(|i| if i == 13 { u32::MAX } else { 0 }).collect();
+        let origin: Vec<u32> = vec![5; n as usize];
+        let cols =
+            SoaLabels::from_raw_columns(q1, q2, q3, origin).expect("equal lengths");
+        let packed = PackedColumns::pack(&cols);
+        assert_eq!(packed.widths().1, 1);
+        assert_eq!(packed.widths().2, 32);
+        assert_eq!(packed.widths().3, 0);
+        assert_eq!(packed.origin_bound(), 6);
+        let bytes = packed.to_payload();
+        let decoded = PackedColumns::from_payload(&bytes).unwrap();
+        assert_eq!(decoded.unpack().raw_columns(), cols.raw_columns());
+        assert_eq!(decoded.origin_bound(), 6);
+
+        let empty = PackedColumns::pack(&SoaLabels::new());
+        let bytes = empty.to_payload();
+        let decoded = PackedColumns::from_payload(&bytes).unwrap();
+        assert_eq!(decoded.len(), 0);
+        assert_eq!(decoded.origin_bound(), 0);
+    }
+
+    #[test]
+    fn forged_headers_are_rejected() {
+        let cols = paper_columns(SchemeKind::Dfs);
+        let good = PackedColumns::pack(&cols).to_payload();
+
+        // Unknown payload version.
+        let mut bad = good.clone();
+        bad[0] = PACKED_VERSION + 1;
+        assert_eq!(
+            PackedColumns::from_payload(&bad),
+            Err(FormatError::UnsupportedVersion(u16::from(PACKED_VERSION + 1)))
+        );
+
+        // Width beyond 32 bits (first column header's width byte).
+        let mut bad = good.clone();
+        bad[5] = 33;
+        assert_eq!(
+            PackedColumns::from_payload(&bad),
+            Err(FormatError::Malformed("packed column width exceeds 32 bits"))
+        );
+
+        // base + mask overflowing u32: max base with a wide column.
+        let mut bad = good.clone();
+        bad[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            PackedColumns::from_payload(&bad),
+            Err(FormatError::Malformed("packed column range overflows u32"))
+        );
+
+        // Truncation anywhere inside the words must error, never panic.
+        for cut in 0..good.len() {
+            assert!(
+                PackedColumns::from_payload(&good[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+
+        // Trailing garbage is rejected.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(PackedColumns::from_payload(&bad).is_err());
+    }
+
+    #[test]
+    fn packed_engine_matches_raw_and_carries_counters() {
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        for kind in [SchemeKind::Tcm, SchemeKind::Bfs] {
+            let labeled =
+                LabeledRun::build(&spec, SpecScheme::build(kind, spec.graph()), &run).unwrap();
+            let engine = QueryEngine::from_labeled(labeled);
+            let pairs: Vec<_> = run
+                .vertices()
+                .flat_map(|u| run.vertices().map(move |v| (u, v)))
+                .collect();
+            let raw = engine.answer_batch(&pairs);
+            let raw_stats = engine.stats();
+            let packed = engine.seal_packed();
+            assert_eq!(packed.vertex_count(), engine.vertex_count());
+            // Counters carried over by the seal.
+            assert_eq!(packed.stats().context_only, raw_stats.context_only);
+            assert_eq!(packed.answer_batch(&pairs), raw, "{kind}");
+            for (&(u, v), &expected) in pairs.iter().zip(&raw) {
+                assert_eq!(packed.answer(u, v), expected, "{kind} scalar ({u},{v})");
+            }
+            // Decision mix identical to the raw engine's first pass.
+            let after = packed.stats();
+            assert_eq!(after.context_only, 3 * raw_stats.context_only);
+            assert_eq!(after.skeleton, 3 * raw_stats.skeleton);
+        }
+    }
+}

@@ -330,6 +330,9 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Lifetime lazy reloads from the backing snapshot.
     pub lazy_loads: u64,
+    /// Frozen runs currently serving in bit-packed form, summed over the
+    /// resident fleets (see [`ServiceRegistry::set_packed_tier`]).
+    pub packed_runs: usize,
 }
 
 /// A registry of [`FleetEngine`]s keyed by [`SpecId`] — the multi-spec
@@ -343,6 +346,9 @@ pub struct ServiceRegistry<'s> {
     by_id: FxHashMap<u64, usize>,
     store: Store,
     budget: Option<usize>,
+    /// When on, pressure seals a victim's raw runs into packed columns
+    /// before resorting to a full offload.
+    packed_tier: bool,
     clock: u64,
     evictions: u64,
     lazy_loads: u64,
@@ -362,6 +368,7 @@ impl<'s> ServiceRegistry<'s> {
             by_id: FxHashMap::default(),
             store: Store::Memory(FxHashMap::default()),
             budget: None,
+            packed_tier: false,
             clock: 0,
             evictions: 0,
             lazy_loads: 0,
@@ -412,6 +419,7 @@ impl<'s> ServiceRegistry<'s> {
             by_id,
             store: Store::Dir(dir),
             budget,
+            packed_tier: false,
             clock: 0,
             evictions: 0,
             lazy_loads: 0,
@@ -671,6 +679,18 @@ impl<'s> ServiceRegistry<'s> {
         self.enforce_budget(None)
     }
 
+    /// Turns the packed middle tier on or off (default: off). With the
+    /// tier on, budget pressure first seals the LRU victim's raw frozen
+    /// runs into bit-packed columns ([`FleetEngine::seal_packed_all`]) —
+    /// shrinking it in place while it keeps serving — and only offloads
+    /// the fleet entirely if the registry is still over budget once the
+    /// victim is all-packed. Turning the tier on does not re-enforce the
+    /// budget by itself; the next probe (or [`set_budget`](Self::set_budget))
+    /// does.
+    pub fn set_packed_tier(&mut self, on: bool) {
+        self.packed_tier = on;
+    }
+
     /// Bytes currently held by resident fleets (the [`FleetStats`] spec +
     /// run memory signal, summed).
     ///
@@ -703,6 +723,14 @@ impl<'s> ServiceRegistry<'s> {
             .iter()
             .filter(|s| matches!(s.state, State::Resident { .. }))
             .count();
+        let packed_runs = self
+            .slots
+            .iter()
+            .map(|s| match &s.state {
+                State::Resident { fleet, .. } => fleet.stats().packed,
+                State::Offloaded => 0,
+            })
+            .sum();
         RegistryStats {
             specs: self.slots.len(),
             resident,
@@ -711,6 +739,7 @@ impl<'s> ServiceRegistry<'s> {
             budget: self.budget,
             evictions: self.evictions,
             lazy_loads: self.lazy_loads,
+            packed_runs,
         }
     }
 
@@ -895,6 +924,11 @@ impl<'s> ServiceRegistry<'s> {
     /// the current probe) and fleets with live runs are never victims; if
     /// only those remain, the registry stays over budget rather than
     /// failing — pressure is best-effort, correctness is not.
+    ///
+    /// With the packed tier on ([`set_packed_tier`](Self::set_packed_tier)),
+    /// a victim holding raw frozen runs is first sealed packed in place —
+    /// a middle tier between fully resident and offloaded — and only an
+    /// all-packed victim is dropped to its snapshot.
     fn enforce_budget(&mut self, keep: Option<usize>) -> Result<(), RegistryError> {
         let Some(budget) = self.budget else {
             return Ok(());
@@ -919,6 +953,15 @@ impl<'s> ServiceRegistry<'s> {
             let Some(i) = victim else {
                 return Ok(());
             };
+            if self.packed_tier {
+                if let State::Resident { fleet, .. } = &mut self.slots[i].state {
+                    if fleet.seal_packed_all() > 0 {
+                        // the victim shrank in place; re-check the budget
+                        // before deciding whether it must leave memory too
+                        continue;
+                    }
+                }
+            }
             self.offload(i)?;
         }
     }
@@ -1114,6 +1157,43 @@ mod tests {
         reg.set_budget(Some(total - 1)).unwrap();
         assert!(!reg.resident(ids[2]), "next LRU victim");
         assert!(reg.resident(ids[0]));
+    }
+
+    #[test]
+    fn packed_tier_seals_the_victim_before_offloading_it() {
+        let spec = paper_spec();
+        let (mut reg, ids, oracles) = build_registry(&spec, None);
+        reg.set_packed_tier(true);
+        assert_eq!(reg.stats().packed_runs, 0);
+        // recency: ids[0] oldest — the first pressure victim
+        for &i in &[0usize, 1, 2] {
+            reg.answer(ids[i], RunId(0), RunVertexId(0), RunVertexId(1))
+                .unwrap();
+        }
+        let total = reg.resident_bytes();
+        // one byte of pressure: the LRU victim packs in place and keeps
+        // serving instead of leaving memory
+        reg.set_budget(Some(total - 1)).unwrap();
+        let stats = reg.stats();
+        assert!(reg.resident(ids[0]), "packing satisfied the pressure");
+        assert_eq!(stats.resident, 3);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.packed_runs, 2, "both of the victim's runs sealed");
+        assert!(stats.resident_bytes < total);
+
+        // the packed representation answers identically
+        let n = paper_run(&spec).vertex_count();
+        let probes = mixed_probes(&ids, n);
+        let want = expected(&probes, &ids, &oracles);
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want);
+
+        // pressure packing alone cannot satisfy: all-packed victims fall
+        // back to a real offload, and reloads still answer identically
+        reg.set_budget(Some(0)).unwrap();
+        let stats = reg.stats();
+        assert!(stats.resident <= 1, "resident={}", stats.resident);
+        assert!(stats.evictions >= 2);
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want);
     }
 
     #[test]

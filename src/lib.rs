@@ -92,8 +92,8 @@ pub mod prelude {
     };
     pub use wfp_skl::{
         construct_plan, label_run, FleetEngine, FleetError, FleetStats, LabeledRun, LiveRun,
-        QueryEngine, QueryPath, RegistryError, RegistryStats, RunHandle, RunId, RunLabel,
-        ServiceRegistry, SpecContext, SpecId,
+        PackedEngine, PackedRunHandle, QueryEngine, QueryPath, RegistryError, RegistryStats,
+        RunHandle, RunId, RunLabel, ServiceRegistry, SpecContext, SpecId,
     };
     pub use wfp_speclabel::{SchemeKind, SpecIndex, SpecScheme};
 }

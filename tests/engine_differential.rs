@@ -1,12 +1,18 @@
 //! Differential property suite: the batched [`QueryEngine`] must agree
 //! with the scalar predicate πr on every pair, under every specification
 //! scheme, on every evaluation path — cold memo, warm memo (repeated
-//! batches), the scalar `answer` entry point, and the sharded parallel
-//! evaluator.
+//! batches), the scalar `answer` entry point, the sharded parallel
+//! evaluator, and the bit-packed serving path ([`PackedEngine`]), whose
+//! columns are additionally driven to their packing extremes (constant,
+//! 1-bit, full-width) over synthetic labels, and whose snapshot segment
+//! must reject every truncation, bit flip and forged width header with a
+//! typed error.
 
 use proptest::prelude::*;
+use workflow_provenance::graph::rng::Xoshiro256;
 use workflow_provenance::prelude::*;
 use workflow_provenance::skl::predicate;
+use workflow_provenance::skl::snapshot::{self, FormatError, SnapshotReader};
 
 /// Strategy over feasible generator configurations (mirrors
 /// `tests/properties.rs`).
@@ -106,4 +112,383 @@ proptest! {
         let parallel = engine.answer_batch_parallel(&pairs, threads);
         prop_assert_eq!(parallel, sequential, "{} with {} shards", kind, threads);
     }
+
+    /// The three batch kernels — branchless sweep, retired scalar
+    /// reference, and the same sweep over bit-packed columns — answer
+    /// byte-identically on generated runs under every scheme, cold and
+    /// warm, and the packed engine keeps agreeing through the sharded
+    /// parallel evaluator's answers.
+    #[test]
+    fn packed_sweep_and_scalar_kernels_agree(
+        cfg in spec_config(),
+        run_seed in any::<u64>(),
+        scheme_idx in 0usize..SchemeKind::ALL.len(),
+        pair_seed in any::<u64>(),
+    ) {
+        let spec = generate_spec_clamped(&cfg).unwrap();
+        let GeneratedRun { run, .. } = generate_run(&spec, &RunGenConfig {
+            seed: run_seed,
+            counts: CountDistribution::GeometricMean(0.8),
+        });
+        let kind = SchemeKind::ALL[scheme_idx];
+        let labeled = LabeledRun::build(
+            &spec,
+            SpecScheme::build(kind, spec.graph()),
+            &run,
+        ).unwrap();
+        let mut pairs = random_pairs(&run, 200, pair_seed);
+        let dup = pairs.clone();
+        pairs.extend(dup); // repeated keys exercise the probe table's hit path
+
+        let scalar: Vec<bool> = pairs
+            .iter()
+            .map(|&(u, v)| predicate(labeled.label(u), labeled.label(v), labeled.skeleton()))
+            .collect();
+
+        let engine = QueryEngine::from_labeled(labeled);
+        let packed = engine.seal_packed();
+        prop_assert_eq!(packed.vertex_count(), engine.vertex_count());
+        // packed cold (its first pass may warm the shared memo)
+        prop_assert_eq!(&packed.answer_batch(&pairs), &scalar, "packed cold under {}", kind);
+        // sweep over the raw columns, then the scalar reference kernel
+        let mut out = Vec::new();
+        prop_assert_eq!(&engine.answer_batch(&pairs), &scalar, "sweep under {}", kind);
+        prop_assert_eq!(
+            engine.answer_batch_scalar_into(&pairs, &mut out),
+            &scalar[..],
+            "scalar reference under {}", kind
+        );
+        // packed warm + per-pair entry point against the shared warm memo
+        prop_assert_eq!(&packed.answer_batch(&pairs), &scalar, "packed warm under {}", kind);
+        for (&(u, v), &expected) in pairs.iter().zip(&scalar).take(32) {
+            prop_assert_eq!(packed.answer(u, v), expected, "packed answer({}, {})", u, v);
+        }
+        // sharded parallel answers must equal the packed ones too
+        prop_assert_eq!(
+            engine.answer_batch_parallel(&pairs, 3),
+            scalar,
+            "parallel vs packed under {}", kind
+        );
+        // packing never grows the resident label columns
+        prop_assert!(
+            packed.columns().memory_bytes() <= engine.run().memory_bytes(),
+            "packed columns larger than raw"
+        );
+    }
+}
+
+// ======================================================================
+// Packing extremes over synthetic columns
+// ======================================================================
+
+/// A pure, graph-free skeleton for the synthetic-column tests: `m ⇝ m'`
+/// iff `m ≤ m'` and they do not differ by 1 mod 3 — arbitrary but
+/// deterministic, so every kernel must agree on it whatever the columns
+/// hold.
+#[derive(Clone)]
+struct ToySkeleton {
+    constant_time: bool,
+}
+
+impl SpecIndex for ToySkeleton {
+    fn build(_: &workflow_provenance::graph::DiGraph) -> Self {
+        ToySkeleton {
+            constant_time: false,
+        }
+    }
+
+    fn reaches(&self, u: u32, v: u32) -> bool {
+        u <= v && (v - u) % 3 != 1
+    }
+
+    fn constant_time_queries(&self) -> bool {
+        self.constant_time
+    }
+
+    fn label_bits(&self, _: u32) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "toy"
+    }
+
+    fn total_bits(&self) -> usize {
+        0
+    }
+}
+
+/// Synthetic label columns at a chosen packing extreme.
+///
+/// * profile 0 — **degenerate**: every label identical, so all four
+///   columns pack at width 0 and the origin bound collapses to one id;
+/// * profile 1 — **1-bit**: two distinct values per column;
+/// * profile 2 — **full-width**: values pinned to `0` and `u32::MAX`, so
+///   every column packs at the full 32 bits and origin ids overflow both
+///   the memo's dense side and the sweep's probe table (their fallback
+///   paths must still agree);
+/// * profile 3 — **mixed**: arbitrary mid-range values.
+fn toy_labels(profile: u8, n: usize, seed: u64) -> Vec<RunLabel> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut labels: Vec<RunLabel> = (0..n)
+        .map(|_| {
+            let mut q = |m: usize, base: u32| base + rng.gen_usize(m) as u32;
+            match profile {
+                0 => RunLabel { q1: 7, q2: 9, q3: 11, origin: ModuleId(5) },
+                1 => RunLabel {
+                    q1: q(2, 1000),
+                    q2: q(2, 2000),
+                    q3: q(2, 3000),
+                    origin: ModuleId(q(2, 0)),
+                },
+                2 => RunLabel {
+                    q1: q(1 << 30, 0),
+                    q2: q(1 << 30, 0),
+                    q3: q(1 << 30, 0),
+                    origin: ModuleId(q(1 << 30, 0)),
+                },
+                _ => RunLabel {
+                    q1: q(1 << 20, 0),
+                    q2: q(1 << 20, 0),
+                    q3: q(1 << 20, 0),
+                    origin: ModuleId(q(50, 0)),
+                },
+            }
+        })
+        .collect();
+    if profile == 2 && n >= 2 {
+        labels[0] = RunLabel { q1: 0, q2: 0, q3: 0, origin: ModuleId(0) };
+        labels[n - 1] = RunLabel {
+            q1: u32::MAX,
+            q2: u32::MAX,
+            q3: u32::MAX,
+            origin: ModuleId(u32::MAX),
+        };
+    }
+    labels
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Raw sweep ≡ scalar reference ≡ packed sweep over synthetic columns
+    /// at every packing extreme (width 0, width 1, the full 32 bits), with
+    /// the skeleton memo both engaged and bypassed, including origin ids
+    /// past the memo's dense side and past the sweep's probe-table cap.
+    #[test]
+    fn packing_extremes_agree_across_all_kernels(
+        profile in 0u8..4,
+        n in 1usize..130,
+        seed in any::<u64>(),
+        constant_time in any::<bool>(),
+    ) {
+        let labels = toy_labels(profile, n, seed);
+        let skeleton = ToySkeleton { constant_time };
+        let raw = RunHandle::from_labels(&labels);
+        let packed_handle = PackedRunHandle::pack(&raw);
+        let bound = workflow_provenance::skl::SharedMemo::origin_bound_of(&labels);
+        let ctx = SpecContext::new(skeleton, bound).shared();
+        let engine = QueryEngine::from_parts(ctx.clone(), raw);
+        let packed = PackedEngine::from_parts(ctx, packed_handle);
+
+        // the packing really hit the intended extreme
+        let widths = packed.columns().widths();
+        match profile {
+            0 => {
+                prop_assert_eq!(widths, (0, 0, 0, 0));
+                prop_assert_eq!(packed.columns().origin_bound(), 6);
+            }
+            1 => prop_assert!(
+                widths.0 <= 1 && widths.1 <= 1 && widths.2 <= 1 && widths.3 <= 1
+            ),
+            2 if n >= 2 => prop_assert_eq!(widths, (32, 32, 32, 32)),
+            _ => {}
+        }
+        // lossless: unpacking restores the exact labels
+        for (i, expected) in labels.iter().enumerate().take(16) {
+            prop_assert_eq!(&packed.columns().label(RunVertexId(i as u32)), expected);
+        }
+
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xABCD);
+        let mut pairs: Vec<(RunVertexId, RunVertexId)> = (0..300)
+            .map(|_| {
+                (
+                    RunVertexId(rng.gen_usize(n) as u32),
+                    RunVertexId(rng.gen_usize(n) as u32),
+                )
+            })
+            .collect();
+        // self pairs and a duplicated tail for the probe table's hit path
+        pairs.extend((0..n.min(20)).map(|i| (RunVertexId(i as u32), RunVertexId(i as u32))));
+        let dup = pairs.clone();
+        pairs.extend(dup);
+
+        let oracle: Vec<bool> = pairs
+            .iter()
+            .map(|&(u, v)| {
+                predicate(
+                    &labels[u.index()],
+                    &labels[v.index()],
+                    engine.context().skeleton(),
+                )
+            })
+            .collect();
+
+        let mut out = Vec::new();
+        prop_assert_eq!(&engine.answer_batch(&pairs), &oracle, "sweep, profile {}", profile);
+        prop_assert_eq!(
+            engine.answer_batch_scalar_into(&pairs, &mut out),
+            &oracle[..],
+            "scalar reference, profile {}", profile
+        );
+        prop_assert_eq!(&packed.answer_batch(&pairs), &oracle, "packed cold, profile {}", profile);
+        prop_assert_eq!(&packed.answer_batch(&pairs), &oracle, "packed warm, profile {}", profile);
+        prop_assert_eq!(
+            engine.answer_batch_parallel(&pairs, 3),
+            oracle,
+            "parallel, profile {}", profile
+        );
+    }
+}
+
+// ======================================================================
+// Adversarial packed-columns snapshots
+// ======================================================================
+
+/// A small two-run fleet sealed into packed-resident form, plus its saved
+/// snapshot (carrying `PACKED_COLUMNS` segments) and the spec graph.
+fn packed_fleet_snapshot(seed: u64, kind: SchemeKind) -> (Specification, Vec<u8>) {
+    let cfg = SpecGenConfig {
+        modules: 12,
+        edges: 16,
+        hierarchy_size: 3,
+        hierarchy_depth: 2,
+        seed,
+    };
+    let spec = generate_spec_clamped(&cfg).unwrap();
+    let mut fleet = FleetEngine::new(
+        SpecContext::for_spec(&spec, SpecScheme::build(kind, spec.graph())).shared(),
+    );
+    for generated in generate_fleet(&spec, seed ^ 1, 2, 30) {
+        let (labels, _) = label_run(&spec, &generated.run).unwrap();
+        fleet.register_labels(&labels);
+    }
+    assert_eq!(fleet.seal_packed_all(), 2, "both runs sealed packed");
+    let bytes = fleet.save(spec.graph()).unwrap();
+    (spec, bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Truncation at every byte offset and single-bit flips over the whole
+    /// packed-resident snapshot: every mutilation must come back as a
+    /// typed error — never a panic, never silently accepted — exactly as
+    /// the raw-columns container already guarantees.
+    #[test]
+    fn packed_snapshot_mutations_never_panic_and_never_pass(
+        seed in any::<u64>(),
+        scheme_idx in 0usize..SchemeKind::ALL.len(),
+    ) {
+        let (_, bytes) = packed_fleet_snapshot(seed, SchemeKind::ALL[scheme_idx]);
+        prop_assert!(FleetEngine::load(&bytes).is_ok());
+        let reader = SnapshotReader::parse(&bytes).unwrap();
+        prop_assert!(
+            reader
+                .segments()
+                .iter()
+                .any(|&(kind, _)| kind == snapshot::seg::PACKED_COLUMNS),
+            "snapshot carries no packed segments"
+        );
+
+        for len in 0..bytes.len() {
+            prop_assert!(
+                FleetEngine::load(&bytes[..len]).is_err(),
+                "prefix of {} bytes loaded", len
+            );
+        }
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut fuzzed = bytes.clone();
+                fuzzed[byte] ^= 1 << bit;
+                prop_assert!(
+                    FleetEngine::load(&fuzzed).is_err(),
+                    "flip at {}:{} went undetected", byte, bit
+                );
+            }
+        }
+    }
+}
+
+/// Rebuilds a packed snapshot with the first `PACKED_COLUMNS` payload
+/// replaced by `mutate(original)` — CRCs recomputed, so only the packed
+/// reader's own structural guards stand between the forgery and the fleet.
+fn forge_packed_payload(bytes: &[u8], mutate: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let reader = SnapshotReader::parse(bytes).unwrap();
+    let mut segments: Vec<(u16, Vec<u8>)> = reader
+        .segments()
+        .iter()
+        .map(|&(kind, payload)| (kind, payload.to_vec()))
+        .collect();
+    let target = segments
+        .iter_mut()
+        .find(|(kind, _)| *kind == snapshot::seg::PACKED_COLUMNS)
+        .expect("no packed segment to forge");
+    mutate(&mut target.1);
+    let mut writer = snapshot::SnapshotWriter::new();
+    for (kind, payload) in segments {
+        writer.push(kind, payload);
+    }
+    writer.finish()
+}
+
+/// Forged `PACKED_COLUMNS` headers — CRC-consistent, structurally rotten —
+/// are rejected by the payload reader's guards through the public load
+/// path: oversized widths, bases whose range overflows `u32`, unsupported
+/// versions, counts the stored words cannot back, and width headers
+/// inconsistent with the payload length all error; none panic.
+#[test]
+fn forged_packed_width_headers_are_rejected() {
+    let (_, bytes) = packed_fleet_snapshot(0x000F_0E17, SchemeKind::Bfs);
+
+    // payload layout: version u8, then 4 × (base u32 LE, width u8) headers
+    type Forgery = Box<dyn FnOnce(&mut Vec<u8>)>;
+    let forgeries: Vec<(&str, Forgery)> = vec![
+        ("width 33 on q1", Box::new(|p: &mut Vec<u8>| p[5] = 33)),
+        ("width 255 on origin", Box::new(|p: &mut Vec<u8>| p[20] = 255)),
+        (
+            "base+mask overflows u32",
+            Box::new(|p: &mut Vec<u8>| {
+                p[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+                p[5] = 32;
+            }),
+        ),
+        ("unsupported version", Box::new(|p: &mut Vec<u8>| p[0] = 9)),
+        (
+            "truncated words",
+            Box::new(|p: &mut Vec<u8>| {
+                p.truncate(p.len() - 8);
+            }),
+        ),
+        (
+            "trailing garbage",
+            Box::new(|p: &mut Vec<u8>| p.push(0xAA)),
+        ),
+        (
+            "width header inconsistent with stored words",
+            Box::new(|p: &mut Vec<u8>| p[5] = 0),
+        ),
+    ];
+    for (what, mutate) in forgeries {
+        let forged = forge_packed_payload(&bytes, mutate);
+        let err = FleetEngine::load(&forged);
+        assert!(err.is_err(), "{what}: forged packed payload loaded");
+    }
+
+    // and the reader's error is a *typed* FormatError, not a panic
+    let forged = forge_packed_payload(&bytes, |p| p[5] = 33);
+    assert!(matches!(
+        FleetEngine::load(&forged),
+        Err(FormatError::Malformed(_))
+    ));
 }
