@@ -1,0 +1,75 @@
+//! Criterion bench: the request/response serving loop (the PR 8 tentpole)
+//! — direct `answer_batch` as the ceiling, the admission loop under four
+//! closed-loop clients, and a single-client round trip for the per-request
+//! floor. `repro -- serving` produces the committed table; this bench is
+//! the fast regression guard.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfp_bench::experiments::serving_workload;
+use wfp_skl::{serve, Probe, ServeConfig, ServiceRegistry};
+
+fn bench_serving(c: &mut Criterion) {
+    const CLIENTS: usize = 4;
+    const PER_REQUEST: usize = 64;
+    let (mut direct, payload, traffic) = serving_workload(true, 100_000);
+
+    let config = ServeConfig {
+        max_batch: 8192,
+        window: Duration::from_micros(200),
+        queue_cap: 1024,
+        threads: 1,
+    };
+    let server = serve(config, move || {
+        let mut registry: ServiceRegistry<'static> = ServiceRegistry::new();
+        for (spec, kind, labeled) in &payload {
+            let id = registry.register_spec(spec, *kind)?;
+            for labels in labeled {
+                registry.register_labels(id, labels)?;
+            }
+        }
+        Ok((registry, ()))
+    })
+    .unwrap();
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    group.bench_function("direct-answer-batch", |b| {
+        b.iter(|| black_box(direct.answer_batch(&traffic).unwrap().len()))
+    });
+    group.bench_function("served/4-clients-closed-loop", |b| {
+        let requests: Vec<&[Probe]> = traffic.chunks(PER_REQUEST).collect();
+        b.iter(|| {
+            let answered = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..CLIENTS)
+                    .map(|c| {
+                        let handle = server.handle();
+                        let requests = &requests;
+                        scope.spawn(move || {
+                            (c..requests.len())
+                                .step_by(CLIENTS)
+                                .map(|j| handle.probe_vec(requests[j].to_vec()).unwrap().len())
+                                .sum::<usize>()
+                        })
+                    })
+                    .collect();
+                workers.into_iter().map(|w| w.join().unwrap()).sum::<usize>()
+            });
+            black_box(answered)
+        })
+    });
+    group.bench_function("served/single-probe-round-trip", |b| {
+        let handle = server.handle();
+        let (spec, run, u, v) = traffic[0];
+        b.iter(|| black_box(handle.probe(spec, run, u, v).unwrap()))
+    });
+    group.finish();
+    server.shutdown().unwrap();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -15,7 +15,7 @@ use wfp_bench::{ReproOptions, Table};
 const EXPERIMENTS: &[&str] = &[
     "table1", "table2", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
     "fig20", "baseline", "throughput", "live_ingest", "fleet", "persistence", "registry",
-    "kernel",
+    "kernel", "serving",
 ];
 
 fn usage() -> ! {
@@ -47,6 +47,7 @@ fn run_one(name: &str, opts: &ReproOptions) -> (f64, Table) {
         "persistence" => experiments::persistence(opts),
         "registry" => experiments::registry(opts),
         "kernel" => experiments::kernel(opts),
+        "serving" => experiments::serving(opts),
         other => {
             eprintln!("unknown experiment {other:?}");
             usage();

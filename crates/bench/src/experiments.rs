@@ -1225,6 +1225,194 @@ pub fn registry(opts: &ReproOptions) -> Table {
 }
 
 // ======================================================================
+// Serving — the request/response loop over the registry (PR 8)
+// ======================================================================
+
+/// The serving payload: one `(spec, scheme, per-run frozen labels)` entry
+/// per registered spec — everything a builder closure needs to
+/// reconstruct the registry on the dispatch thread.
+pub type ServingPayload = Vec<(Specification, SchemeKind, Vec<Vec<wfp_skl::RunLabel>>)>;
+
+/// SpecId-routed mixed-spec probe traffic.
+pub type ServingTraffic = Vec<(wfp_skl::SpecId, RunId, RunVertexId, RunVertexId)>;
+
+/// Shared payload for the serving experiment and the criterion bench:
+/// six specs (one per scheme), their frozen run labels, and SpecId-routed
+/// mixed traffic, with the direct registry the traffic was addressed to.
+pub fn serving_workload(
+    quick: bool,
+    probes: usize,
+) -> (wfp_skl::ServiceRegistry<'static>, ServingPayload, ServingTraffic) {
+    use wfp_skl::ServiceRegistry;
+    let target = if quick { 800 } else { 3_200 };
+    let generated = wfp_gen::generate_registry(0x5E21, SchemeKind::ALL.len(), 4, target);
+
+    let mut payload = Vec::with_capacity(generated.specs.len());
+    let mut direct: ServiceRegistry<'static> = ServiceRegistry::new();
+    let mut books = Vec::new();
+    for (i, (spec, gens)) in generated
+        .specs
+        .into_iter()
+        .zip(generated.fleets)
+        .enumerate()
+    {
+        let kind = SchemeKind::ALL[i];
+        let id = direct.register_spec(&spec, kind).unwrap();
+        let mut labeled = Vec::with_capacity(gens.len());
+        let mut runs = Vec::new();
+        for g in &gens {
+            let (labels, _) = label_run(&spec, &g.run).unwrap();
+            let rid = direct.register_labels(id, &labels).unwrap();
+            if g.run.vertex_count() > 0 {
+                runs.push((rid, g.run.vertex_count()));
+            }
+            labeled.push(labels);
+        }
+        assert!(!runs.is_empty(), "spec {i} generated only empty runs");
+        payload.push((spec, kind, labeled));
+        books.push((id, runs));
+    }
+
+    let mut rng = wfp_graph::rng::Xoshiro256::seed_from_u64(0x0B00_C0DE);
+    let traffic = (0..probes)
+        .map(|_| {
+            let (id, runs) = &books[rng.gen_usize(books.len())];
+            let (run, n) = runs[rng.gen_usize(runs.len())];
+            (
+                *id,
+                run,
+                RunVertexId(rng.gen_usize(n) as u32),
+                RunVertexId(rng.gen_usize(n) as u32),
+            )
+        })
+        .collect();
+    (direct, payload, traffic)
+}
+
+/// Serving (the PR 8 tentpole): the same six-scheme registry, probed two
+/// ways over identical traffic — one direct `answer_batch` call (the
+/// ceiling: zero admission overhead, perfect batching), and the
+/// request/response loop with four closed-loop clients submitting
+/// 64-probe vectors through the bounded admission queue. Reports
+/// sustained throughput, the coalesced batch-size histogram, and
+/// per-scheme p50/p99 serve latency; served answers are asserted
+/// byte-identical to the direct call.
+pub fn serving(opts: &ReproOptions) -> Table {
+    use std::time::Duration;
+    use wfp_skl::{serve, ServeConfig, ServiceRegistry};
+
+    const CLIENTS: usize = 4;
+    const PER_REQUEST: usize = 64;
+    let probes_total = if opts.quick { 200_000 } else { 1_000_000 };
+    let (mut direct, payload, traffic) = serving_workload(opts.quick, probes_total);
+
+    let expected = direct.answer_batch(&traffic).unwrap();
+    let direct_ms = time_ms(opts.time_reps(), || {
+        std::hint::black_box(direct.answer_batch(&traffic).unwrap());
+    });
+
+    let config = ServeConfig {
+        max_batch: 8192,
+        window: Duration::from_micros(200),
+        queue_cap: 1024,
+        threads: 1,
+    };
+    let server = serve(config, move || {
+        let mut registry: ServiceRegistry<'static> = ServiceRegistry::new();
+        for (spec, kind, labeled) in &payload {
+            let id = registry.register_spec(spec, *kind)?;
+            for labels in labeled {
+                registry.register_labels(id, labels)?;
+            }
+        }
+        Ok((registry, ()))
+    })
+    .unwrap();
+
+    let requests: Vec<_> = traffic.chunks(PER_REQUEST).collect();
+    let mut served: Vec<Option<Vec<bool>>> = vec![None; requests.len()];
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let handle = server.handle();
+                let requests = &requests;
+                scope.spawn(move || {
+                    (c..requests.len())
+                        .step_by(CLIENTS)
+                        .map(|j| (j, handle.probe_vec(requests[j].to_vec()).unwrap()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (j, answers) in worker.join().expect("client thread") {
+                served[j] = Some(answers);
+            }
+        }
+    });
+    let served_s = started.elapsed().as_secs_f64();
+    let served_flat: Vec<bool> = served.into_iter().flat_map(|a| a.unwrap()).collect();
+    assert_eq!(served_flat, expected, "served loop diverged from answer_batch");
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.probes_answered, probes_total as u64);
+    assert_eq!(stats.probes_failed, 0);
+
+    let direct_qps = probes_total as f64 / (direct_ms / 1e3).max(1e-12);
+    let served_qps = probes_total as f64 / served_s.max(1e-12);
+    let mut t = Table::new(
+        format!(
+            "Serving: request/response loop vs direct answer_batch \
+             ({probes_total} probes, {CLIENTS} closed-loop clients x \
+             {PER_REQUEST}/request)"
+        ),
+        &["mode / scheme", "probes", "q/s", "p50 us", "p99 us"],
+    );
+    t.row(vec![
+        "direct answer_batch".to_string(),
+        probes_total.to_string(),
+        format!("{direct_qps:.0}"),
+        "—".to_string(),
+        "—".to_string(),
+    ]);
+    t.row(vec![
+        "served (admission loop)".to_string(),
+        stats.probes_answered.to_string(),
+        format!("{served_qps:.0}"),
+        "—".to_string(),
+        "—".to_string(),
+    ]);
+    for kind in SchemeKind::ALL {
+        let lat = stats.scheme(kind);
+        if lat.probes == 0 {
+            continue;
+        }
+        t.row(vec![
+            format!("  {kind}"),
+            lat.probes.to_string(),
+            "—".to_string(),
+            lat.p50_us().unwrap_or(0).to_string(),
+            lat.p99_us().unwrap_or(0).to_string(),
+        ]);
+    }
+    t.note("served answers asserted byte-identical to the direct batch call;");
+    t.note("per-scheme latency is submit -> reply as accounted by the dispatch thread");
+    t.note(format!(
+        "admission: {} batches ({} full / {} timer / {} drain), \
+         probes/batch p50 {} p99 {} max {}",
+        stats.batches,
+        stats.batches_full,
+        stats.batches_timer,
+        stats.batches_drain,
+        stats.batch_probes.quantile(0.50).unwrap_or(0),
+        stats.batch_probes.quantile(0.99).unwrap_or(0),
+        stats.batch_probes.max(),
+    ));
+    t.note("expected shape: the loop trades q/s for isolation; latency is window-bound");
+    t
+}
+
+// ======================================================================
 // Kernel — scalar reference vs column sweep vs packed columns (PR 7)
 // ======================================================================
 

@@ -28,6 +28,10 @@ usage:
   wfp registry [spec.xml...] [--gen-specs N] [--runs K] [--target VERTICES]
                [--seed S] [--probes M] [--budget BYTES] [--save DIR]
                [--load DIR]
+  wfp serve    [spec.xml...] [--gen-specs N] [--runs K] [--target VERTICES]
+               [--seed S] [--probes M] [--clients C] [--arrival PATTERN]
+               [--budget BYTES] [--load DIR] [--batch N] [--window US]
+               [--queue N] [--threads N]
 
 KIND: tcm | bfs | dfs | treecover | chain | 2hop   (default: tcm)
 vertex names use the paper's numbered form, e.g. b3 = third execution of b;
@@ -48,7 +52,15 @@ registry serves many specs at once, each by its own fleet behind one
 content-addressed registry (schemes cycle per spec); --budget BYTES (or
 e.g. 64M, 512K) evicts least-recently-used fleets to their snapshot under
 memory pressure, --save DIR writes one *.wfps per spec + registry.manifest,
-and --load DIR opens the directory lazily: each fleet loads on first probe.";
+and --load DIR opens the directory lazily: each fleet loads on first probe.
+serve runs the same multi-spec registry behind the request/response loop:
+--clients C threads replay --probes M mixed probes through the bounded
+admission queue, coalesced into batches of up to --batch probes per
+--window US microseconds. PATTERN is closed (default; submit as answers
+return) or open-loop uniform:RATE | poisson:RATE | bursty:RATE:BURST in
+probes/second; overflowing an open-loop queue sheds probes (reported as
+dropped). The report shows sustained throughput, the batch-size histogram
+and per-scheme p50/p99 serve latency.";
 
 struct Args {
     positional: Vec<String>,
@@ -249,6 +261,37 @@ fn run() -> Result<String, CliError> {
                 budget,
                 save: save.as_deref(),
                 load: load.as_deref(),
+            })
+        }
+        "serve" => {
+            let spec_paths: Vec<PathBuf> = args.positional.iter().map(PathBuf::from).collect();
+            let refs: Vec<&std::path::Path> =
+                spec_paths.iter().map(PathBuf::as_path).collect();
+            let load = args.flags.get("load").map(PathBuf::from);
+            let budget = args
+                .flags
+                .get("budget")
+                .map(|b| parse_budget(b))
+                .transpose()?;
+            let arrival = match args.flags.get("arrival") {
+                None => wfp_gen::Arrival::Closed,
+                Some(text) => wfp_gen::Arrival::parse(text)?,
+            };
+            cmd_serve(&ServeOpts {
+                spec_paths: &refs,
+                gen_specs: args.num("gen-specs")?.unwrap_or(0),
+                runs_per_spec: args.num("runs")?.unwrap_or(4),
+                target: args.num("target")?.unwrap_or(2_000),
+                seed: args.num("seed")?.unwrap_or(0),
+                probes: args.num("probes")?.unwrap_or(100_000),
+                clients: args.num("clients")?.unwrap_or(4),
+                arrival,
+                budget,
+                load: load.as_deref(),
+                batch: args.num("batch")?.unwrap_or(8192),
+                window_us: args.num("window")?.unwrap_or(200),
+                queue: args.num("queue")?.unwrap_or(1024),
+                threads: args.num("threads")?.unwrap_or(1),
             })
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),

@@ -17,6 +17,7 @@
 //! wfp fleet    spec.xml --runs 8 --target 10000 --probes 1000000  # multi-run serving
 //! wfp fleet    spec.xml --runs 8 --save snap/    # persist the serving fleet
 //! wfp fleet    spec.xml --load snap/             # restore it warm, no re-labeling
+//! wfp serve    --gen-specs 4 --runs 4 --probes 200000 --clients 4  # request/response loop
 //! ```
 //!
 //! All command logic lives in this library (returning strings/errors) so it
@@ -40,7 +41,7 @@ use wfp_model::{Run, RunVertexId, Specification};
 use wfp_skl::fleet::{FleetEngine, RunId};
 use wfp_skl::{
     construct_plan_with_stats, label_run, LabeledRun, LiveRun, QueryEngine, QueryPath,
-    SpecContext,
+    RunLabel, SpecContext, SpecId,
 };
 use wfp_speclabel::{SchemeKind, SpecScheme};
 
@@ -822,6 +823,15 @@ pub fn parse_budget(text: &str) -> Result<usize, CliError> {
         Some((i, 'g' | 'G')) => (&t[..i], 1usize << 30),
         _ => (t, 1),
     };
+    if digits.is_empty() {
+        // a bare suffix ("M", "k") would otherwise surface as an opaque
+        // integer-parse failure; name the actual mistake
+        return Err(format!(
+            "invalid --budget {text:?}: missing the number before the \
+             suffix (expected e.g. 64M, 512K)"
+        )
+        .into());
+    }
     let value: usize = digits
         .parse()
         .map_err(|_| format!("invalid --budget {text:?} (expected BYTES, or e.g. 64M, 512K)"))?;
@@ -1033,6 +1043,323 @@ pub fn cmd_registry(opts: &RegistryOpts<'_>) -> Result<String, CliError> {
             wfp_skl::registry::MANIFEST_FILE,
         )?;
     }
+    Ok(out)
+}
+
+/// Options for [`cmd_serve`].
+pub struct ServeOpts<'a> {
+    /// Specification XML files to serve (one fleet each).
+    pub spec_paths: &'a [&'a Path],
+    /// Additional synthetic specs to generate (`--gen-specs N`).
+    pub gen_specs: usize,
+    /// Runs generated per spec.
+    pub runs_per_spec: usize,
+    /// Target vertex count per generated run.
+    pub target: usize,
+    /// Generator / traffic seed.
+    pub seed: u64,
+    /// Total probes replayed across all client threads.
+    pub probes: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Arrival pattern (`--arrival closed|uniform:RATE|poisson:RATE|bursty:RATE:BURST`).
+    pub arrival: wfp_gen::Arrival,
+    /// Resident-byte budget for the registry behind the loop.
+    pub budget: Option<usize>,
+    /// Serve a saved snapshot directory instead of building fleets.
+    pub load: Option<&'a Path>,
+    /// Admission-window flush threshold in probes (`--batch`).
+    pub batch: usize,
+    /// Admission-window flush deadline in microseconds (`--window`).
+    pub window_us: u64,
+    /// Bounded admission-queue capacity in requests (`--queue`).
+    pub queue: usize,
+    /// Worker threads per registry batch (`--threads`).
+    pub threads: usize,
+}
+
+/// `wfp serve [spec.xml...] [--gen-specs N] [--runs K] [--target V]
+///  [--seed S] [--probes M] [--clients C] [--arrival PATTERN]
+///  [--budget BYTES] [--load DIR] [--batch N] [--window US] [--queue N]
+///  [--threads T]`
+///
+/// The request/response serving loop: the registry is built (or lazily
+/// opened with `--load`) *inside* the dispatch thread of
+/// [`mod@wfp_skl::serve`], then `C` client threads replay a mixed-spec probe
+/// workload through cloneable [`ServeHandle`]s. Open-loop arrival
+/// patterns ([`wfp_gen::Arrival`]) pace the submissions; the admission
+/// window coalesces them into run-sharded batches. The report shows
+/// sustained throughput, the batch-size histogram, and per-scheme
+/// p50/p99 serve latency from [`ServeStats`]. Probes a client could not
+/// get admitted (bounded-queue overflow under open-loop overload) are
+/// counted as dropped, never silently lost; any probe the registry
+/// rejects is a hard error.
+///
+/// [`ServeHandle`]: wfp_skl::ServeHandle
+/// [`ServeStats`]: wfp_skl::ServeStats
+pub fn cmd_serve(opts: &ServeOpts<'_>) -> Result<String, CliError> {
+    use wfp_skl::registry::ServiceRegistry;
+    use wfp_skl::{serve, Probe, ServeConfig, ServeError};
+
+    let mut out = String::new();
+
+    // Spec loading, generation and labeling happen on this thread — their
+    // failures are CLI errors, and plain `RunLabel` rows move cleanly into
+    // the dispatch thread, where the registry itself must be born.
+    let mut specs: Vec<Specification> = Vec::new();
+    for p in opts.spec_paths {
+        specs.push(load_spec(p)?);
+    }
+    let mut payload: Vec<(Specification, SchemeKind, Vec<Vec<RunLabel>>)> = Vec::new();
+    if let Some(dir) = opts.load {
+        if !specs.is_empty() || opts.gen_specs > 0 {
+            return Err(
+                "--load serves a saved registry; drop the spec.xml arguments and --gen-specs"
+                    .into(),
+            );
+        }
+        writeln!(out, "serving saved registry at {}", dir.display())?;
+    } else {
+        let started = std::time::Instant::now();
+        let mut fleets: Vec<Vec<GeneratedRun>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                generate_fleet(
+                    spec,
+                    opts.seed ^ (i as u64 + 1).wrapping_mul(0xD134_2543_DE82_EF95),
+                    opts.runs_per_spec,
+                    opts.target,
+                )
+            })
+            .collect();
+        if opts.gen_specs > 0 {
+            let generated = wfp_gen::generate_registry(
+                opts.seed,
+                opts.gen_specs,
+                opts.runs_per_spec,
+                opts.target,
+            );
+            specs.extend(generated.specs);
+            fleets.extend(generated.fleets);
+        }
+        if specs.is_empty() {
+            return Err("no specs: pass spec.xml files, --gen-specs N, or --load DIR".into());
+        }
+        let mut total_runs = 0usize;
+        for (i, (spec, fleet)) in specs.into_iter().zip(fleets).enumerate() {
+            let kind = SchemeKind::ALL[i % SchemeKind::ALL.len()];
+            let mut labeled = Vec::with_capacity(fleet.len());
+            for g in &fleet {
+                let (labels, _) = label_run(&spec, &g.run)?;
+                labeled.push(labels);
+                total_runs += 1;
+            }
+            payload.push((spec, kind, labeled));
+        }
+        writeln!(
+            out,
+            "serve: {} specs, {total_runs} runs labeled in {:.1} ms",
+            payload.len(),
+            started.elapsed().as_secs_f64() * 1e3,
+        )?;
+    }
+
+    let config = ServeConfig {
+        max_batch: opts.batch.max(1),
+        window: std::time::Duration::from_micros(opts.window_us),
+        queue_cap: opts.queue.max(1),
+        threads: opts.threads.max(1),
+    };
+    writeln!(
+        out,
+        "config: batch {} / window {} us / queue {} / {} registry thread(s), \
+         {} client(s), arrival {:?}",
+        config.max_batch,
+        opts.window_us,
+        config.queue_cap,
+        config.threads,
+        opts.clients.max(1),
+        opts.arrival,
+    )?;
+
+    // The builder runs on the dispatch thread; its context is the probe
+    // address book the traffic generator needs.
+    type Book = Vec<(SpecId, Vec<(RunId, usize)>)>;
+    let budget = opts.budget;
+    let load_dir = opts.load.map(Path::to_path_buf);
+    let server = serve(config, move || {
+        let mut registry: ServiceRegistry<'static> = if let Some(dir) = load_dir {
+            ServiceRegistry::open_dir(dir, budget)?
+        } else {
+            let mut registry = ServiceRegistry::new();
+            registry.set_budget(budget)?;
+            for (spec, kind, labeled) in &payload {
+                let id = registry.register_spec(spec, *kind)?;
+                for labels in labeled {
+                    registry.register_labels(id, labels)?;
+                }
+            }
+            registry
+        };
+        let ids: Vec<SpecId> = registry.spec_ids().collect();
+        let mut book: Book = Vec::with_capacity(ids.len());
+        for id in ids {
+            registry.ensure_resident(id)?;
+            let fleet = registry.fleet(id).expect("just made resident");
+            let runs: Vec<(RunId, usize)> = fleet
+                .run_ids()
+                .map(|r| (r, fleet.vertex_count(r).expect("active id")))
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            book.push((id, runs));
+        }
+        Ok((registry, book))
+    })
+    .map_err(|e| format!("cannot start serving loop: {e}"))?;
+
+    let book = server.context();
+    let probeable: Vec<usize> = (0..book.len()).filter(|&i| !book[i].1.is_empty()).collect();
+    if opts.probes > 0 && probeable.is_empty() {
+        let _ = server.shutdown();
+        return Err("every run of every spec is empty: nothing to probe".into());
+    }
+    let mut rng = wfp_graph::rng::Xoshiro256::seed_from_u64(opts.seed ^ 0xF1EE_7BA7_C0FF_EE00);
+    let traffic: Vec<Probe> = (0..opts.probes)
+        .map(|_| {
+            let (id, runs) = &book[probeable[rng.gen_usize(probeable.len())]];
+            let (run, n) = runs[rng.gen_usize(runs.len())];
+            (
+                *id,
+                run,
+                RunVertexId(rng.gen_usize(n) as u32),
+                RunVertexId(rng.gen_usize(n) as u32),
+            )
+        })
+        .collect();
+    let offsets = wfp_gen::arrival_offsets_us(opts.arrival, traffic.len(), opts.seed);
+
+    // Client c replays the strided slice c, c+C, c+2C, ... Closed-loop
+    // clients block on each answer; open-loop clients submit on schedule
+    // and drain their tickets afterwards, so a full queue surfaces as
+    // dropped (shed) probes rather than back-pressure on the schedule.
+    let clients = opts.clients.max(1);
+    let closed_loop = opts.arrival == wfp_gen::Arrival::Closed;
+    let started = std::time::Instant::now();
+    let mut reachable = 0usize;
+    let mut dropped = 0usize;
+    let mut first_error: Option<ServeError> = None;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = server.handle();
+                let traffic = &traffic;
+                let offsets = &offsets;
+                scope.spawn(move || {
+                    let epoch = std::time::Instant::now();
+                    let mut reachable = 0usize;
+                    let mut dropped = 0usize;
+                    let mut first_error: Option<ServeError> = None;
+                    let mut tickets = Vec::new();
+                    for i in (c..traffic.len()).step_by(clients) {
+                        if !closed_loop {
+                            let at = std::time::Duration::from_micros(offsets[i]);
+                            if let Some(wait) = at.checked_sub(epoch.elapsed()) {
+                                std::thread::sleep(wait);
+                            }
+                        }
+                        match handle.submit(vec![traffic[i]]) {
+                            Ok(ticket) if closed_loop => match ticket.wait() {
+                                Ok(answers) => {
+                                    reachable += answers.iter().filter(|&&a| a).count();
+                                }
+                                Err(e) => {
+                                    first_error.get_or_insert(e);
+                                }
+                            },
+                            Ok(ticket) => tickets.push(ticket),
+                            Err(ServeError::Overloaded) => dropped += 1,
+                            Err(e) => {
+                                first_error.get_or_insert(e);
+                            }
+                        }
+                    }
+                    for ticket in tickets {
+                        match ticket.wait() {
+                            Ok(answers) => {
+                                reachable += answers.iter().filter(|&&a| a).count();
+                            }
+                            Err(e) => {
+                                first_error.get_or_insert(e);
+                            }
+                        }
+                    }
+                    (reachable, dropped, first_error)
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (r, d, e) = worker.join().expect("client thread");
+            reachable += r;
+            dropped += d;
+            if let Some(e) = e {
+                first_error.get_or_insert(e);
+            }
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let stats = server
+        .shutdown()
+        .map_err(|e| format!("serving loop did not shut down cleanly: {e}"))?;
+    if let Some(e) = first_error {
+        return Err(format!("probe failed while serving: {e}").into());
+    }
+    let answered = stats.probes_answered;
+    writeln!(
+        out,
+        "traffic: {} probes, {answered} answered ({reachable} reachable), \
+         {} failed, {dropped} dropped",
+        traffic.len(),
+        stats.probes_failed,
+    )?;
+    writeln!(
+        out,
+        "wall: {:.3} s -> {:.0} probes/s sustained across {clients} client(s)",
+        elapsed,
+        answered as f64 / elapsed.max(1e-9),
+    )?;
+    writeln!(
+        out,
+        "batches: {} ({} full / {} timer / {} drain); probes/batch p50 {} p99 {} max {}",
+        stats.batches,
+        stats.batches_full,
+        stats.batches_timer,
+        stats.batches_drain,
+        stats.batch_probes.quantile(0.50).unwrap_or(0),
+        stats.batch_probes.quantile(0.99).unwrap_or(0),
+        stats.batch_probes.max(),
+    )?;
+    writeln!(out, "per-scheme serve latency (submit -> reply):")?;
+    for kind in SchemeKind::ALL {
+        let lat = stats.scheme(kind);
+        if lat.probes == 0 {
+            continue;
+        }
+        writeln!(
+            out,
+            "  {:<9} {:>9} probes   p50 {:>6} us   p99 {:>6} us",
+            kind.to_string(),
+            lat.probes,
+            lat.p50_us().unwrap_or(0),
+            lat.p99_us().unwrap_or(0),
+        )?;
+    }
+    write!(
+        out,
+        "shutdown: clean; {} requests / {} batches / {} controls drained",
+        stats.requests, stats.batches, stats.controls,
+    )?;
     Ok(out)
 }
 
@@ -1409,5 +1736,92 @@ mod tests {
         assert_eq!(parse_scheme("TCM").unwrap(), SchemeKind::Tcm);
         assert_eq!(parse_scheme("treecover").unwrap(), SchemeKind::TreeCover);
         assert!(parse_scheme("nope").is_err());
+    }
+
+    #[test]
+    fn budget_parsing_accepts_both_suffix_cases() {
+        assert_eq!(parse_budget("4096").unwrap(), 4096);
+        // lowercase and uppercase binary suffixes are interchangeable
+        assert_eq!(parse_budget("512k").unwrap(), 512 << 10);
+        assert_eq!(parse_budget("512K").unwrap(), 512 << 10);
+        assert_eq!(parse_budget("64m").unwrap(), 64 << 20);
+        assert_eq!(parse_budget("64M").unwrap(), 64 << 20);
+        assert_eq!(parse_budget("2g").unwrap(), 2 << 30);
+        assert_eq!(parse_budget("2G").unwrap(), 2 << 30);
+        assert_eq!(parse_budget("  8K  ").unwrap(), 8 << 10, "whitespace trims");
+    }
+
+    #[test]
+    fn budget_parsing_rejects_garbage_with_clear_errors() {
+        // a bare suffix names the missing number, not a parse failure
+        for bare in ["M", "k", "G", " m "] {
+            let err = parse_budget(bare).unwrap_err().to_string();
+            assert!(
+                err.contains("missing the number before the suffix"),
+                "{bare:?} -> {err}"
+            );
+        }
+        assert!(parse_budget("").is_err());
+        assert!(parse_budget("12xyzM").is_err());
+        assert!(parse_budget("-4K").is_err());
+        assert!(
+            parse_budget(&format!("{}G", usize::MAX)).is_err(),
+            "suffix multiplication overflow is a typed error"
+        );
+    }
+
+    fn serve_opts(arrival: wfp_gen::Arrival, probes: usize) -> ServeOpts<'static> {
+        ServeOpts {
+            spec_paths: &[],
+            gen_specs: 3,
+            runs_per_spec: 2,
+            target: 400,
+            seed: 11,
+            probes,
+            clients: 4,
+            arrival,
+            budget: None,
+            load: None,
+            batch: 512,
+            window_us: 100,
+            queue: 256,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn serve_answers_every_probe_closed_loop() {
+        let out = cmd_serve(&serve_opts(wfp_gen::Arrival::Closed, 5_000)).unwrap();
+        assert!(
+            out.contains("5000 probes, 5000 answered"),
+            "every submitted probe must come back: {out}"
+        );
+        assert!(out.contains("0 failed, 0 dropped"), "{out}");
+        assert!(out.contains("shutdown: clean"), "{out}");
+        assert!(out.contains("per-scheme serve latency"), "{out}");
+        // 3 specs cycle through tcm/bfs/dfs — each scheme row appears
+        for scheme in ["TCM", "BFS", "DFS"] {
+            assert!(out.contains(scheme), "missing {scheme} row: {out}");
+        }
+    }
+
+    #[test]
+    fn serve_paces_open_loop_arrivals_and_reports_drops() {
+        // an aggressive Poisson rate with a generous queue: probes may be
+        // shed under overload, but answered + dropped must account for all
+        let mut opts = serve_opts(wfp_gen::Arrival::Poisson { per_sec: 200_000.0 }, 3_000);
+        opts.queue = 4096; // deep enough that nothing sheds in practice
+        let out = cmd_serve(&opts).unwrap();
+        assert!(out.contains("3000 probes"), "{out}");
+        assert!(out.contains("0 failed"), "{out}");
+        assert!(out.contains("shutdown: clean"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_empty_inputs() {
+        let mut opts = serve_opts(wfp_gen::Arrival::Closed, 10);
+        opts.gen_specs = 0;
+        let err = cmd_serve(&opts).unwrap_err().to_string();
+        assert!(err.contains("no specs"), "{err}");
     }
 }

@@ -46,6 +46,7 @@ pub mod orders;
 pub mod origin;
 pub mod packed;
 pub mod registry;
+pub mod serve;
 pub mod snapshot;
 
 pub use batch::label_runs_parallel;
@@ -65,4 +66,5 @@ pub use orders::{generate_three_orders, ContextEncoding};
 pub use origin::{compute_origins, compute_origins_numbered, OriginError};
 pub use packed::{PackedColumns, PackedEngine};
 pub use registry::{RegistryError, RegistryStats, ServiceRegistry, SpecId};
+pub use serve::{serve, Probe, ServeConfig, ServeError, ServeHandle, ServeStats, Server};
 pub use snapshot::{FormatError, SnapshotReader, SnapshotWriter};

@@ -602,10 +602,13 @@ impl<'s> ServiceRegistry<'s> {
             let (fleet, _) = self.resident_mut(idx);
             fleet
                 .answer(run, u, v)
-                .map_err(|error| RegistryError::Fleet { spec, error })?
+                .map_err(|error| RegistryError::Fleet { spec, error })
         };
+        // the budget is re-enforced even when the probe itself failed: the
+        // lazy load above may have pushed residency over budget, and a
+        // caller retrying bad probes must not pin the overshoot
         self.enforce_budget(Some(idx))?;
-        Ok(answer)
+        answer
     }
 
     /// Mixed-spec batch evaluation: probes are `(spec, run, u, v)` and may
@@ -647,12 +650,60 @@ impl<'s> ServiceRegistry<'s> {
                 let (fleet, _) = self.resident_mut(idx);
                 fleet
                     .answer_batch(&sub)
-                    .map_err(|error| RegistryError::Fleet { spec, error })?
+                    .map_err(|error| RegistryError::Fleet { spec, error })
             };
-            for (pos, a) in positions.into_iter().zip(answers) {
+            // enforce the budget before propagating a shard failure, so a
+            // mid-batch error never leaves the lazily-loaded fleet pinned
+            // over budget (see `answer`)
+            self.enforce_budget(Some(idx))?;
+            for (pos, a) in positions.into_iter().zip(answers?) {
                 out[pos] = a;
             }
+        }
+        Ok(out)
+    }
+
+    /// [`answer_batch`](Self::answer_batch) with each fleet's shard fanned
+    /// out over up to `threads` worker threads
+    /// ([`FleetEngine::answer_batch_parallel`]); `threads <= 1` falls back
+    /// to the sequential path. Answers are byte-identical to
+    /// [`answer_batch`](Self::answer_batch), in input order — this is the
+    /// wide-batch drive path of the [`serve`](mod@crate::serve) dispatch loop.
+    pub fn answer_batch_parallel(
+        &mut self,
+        probes: &[(SpecId, RunId, RunVertexId, RunVertexId)],
+        threads: usize,
+    ) -> Result<Vec<bool>, RegistryError> {
+        if threads <= 1 {
+            return self.answer_batch(probes);
+        }
+        type Shard = (Vec<(RunId, RunVertexId, RunVertexId)>, Vec<usize>);
+        let mut order: Vec<usize> = Vec::new();
+        let mut shards: FxHashMap<usize, Shard> = FxHashMap::default();
+        for (pos, &(spec, run, u, v)) in probes.iter().enumerate() {
+            let idx = self.index_of(spec)?;
+            let (sub, positions) = shards.entry(idx).or_insert_with(|| {
+                order.push(idx);
+                (Vec::new(), Vec::new())
+            });
+            sub.push((run, u, v));
+            positions.push(pos);
+        }
+        let mut out = vec![false; probes.len()];
+        for idx in order {
+            let (sub, positions) = shards.remove(&idx).expect("sharded above");
+            self.touch(idx)?;
+            let spec = self.slots[idx].id;
+            let answers = {
+                let (fleet, _) = self.resident_mut(idx);
+                fleet
+                    .answer_batch_parallel(&sub, threads)
+                    .map_err(|error| RegistryError::Fleet { spec, error })
+            };
             self.enforce_budget(Some(idx))?;
+            for (pos, a) in positions.into_iter().zip(answers?) {
+                out[pos] = a;
+            }
         }
         Ok(out)
     }
@@ -827,10 +878,14 @@ impl<'s> ServiceRegistry<'s> {
 
     /// Stamps `idx` most-recently-used and makes it resident, lazily
     /// loading (and cross-validating) its snapshot if it was offloaded.
+    ///
+    /// The LRU stamp lands only once the slot is known resident: a failed
+    /// lazy load (missing snapshot, spec mismatch) must not reshuffle the
+    /// recency order the next eviction decision reads.
     fn touch(&mut self, idx: usize) -> Result<(), RegistryError> {
-        self.clock += 1;
-        self.slots[idx].last_used = self.clock;
         if matches!(self.slots[idx].state, State::Resident { .. }) {
+            self.clock += 1;
+            self.slots[idx].last_used = self.clock;
             return Ok(());
         }
         let bytes = self.fetch(&self.slots[idx])?;
@@ -854,6 +909,8 @@ impl<'s> ServiceRegistry<'s> {
         slot.runs = fleet.run_count();
         slot.state = State::Resident { fleet, graph };
         self.lazy_loads += 1;
+        self.clock += 1;
+        self.slots[idx].last_used = self.clock;
         Ok(())
     }
 
@@ -1365,5 +1422,129 @@ mod tests {
             runs: 3,
         }]);
         assert_eq!(read_manifest(&ok).unwrap().len(), 1);
+    }
+
+    /// Induced mid-batch failures — missing snapshot, swapped (mismatched)
+    /// snapshot, unknown run id — must leave the registry consistent and
+    /// serving: same answers on the retry, residency within budget, stats
+    /// that add up. This is the serving-loop prerequisite: the dispatch
+    /// thread keeps one registry alive across every client's bad request.
+    #[test]
+    fn induced_failures_leave_the_registry_serving() {
+        let spec = paper_spec();
+        let (reg, ids, oracles) = build_registry(&spec, None);
+        let probes = mixed_probes(&ids, 4);
+        let want = expected(&probes, &ids, &oracles);
+
+        let dir = tmp("induced-failures");
+        reg.save_dir(&dir).unwrap();
+        // a tight budget forces lazy loads + evictions on every batch
+        let mut reg = ServiceRegistry::open_dir(&dir, Some(0)).unwrap();
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want, "baseline");
+
+        // 1. missing snapshot: delete one spec's backing file, fail a
+        //    batch that routes through it, restore, retry
+        let victim = ids[1];
+        let path = dir.join(victim.file_name());
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            reg.answer_batch(&probes),
+            Err(RegistryError::MissingSnapshot { spec, .. }) if spec == victim
+        ));
+        let stats = reg.stats();
+        assert_eq!(stats.specs, 3, "failure must not drop slots");
+        assert!(
+            stats.resident <= 1,
+            "budget 0 keeps at most the fleet that was serving when the \
+             failure hit, even across a failed batch"
+        );
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want, "after restore");
+
+        // 2. spec mismatch: cross-wire two snapshots, fail, un-swap, retry
+        let other = dir.join(ids[2].file_name());
+        let other_bytes = std::fs::read(&other).unwrap();
+        std::fs::write(&path, &other_bytes).unwrap();
+        std::fs::write(&other, &bytes).unwrap();
+        assert!(matches!(
+            reg.answer_batch(&probes),
+            Err(RegistryError::SpecMismatch { .. })
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+        std::fs::write(&other, &other_bytes).unwrap();
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want, "after un-swap");
+
+        // 3. unknown run id mid-batch: the faulty probe is sandwiched so a
+        //    healthy shard answers before the failure propagates
+        let mut poisoned = probes.clone();
+        poisoned.insert(poisoned.len() / 2, (ids[2], RunId(99), RunVertexId(0), RunVertexId(0)));
+        assert!(matches!(
+            reg.answer_batch(&poisoned),
+            Err(RegistryError::Fleet { spec, error: FleetError::UnknownRun(RunId(99)) })
+                if spec == ids[2]
+        ));
+        let stats = reg.stats();
+        assert!(
+            stats.resident <= 1,
+            "a failed shard must not pin other lazily-loaded fleets \
+             resident — the budget is enforced before the error propagates"
+        );
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want, "after bad run id");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A failed lazy load must not consume an LRU stamp: with budget for
+    /// one resident fleet, probing A, failing on B (missing snapshot), and
+    /// probing A again must keep A resident throughout — B's failed touch
+    /// never made it "most recently used".
+    #[test]
+    fn failed_touch_does_not_disturb_lru_order() {
+        let spec = paper_spec();
+        let (reg, ids, _) = build_registry(&spec, None);
+        let dir = tmp("failed-touch-lru");
+        reg.save_dir(&dir).unwrap();
+        // budget large enough for one resident fleet, not two
+        let mut reg = ServiceRegistry::open_dir(&dir, None).unwrap();
+        reg.ensure_resident(ids[0]).unwrap();
+        let one = reg.resident_bytes();
+        reg.set_budget(Some(one)).unwrap();
+        assert!(reg.resident(ids[0]));
+
+        std::fs::remove_file(dir.join(ids[1].file_name())).unwrap();
+        for _ in 0..3 {
+            assert!(reg
+                .answer(ids[1], RunId(0), RunVertexId(0), RunVertexId(0))
+                .is_err());
+            assert!(
+                reg.resident(ids[0]),
+                "failed loads must not evict the healthy resident fleet"
+            );
+        }
+        let loads_before = reg.stats().lazy_loads;
+        assert!(reg
+            .answer(ids[0], RunId(0), RunVertexId(0), RunVertexId(0))
+            .is_ok());
+        assert_eq!(
+            reg.stats().lazy_loads,
+            loads_before,
+            "the healthy fleet stayed resident — no reload needed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The parallel batch drive answers byte-identically to the sequential
+    /// one, including under eviction churn.
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let spec = paper_spec();
+        let (mut reg, ids, oracles) = build_registry(&spec, None);
+        let probes = mixed_probes(&ids, 5);
+        let want = expected(&probes, &ids, &oracles);
+        assert_eq!(reg.answer_batch_parallel(&probes, 4).unwrap(), want);
+        assert_eq!(reg.answer_batch_parallel(&probes, 1).unwrap(), want);
+        reg.set_budget(Some(0)).unwrap();
+        assert_eq!(reg.answer_batch_parallel(&probes, 3).unwrap(), want);
+        assert!(reg.stats().evictions > 0);
     }
 }

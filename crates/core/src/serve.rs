@@ -1,0 +1,925 @@
+//! Request/response serving loop over a [`ServiceRegistry`] — the async
+//! front-end that turns the synchronous batch kernel into a traffic server.
+//!
+//! # Shape
+//!
+//! One **dispatch thread** owns the registry outright (the batch API takes
+//! `&mut self`, and the search schemes carry `RefCell` scratch, so the
+//! registry is deliberately not shared across threads — ownership *is* the
+//! locking design). Clients hold cheap cloneable [`ServeHandle`]s and
+//! submit `(SpecId, RunId, u, v)` probes — single ([`ServeHandle::probe`])
+//! or small vectors ([`ServeHandle::probe_vec`]) — through a bounded mpsc
+//! queue. The dispatcher coalesces concurrent submissions inside an
+//! **admission window** (flush at [`ServeConfig::max_batch`] probes or
+//! after [`ServeConfig::window`], whichever first) into one mixed-spec
+//! batch, drives [`ServiceRegistry::answer_batch`] /
+//! [`answer_batch_parallel`](ServiceRegistry::answer_batch_parallel) —
+//! which shard it per fleet and per run — and routes each caller's answers
+//! back in submission order over its own oneshot-style channel.
+//!
+//! * **Backpressure** — the admission queue is bounded
+//!   ([`ServeConfig::queue_cap`] requests); a full queue rejects the
+//!   submission immediately with the typed [`ServeError::Overloaded`],
+//!   never blocking the client.
+//! * **Graceful shutdown** — [`Server::shutdown`] drains: every request
+//!   admitted before the queue closed is answered, then the dispatcher
+//!   stops and the final [`ServeStats`] comes back. Submissions after
+//!   shutdown get the typed [`ServeError::ShuttingDown`].
+//! * **Control plane** — [`Server::control`] runs a closure on the
+//!   dispatch thread against the registry itself (freeze a live run,
+//!   resize the budget, snapshot stats) without ever exposing the `&mut`
+//!   across threads. Controls execute between batches, so a client batch
+//!   always sees a registry in a consistent state.
+//! * **Accounting** — [`ServeStats`] snapshots per-scheme request latency
+//!   (p50/p99 over log-bucketed histograms) and the admitted batch-size
+//!   histogram, live ([`Server::stats`]) or at shutdown.
+//!
+//! Because the search schemes are `!Sync`, a registry cannot be *moved*
+//! into the dispatch thread from outside — instead the caller hands
+//! [`serve`] a **builder** closure and the registry is constructed on the
+//! dispatch thread itself, living and dying there:
+//!
+//! ```
+//! use wfp_model::fixtures;
+//! use wfp_skl::serve::{serve, ServeConfig};
+//! use wfp_skl::{label_run, ServiceRegistry};
+//! use wfp_speclabel::SchemeKind;
+//!
+//! let server = serve(ServeConfig::default(), || {
+//!     let spec = fixtures::paper_spec();
+//!     let run = fixtures::paper_run(&spec);
+//!     let (labels, _) = label_run(&spec, &run).unwrap();
+//!     let mut reg = ServiceRegistry::new();
+//!     let id = reg.register_spec(&spec, SchemeKind::Tcm)?;
+//!     reg.register_labels(id, &labels)?;
+//!     Ok((reg, id))
+//! })
+//! .unwrap();
+//! let id = *server.context();
+//! let handle = server.handle();
+//! let yes = handle
+//!     .probe(id, wfp_skl::RunId(0), wfp_model::RunVertexId(0), wfp_model::RunVertexId(0))
+//!     .unwrap();
+//! assert!(yes, "reachability is reflexive");
+//! let stats = server.shutdown().unwrap();
+//! assert_eq!(stats.probes_answered, 1);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use wfp_model::RunVertexId;
+use wfp_speclabel::SchemeKind;
+
+use crate::fleet::RunId;
+use crate::registry::{RegistryError, ServiceRegistry, SpecId};
+
+/// One client probe: `(spec, run, u, v)` — does vertex `u` reach `v` in
+/// run `run` of spec `spec`?
+pub type Probe = (SpecId, RunId, RunVertexId, RunVertexId);
+
+// ======================================================================
+// configuration & errors
+// ======================================================================
+
+/// Admission-loop tuning knobs. The defaults favor throughput at serving
+/// batch sizes; latency-sensitive deployments shrink `window`.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Flush the admission window once this many probes have coalesced.
+    pub max_batch: usize,
+    /// Flush the admission window this long after its first probe arrived,
+    /// even if `max_batch` was not reached.
+    pub window: Duration,
+    /// Bounded admission-queue capacity in *requests*; a full queue turns
+    /// submissions into [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Worker threads per registry batch (`<= 1` serves sequentially; more
+    /// drives [`ServiceRegistry::answer_batch_parallel`]).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8192,
+            window: Duration::from_micros(200),
+            queue_cap: 1024,
+            threads: 1,
+        }
+    }
+}
+
+/// Typed serving-path errors, as seen by clients.
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// The bounded admission queue is full; resubmit after backing off.
+    Overloaded,
+    /// The server is shutting down (or already gone); the probe was not
+    /// admitted.
+    ShuttingDown,
+    /// The dispatch thread died before answering (a panic in a registry
+    /// builder or batch kernel — never part of normal operation).
+    Disconnected,
+    /// The registry rejected this request's probes (unknown spec/run,
+    /// snapshot failure...). Other requests in the same admitted batch are
+    /// unaffected: a failing batch is re-driven per request so only the
+    /// faulty submission sees its error.
+    Registry(Arc<RegistryError>),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "admission queue full (overloaded)"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Disconnected => write!(f, "dispatch thread gone"),
+            ServeError::Registry(e) => write!(f, "registry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+// ======================================================================
+// latency accounting
+// ======================================================================
+
+/// Log-bucketed latency/size histogram: exact below 8, then four
+/// sub-buckets per octave (≤ ~12% relative error) — enough resolution for
+/// honest p50/p99 without per-sample storage.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; Histogram::BUCKETS],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; Histogram::BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    const BUCKETS: usize = 256;
+
+    fn bucket_of(v: u64) -> usize {
+        if v < 8 {
+            return v as usize;
+        }
+        let octave = 63 - v.leading_zeros() as u64; // >= 3
+        let sub = (v >> (octave - 2)) & 3;
+        (((octave - 3) * 4 + sub) as usize + 8).min(Self::BUCKETS - 1)
+    }
+
+    fn bucket_floor(idx: usize) -> u64 {
+        if idx < 8 {
+            return idx as u64;
+        }
+        let octave = (idx - 8) as u64 / 4 + 3;
+        let sub = (idx - 8) as u64 % 4;
+        (1u64 << octave) + (sub << (octave - 2))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (lower bucket bound; `None`
+    /// when empty).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// Latency digest for one specification scheme.
+#[derive(Clone, Debug, Default)]
+pub struct SchemeLatency {
+    /// Probes answered under this scheme.
+    pub probes: u64,
+    /// Per-probe submit→reply latency histogram, microseconds.
+    pub latency_us: Histogram,
+}
+
+impl SchemeLatency {
+    /// Median latency in µs (`None` when no probes were served).
+    pub fn p50_us(&self) -> Option<u64> {
+        self.latency_us.quantile(0.50)
+    }
+
+    /// 99th-percentile latency in µs.
+    pub fn p99_us(&self) -> Option<u64> {
+        self.latency_us.quantile(0.99)
+    }
+}
+
+/// A consistent snapshot of serving-loop accounting
+/// ([`Server::stats`] live, or the final state from [`Server::shutdown`]).
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Requests admitted into the queue (each carries ≥ 1 probe).
+    pub requests: u64,
+    /// Probes admitted.
+    pub probes_submitted: u64,
+    /// Probes answered successfully.
+    pub probes_answered: u64,
+    /// Probes that came back with a registry error.
+    pub probes_failed: u64,
+    /// Admission windows flushed.
+    pub batches: u64,
+    /// ... because `max_batch` filled.
+    pub batches_full: u64,
+    /// ... because the time window lapsed (or the queue went idle).
+    pub batches_timer: u64,
+    /// ... while draining at shutdown.
+    pub batches_drain: u64,
+    /// Control closures executed on the dispatch thread.
+    pub controls: u64,
+    /// Admitted batch sizes, in probes per flush.
+    pub batch_probes: Histogram,
+    /// Per-scheme latency, indexed like [`SchemeKind::ALL`].
+    pub per_scheme: [SchemeLatency; SchemeKind::ALL.len()],
+}
+
+impl ServeStats {
+    /// The latency digest for `kind`.
+    pub fn scheme(&self, kind: SchemeKind) -> &SchemeLatency {
+        let i = SchemeKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("ALL is total");
+        &self.per_scheme[i]
+    }
+}
+
+// ======================================================================
+// wire types
+// ======================================================================
+
+type Reply = Result<Vec<bool>, ServeError>;
+
+struct Request {
+    probes: Vec<Probe>,
+    submitted: Instant,
+    reply: mpsc::Sender<Reply>,
+}
+
+type ControlFn = Box<dyn FnOnce(&mut ServiceRegistry<'static>) + Send>;
+
+enum Msg {
+    Request(Request),
+    Control(ControlFn),
+    Shutdown,
+}
+
+/// A pending answer: [`ServeHandle::submit`] returns immediately with a
+/// ticket; [`wait`](Ticket::wait) blocks until the dispatch thread replies.
+#[must_use = "a ticket holds the only route to this request's answers"]
+pub struct Ticket {
+    rx: Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Blocks until the answers arrive (in submission order, one `bool`
+    /// per probe). A dispatch thread that died without replying — possible
+    /// only for probes racing a shutdown's final drain — reports
+    /// [`ServeError::ShuttingDown`].
+    pub fn wait(self) -> Result<Vec<bool>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Non-blocking poll: `None` while the batch is still in flight.
+    pub fn try_wait(&mut self) -> Option<Result<Vec<bool>, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(reply) => Some(reply),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+}
+
+// ======================================================================
+// client handle
+// ======================================================================
+
+/// A cloneable client endpoint. Handles are cheap (two `Arc`-sized
+/// fields); clone one per client thread.
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: SyncSender<Msg>,
+    closed: Arc<AtomicBool>,
+}
+
+impl ServeHandle {
+    /// Submits a probe vector without blocking for the answer; pair with
+    /// [`Ticket::wait`]. Typed failures: [`ServeError::Overloaded`] when
+    /// the bounded queue is full, [`ServeError::ShuttingDown`] after
+    /// shutdown.
+    pub fn submit(&self, probes: Vec<Probe>) -> Result<Ticket, ServeError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (reply, rx) = mpsc::channel();
+        let req = Request {
+            probes,
+            submitted: Instant::now(),
+            reply,
+        };
+        match self.tx.try_send(Msg::Request(req)) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits and waits: one round trip for a small probe vector.
+    pub fn probe_vec(&self, probes: Vec<Probe>) -> Result<Vec<bool>, ServeError> {
+        self.submit(probes)?.wait()
+    }
+
+    /// Submits and waits for a single probe.
+    pub fn probe(
+        &self,
+        spec: SpecId,
+        run: RunId,
+        u: RunVertexId,
+        v: RunVertexId,
+    ) -> Result<bool, ServeError> {
+        Ok(self.probe_vec(vec![(spec, run, u, v)])?[0])
+    }
+}
+
+// ======================================================================
+// server
+// ======================================================================
+
+/// The running serving loop: owns the dispatch thread, hands out
+/// [`ServeHandle`]s, exposes the control plane, and shuts down gracefully.
+///
+/// `C` is whatever context the registry builder chose to surface (spec
+/// ids, run books, ...) — constructed on the dispatch thread, returned to
+/// the caller by value.
+pub struct Server<C = ()> {
+    tx: SyncSender<Msg>,
+    closed: Arc<AtomicBool>,
+    stats: Arc<Mutex<ServeStats>>,
+    worker: std::thread::JoinHandle<()>,
+    context: C,
+}
+
+impl<C> Server<C> {
+    /// A new client endpoint.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            tx: self.tx.clone(),
+            closed: Arc::clone(&self.closed),
+        }
+    }
+
+    /// The builder's context value (e.g. the registered spec ids).
+    pub fn context(&self) -> &C {
+        &self.context
+    }
+
+    /// A live accounting snapshot (consistent as of the last flush).
+    pub fn stats(&self) -> ServeStats {
+        self.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Runs `f` against the registry on the dispatch thread — between
+    /// batches, never concurrently with one — and returns its result.
+    /// This is how callers freeze live runs, adjust budgets, or read
+    /// registry stats mid-serve without sharing the `&mut` registry.
+    pub fn control<R, F>(&self, f: F) -> Result<R, ServeError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut ServiceRegistry<'static>) -> R + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let boxed: ControlFn = Box::new(move |reg| {
+            let _ = tx.send(f(reg));
+        });
+        // a control rides the same ordered queue as requests; blocking
+        // send (not try_send) — controls are rare and must not be shed
+        self.tx
+            .send(Msg::Control(boxed))
+            .map_err(|_| ServeError::ShuttingDown)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Drain-then-stop: closes admission (new submissions fail with
+    /// [`ServeError::ShuttingDown`]), answers every request already in the
+    /// queue, joins the dispatch thread, and returns the final stats. A
+    /// dispatcher that panicked surfaces as [`ServeError::Disconnected`].
+    pub fn shutdown(self) -> Result<ServeStats, ServeError> {
+        self.closed.store(true, Ordering::Release);
+        // the marker may block while the queue drains — that is the point
+        let _ = self.tx.send(Msg::Shutdown);
+        self.worker.join().map_err(|_| ServeError::Disconnected)?;
+        let stats = self.stats.lock().expect("stats lock").clone();
+        Ok(stats)
+    }
+}
+
+/// Spawns the serving loop. `build` runs **on the dispatch thread** and
+/// constructs the registry there (the search schemes' scratch state is
+/// single-threaded by design, so the registry must be born where it
+/// serves); whatever context it returns next to the registry comes back in
+/// the [`Server`]. A builder error tears the loop down and is returned
+/// here instead.
+pub fn serve<C, F>(config: ServeConfig, build: F) -> Result<Server<C>, RegistryError>
+where
+    C: Send + 'static,
+    F: FnOnce() -> Result<(ServiceRegistry<'static>, C), RegistryError> + Send + 'static,
+{
+    let (tx, rx) = mpsc::sync_channel::<Msg>(config.queue_cap.max(1));
+    let closed = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(Mutex::new(ServeStats::default()));
+    let stats_worker = Arc::clone(&stats);
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let worker = std::thread::Builder::new()
+        .name("wfp-serve".into())
+        .spawn(move || {
+            let (registry, context) = match build() {
+                Ok(pair) => pair,
+                Err(e) => {
+                    let _ = ready_tx.send(Err(e));
+                    return;
+                }
+            };
+            let _ = ready_tx.send(Ok(context));
+            dispatch(registry, rx, config, stats_worker);
+        })
+        .expect("spawn dispatch thread");
+    match ready_rx.recv() {
+        Ok(Ok(context)) => Ok(Server {
+            tx,
+            closed,
+            stats,
+            worker,
+            context,
+        }),
+        Ok(Err(e)) => {
+            let _ = worker.join();
+            Err(e)
+        }
+        Err(_) => {
+            // builder panicked before reporting; surface as a format-ish
+            // error rather than poisoning the caller
+            let _ = worker.join();
+            Err(RegistryError::Io {
+                path: std::path::PathBuf::from("<serve builder>"),
+                message: "registry builder panicked".into(),
+            })
+        }
+    }
+}
+
+// ======================================================================
+// dispatch loop
+// ======================================================================
+
+/// Why an admission window closed.
+enum Flush {
+    Full,
+    Timer,
+    Drain,
+}
+
+fn dispatch(
+    mut registry: ServiceRegistry<'static>,
+    rx: Receiver<Msg>,
+    config: ServeConfig,
+    stats: Arc<Mutex<ServeStats>>,
+) {
+    let max_batch = config.max_batch.max(1);
+    let mut draining = false;
+    'serve: loop {
+        // idle: block for the first message of the next window
+        let first = if draining {
+            match rx.try_recv() {
+                Ok(m) => m,
+                Err(_) => break 'serve,
+            }
+        } else {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break 'serve, // every handle and the server gone
+            }
+        };
+        let mut batch: Vec<Request> = Vec::new();
+        let mut probes = 0usize;
+        let mut controls: Vec<ControlFn> = Vec::new();
+        match first {
+            Msg::Request(r) => {
+                probes += r.probes.len();
+                batch.push(r);
+            }
+            Msg::Control(c) => controls.push(c),
+            Msg::Shutdown => draining = true,
+        }
+        // admission window: coalesce until full, lapsed, or shutting
+        // down. The window only opens for probe traffic — a lone control
+        // (or the shutdown marker) executes immediately rather than
+        // waiting out a timer with nothing to coalesce.
+        let deadline = Instant::now() + config.window;
+        let mut cause = Flush::Timer;
+        while !draining && !batch.is_empty() && probes < max_batch {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match rx.recv_timeout(left) {
+                Ok(Msg::Request(r)) => {
+                    probes += r.probes.len();
+                    batch.push(r);
+                }
+                Ok(Msg::Control(c)) => controls.push(c),
+                Ok(Msg::Shutdown) => draining = true,
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    draining = true;
+                }
+            }
+        }
+        if probes >= max_batch {
+            cause = Flush::Full;
+        }
+        if draining {
+            cause = Flush::Drain;
+        }
+        if !batch.is_empty() {
+            service_batch(&mut registry, batch, probes, cause, &config, &stats);
+        }
+        // controls run between batches: a consistent registry, no probe
+        // in flight
+        if !controls.is_empty() {
+            let mut s = stats.lock().expect("stats lock");
+            s.controls += controls.len() as u64;
+            drop(s);
+            for c in controls {
+                c(&mut registry);
+            }
+        }
+    }
+    // the queue is closed (or the server hung up): nothing left to answer
+}
+
+fn service_batch(
+    registry: &mut ServiceRegistry<'static>,
+    batch: Vec<Request>,
+    probes: usize,
+    cause: Flush,
+    config: &ServeConfig,
+    stats: &Arc<Mutex<ServeStats>>,
+) {
+    // flatten the coalesced requests into one mixed-spec batch
+    let mut flat: Vec<Probe> = Vec::with_capacity(probes);
+    for r in &batch {
+        flat.extend_from_slice(&r.probes);
+    }
+    let combined = registry.answer_batch_parallel(&flat, config.threads);
+    let replied = Instant::now();
+
+    let mut s = stats.lock().expect("stats lock");
+    s.requests += batch.len() as u64;
+    s.probes_submitted += probes as u64;
+    s.batches += 1;
+    match cause {
+        Flush::Full => s.batches_full += 1,
+        Flush::Timer => s.batches_timer += 1,
+        Flush::Drain => s.batches_drain += 1,
+    }
+    s.batch_probes.record(probes as u64);
+
+    match combined {
+        Ok(answers) => {
+            let mut off = 0usize;
+            for r in batch {
+                let n = r.probes.len();
+                let slice = answers[off..off + n].to_vec();
+                off += n;
+                record_latency(&mut s, registry, &r, replied);
+                s.probes_answered += n as u64;
+                let _ = r.reply.send(Ok(slice));
+            }
+        }
+        Err(_) => {
+            // one faulty request must not fail its neighbors: re-drive the
+            // batch per request so each caller gets its own verdict
+            drop(s);
+            for r in batch {
+                let verdict = registry
+                    .answer_batch_parallel(&r.probes, config.threads)
+                    .map_err(|e| ServeError::Registry(Arc::new(e)));
+                let mut s = stats.lock().expect("stats lock");
+                match &verdict {
+                    Ok(_) => {
+                        record_latency(&mut s, registry, &r, Instant::now());
+                        s.probes_answered += r.probes.len() as u64;
+                    }
+                    Err(_) => s.probes_failed += r.probes.len() as u64,
+                }
+                drop(s);
+                let _ = r.reply.send(verdict);
+            }
+        }
+    }
+}
+
+/// Credits `r`'s submit→reply latency to each probe's scheme.
+fn record_latency(
+    s: &mut ServeStats,
+    registry: &ServiceRegistry<'static>,
+    r: &Request,
+    replied: Instant,
+) {
+    let us = replied.duration_since(r.submitted).as_micros() as u64;
+    for &(spec, ..) in &r.probes {
+        let Some(kind) = registry.scheme(spec) else {
+            continue;
+        };
+        let i = SchemeKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("ALL is total");
+        s.per_scheme[i].probes += 1;
+        s.per_scheme[i].latency_us.record(us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabeledRun;
+    use wfp_model::fixtures::{paper_run, paper_spec};
+    use wfp_speclabel::SpecScheme;
+
+    /// Serves the paper spec under `kinds`, two frozen runs each; context
+    /// is the spec-id list plus each run's vertex count.
+    fn paper_server(
+        config: ServeConfig,
+        kinds: &'static [SchemeKind],
+    ) -> Server<(Vec<SpecId>, usize)> {
+        serve(config, move || {
+            let spec = paper_spec();
+            let run = paper_run(&spec);
+            let n = run.vertex_count();
+            let mut reg = ServiceRegistry::new();
+            let mut ids = Vec::new();
+            for &kind in kinds {
+                let labels = LabeledRun::build(&spec, SpecScheme::build(kind, spec.graph()), &run)
+                    .unwrap()
+                    .labels()
+                    .to_vec();
+                let id = reg.register_spec(&spec, kind)?;
+                reg.register_labels(id, &labels)?;
+                reg.register_labels(id, &labels)?;
+                ids.push(id);
+            }
+            Ok((reg, (ids, n)))
+        })
+        .expect("paper registry builds")
+    }
+
+    fn all_pairs(ids: &[SpecId], n: usize) -> Vec<Probe> {
+        let mut probes = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    probes.push((
+                        id,
+                        RunId(((u as usize + i) % 2) as u32),
+                        RunVertexId(u),
+                        RunVertexId(v),
+                    ));
+                }
+            }
+        }
+        probes
+    }
+
+    #[test]
+    fn served_answers_match_direct_calls() {
+        const KINDS: &[SchemeKind] = &[SchemeKind::Tcm, SchemeKind::Bfs];
+        let server = paper_server(ServeConfig::default(), KINDS);
+        let (ids, n) = server.context().clone();
+        let probes = all_pairs(&ids, n);
+        let want = server
+            .control({
+                let probes = probes.clone();
+                move |reg| reg.answer_batch(&probes).unwrap()
+            })
+            .unwrap();
+        let handle = server.handle();
+        let got = handle.probe_vec(probes.clone()).unwrap();
+        assert_eq!(got, want);
+        // singles agree too
+        for (p, w) in probes.iter().take(40).zip(&want) {
+            assert_eq!(handle.probe(p.0, p.1, p.2, p.3).unwrap(), *w);
+        }
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.probes_failed, 0);
+        assert_eq!(stats.probes_answered, probes.len() as u64 + 40);
+        assert!(stats.scheme(SchemeKind::Tcm).probes > 0);
+        assert!(stats.scheme(SchemeKind::Tcm).p99_us().is_some());
+    }
+
+    #[test]
+    fn shutdown_drains_every_admitted_probe() {
+        const KINDS: &[SchemeKind] = &[SchemeKind::Tcm];
+        // an hour-long window and a huge batch: nothing flushes on its
+        // own, so every answer below is produced by the shutdown drain
+        let server = paper_server(
+            ServeConfig {
+                window: Duration::from_secs(3600),
+                max_batch: usize::MAX,
+                ..ServeConfig::default()
+            },
+            KINDS,
+        );
+        let (ids, n) = server.context().clone();
+        let probes = all_pairs(&ids, n);
+        let want = server
+            .control({
+                let probes = probes.clone();
+                move |reg| reg.answer_batch(&probes).unwrap()
+            })
+            .unwrap();
+        let handle = server.handle();
+        let tickets: Vec<(usize, Ticket)> = (0..10)
+            .map(|i| (i, handle.submit(probes.clone()).unwrap()))
+            .collect();
+        let stats = server.shutdown().unwrap();
+        assert_eq!(
+            stats.probes_answered,
+            (probes.len() * tickets.len()) as u64,
+            "drain answers every admitted probe"
+        );
+        assert!(stats.batches_drain >= 1);
+        for (_, t) in tickets {
+            assert_eq!(t.wait().unwrap(), want);
+        }
+        // post-shutdown submissions get the typed error
+        assert!(matches!(
+            handle.probe_vec(probes),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn overflow_is_typed_and_never_deadlocks() {
+        const KINDS: &[SchemeKind] = &[SchemeKind::Tcm];
+        let server = paper_server(
+            ServeConfig {
+                queue_cap: 1,
+                window: Duration::from_micros(50),
+                ..ServeConfig::default()
+            },
+            KINDS,
+        );
+        let (ids, _) = server.context().clone();
+        let handle = server.handle();
+        // stall the dispatcher inside a control closure (issued from a
+        // helper thread — `control` blocks until executed) so the bounded
+        // queue visibly backs up
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        let mut admitted = Vec::new();
+        std::thread::scope(|scope| {
+            let srv = &server;
+            scope.spawn(move || {
+                srv.control(move |_| {
+                    let _ = started_tx.send(());
+                    let _ = hold_rx.recv_timeout(Duration::from_secs(10));
+                })
+                .unwrap();
+            });
+            started_rx.recv().expect("dispatcher reached the control");
+            // the dispatcher is stalled: fill the 1-slot queue, then
+            // observe an immediate typed rejection — never a block
+            let one = vec![(ids[0], RunId(0), RunVertexId(0), RunVertexId(0))];
+            let mut saw_overload = false;
+            for _ in 0..512 {
+                match handle.submit(one.clone()) {
+                    Ok(t) => admitted.push(t),
+                    Err(ServeError::Overloaded) => {
+                        saw_overload = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            assert!(
+                saw_overload,
+                "a 1-slot queue behind a stalled dispatcher must shed load"
+            );
+            hold_tx.send(()).expect("release the dispatcher");
+        });
+        // no deadlock: every admitted ticket still resolves (reflexive
+        // probe → true)
+        for t in admitted {
+            assert!(t.wait().unwrap()[0]);
+        }
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.controls, 1);
+        assert_eq!(stats.probes_failed, 0);
+    }
+
+    #[test]
+    fn faulty_requests_fail_alone() {
+        const KINDS: &[SchemeKind] = &[SchemeKind::Tcm, SchemeKind::Dfs];
+        // a long window so both requests coalesce into one batch
+        let server = paper_server(
+            ServeConfig {
+                window: Duration::from_millis(200),
+                ..ServeConfig::default()
+            },
+            KINDS,
+        );
+        let (ids, n) = server.context().clone();
+        let handle = server.handle();
+        let good = all_pairs(&ids, n);
+        let bad = vec![(ids[1], RunId(99), RunVertexId(0), RunVertexId(0))];
+        let t_good = handle.submit(good.clone()).unwrap();
+        let t_bad = handle.submit(bad).unwrap();
+        let got = t_good.wait().unwrap();
+        assert!(matches!(
+            t_bad.wait(),
+            Err(ServeError::Registry(e))
+                if matches!(&*e, RegistryError::Fleet { .. })
+        ));
+        let want = server
+            .control(move |reg| reg.answer_batch(&good).unwrap())
+            .unwrap();
+        assert_eq!(got, want, "the healthy neighbor is unaffected");
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.probes_failed, 1);
+    }
+
+    #[test]
+    fn builder_errors_surface_to_the_caller() {
+        let bogus = SpecId(0xDEAD);
+        let err = serve(ServeConfig::default(), move || {
+            let mut reg = ServiceRegistry::new();
+            reg.ensure_resident(bogus)?;
+            Ok((reg, ()))
+        });
+        assert!(matches!(
+            err.map(|_| ()),
+            Err(RegistryError::UnknownSpec(id)) if id == bogus
+        ));
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_their_samples() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 900, 1000, 1000, 1000, 1000, 1000, 40_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 40_000);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((768..=1024).contains(&p50), "p50 {p50} near the mode");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 32_768, "p99 {p99} reaches the tail bucket");
+        assert!(p99 <= 40_000);
+        // exact small values
+        let mut small = Histogram::default();
+        for v in 0..8 {
+            small.record(v);
+        }
+        assert_eq!(small.quantile(0.0).unwrap(), 0);
+        assert_eq!(small.quantile(1.0).unwrap(), 7);
+    }
+}

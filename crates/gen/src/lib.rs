@@ -13,6 +13,8 @@
 //!   DESIGN.md §3 for the substitution argument).
 //! * [`queries`] — uniform random query workloads (the paper samples 10⁶
 //!   vertex pairs per data point).
+//! * [`workload`] — open-loop arrival schedules (uniform / Poisson /
+//!   bursty) for driving the `wfp_skl::serve` front-end.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,8 +23,10 @@ pub mod queries;
 pub mod real;
 pub mod rungen;
 pub mod specgen;
+pub mod workload;
 
 pub use queries::random_pairs;
+pub use workload::{arrival_offsets_us, Arrival};
 pub use real::{real_workflows, stand_in, RealWorkflow};
 pub use rungen::{
     generate_fleet, generate_registry, generate_run, generate_run_bounded,

@@ -91,9 +91,10 @@ pub mod prelude {
         RunData, RunDataBuilder, StoredProvenance,
     };
     pub use wfp_skl::{
-        construct_plan, label_run, FleetEngine, FleetError, FleetStats, LabeledRun, LiveRun,
-        PackedEngine, PackedRunHandle, QueryEngine, QueryPath, RegistryError, RegistryStats,
-        RunHandle, RunId, RunLabel, ServiceRegistry, SpecContext, SpecId,
+        construct_plan, label_run, serve, FleetEngine, FleetError, FleetStats, LabeledRun,
+        LiveRun, PackedEngine, PackedRunHandle, QueryEngine, QueryPath, RegistryError,
+        RegistryStats, RunHandle, RunId, RunLabel, ServeConfig, ServeError, ServeHandle,
+        ServeStats, Server, ServiceRegistry, SpecContext, SpecId,
     };
     pub use wfp_speclabel::{SchemeKind, SpecIndex, SpecScheme};
 }

@@ -492,3 +492,131 @@ fn forged_packed_width_headers_are_rejected() {
         Err(FormatError::Malformed(_))
     ));
 }
+
+// ======================================================================
+// probe-table fallback parity (PROBE_TABLE_CAP)
+// ======================================================================
+
+/// Synthetic labels over a `width`-module chain skeleton: every vertex `i`
+/// originates from module `i % width`, and the context coordinates are
+/// rigged so most pairs are *unresolved* (equal `q2`/`q3` tags defeat the
+/// fast path and delegate to the skeleton — the path the probe table and
+/// its scalar fallback serve). Every 4th vertex gets antitonic `q2`/`q3`
+/// so mixed blocks still contain context-resolved lanes.
+fn fallback_labels(n: usize, width: u32) -> Vec<RunLabel> {
+    (0..n)
+        .map(|i| {
+            let banded = i % 4 == 0;
+            RunLabel {
+                q1: i as u32,
+                q2: if banded { i as u32 } else { (i % 3) as u32 },
+                q3: if banded { (n - i) as u32 } else { (i % 3) as u32 },
+                origin: ModuleId((i % width as usize) as u32),
+            }
+        })
+        .collect()
+}
+
+/// A `width`-vertex chain graph (module `i` feeds `i+1`) — a skeleton wide
+/// enough to exceed the sweep's dense probe-table cap when `width > 1024`.
+fn chain_skeleton(width: u32, kind: SchemeKind) -> SpecScheme {
+    let mut g = workflow_provenance::graph::DiGraph::with_vertices(width as usize);
+    for v in 1..width {
+        g.add_edge(v - 1, v);
+    }
+    SpecScheme::build(kind, &g)
+}
+
+fn random_vertex_pairs(n: usize, count: usize, seed: u64) -> Vec<(RunVertexId, RunVertexId)> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                RunVertexId(rng.gen_usize(n) as u32),
+                RunVertexId(rng.gen_usize(n) as u32),
+            )
+        })
+        .collect()
+}
+
+/// When the origin bound exceeds `PROBE_TABLE_CAP` (1024² cells), the
+/// sweep must fall back to per-lane memo probes that match the scalar
+/// reference kernel **lane for lane**: same answers, same context/skeleton
+/// decision split, same memo probe/hit counters.
+#[test]
+fn probe_table_fallback_matches_scalar_counters_over_cap_exceeding_bound() {
+    const WIDTH: u32 = 1200; // 1200² = 1.44M cells > the 1MiB table cap
+    const N: usize = 3000;
+    let labels = fallback_labels(N, WIDTH);
+    let pairs = random_vertex_pairs(N, 20_000, 0xFA11_BACC);
+
+    for kind in [SchemeKind::Bfs, SchemeKind::Tcm] {
+        // two engines over identical labels, fresh memos each
+        let sweep_engine = QueryEngine::from_labels(&labels, chain_skeleton(WIDTH, kind));
+        let scalar_engine = QueryEngine::from_labels(&labels, chain_skeleton(WIDTH, kind));
+
+        let sweep = sweep_engine.answer_batch(&pairs);
+        let mut buf = Vec::new();
+        let scalar = scalar_engine.answer_batch_scalar_into(&pairs, &mut buf);
+        assert_eq!(sweep, scalar, "{kind}: answers diverge in the fallback");
+
+        let s = sweep_engine.stats();
+        let r = scalar_engine.stats();
+        assert_eq!(s.context_only, r.context_only, "{kind}: context split");
+        assert_eq!(s.skeleton, r.skeleton, "{kind}: skeleton split");
+        assert_eq!(s.skeleton_probes, r.skeleton_probes, "{kind}: memo misses");
+        assert_eq!(s.memo_hits, r.memo_hits, "{kind}: memo hits");
+        assert!(s.skeleton > 0, "{kind}: the workload must exercise the skeleton path");
+
+        // the counters also satisfy the dense-table accounting contract:
+        // one probe per distinct cold (origin, origin) key, every repeat a
+        // hit — the invariant that makes table and fallback interchangeable
+        if kind == SchemeKind::Bfs {
+            let mut distinct = std::collections::HashSet::new();
+            let mut unresolved = 0u64;
+            for &(u, v) in &pairs {
+                let (a, b) = (&labels[u.index()], &labels[v.index()]);
+                let split = (a.q2 < b.q2) != (a.q3 < b.q3);
+                if !(split && a.q2 != b.q2 && a.q3 != b.q3) {
+                    unresolved += 1;
+                    distinct.insert((a.origin.raw(), b.origin.raw()));
+                }
+            }
+            assert_eq!(s.skeleton, unresolved, "unresolved lane count");
+            assert_eq!(s.skeleton_probes, distinct.len() as u64, "one miss per distinct key");
+            assert_eq!(s.memo_hits, unresolved - distinct.len() as u64, "every repeat is a hit");
+        }
+    }
+}
+
+/// Below the cap, the *same* probe stream must produce identical answers
+/// and memo counters whether the sweep uses its dense table (one wide
+/// batch) or the scalar fallback (many batches too small to amortize the
+/// table) — the fallback-parity guarantee from the table's side.
+#[test]
+fn dense_table_and_fallback_agree_on_the_same_stream() {
+    const WIDTH: u32 = 600; // 600² = 360K cells: table-eligible...
+    const N: usize = 2400;
+    let labels = fallback_labels(N, WIDTH);
+    let pairs = random_vertex_pairs(N, 24_000, 0x007A_B1E5);
+
+    let tabled = QueryEngine::from_labels(&labels, chain_skeleton(WIDTH, SchemeKind::Bfs));
+    let chunked = QueryEngine::from_labels(&labels, chain_skeleton(WIDTH, SchemeKind::Bfs));
+
+    // ...for a 24K-pair batch (360K <= 24K·64), but not for 500-pair
+    // chunks (360K > 500·64 = 32K), which take the scalar fallback
+    let wide = tabled.answer_batch(&pairs);
+    let mut narrow = Vec::with_capacity(pairs.len());
+    for chunk in pairs.chunks(500) {
+        narrow.extend(chunked.answer_batch(chunk));
+    }
+    assert_eq!(wide, narrow, "table vs fallback answers");
+
+    let t = tabled.stats();
+    let c = chunked.stats();
+    assert_eq!(t.context_only, c.context_only, "context split");
+    assert_eq!(t.skeleton, c.skeleton, "skeleton split");
+    assert_eq!(t.skeleton_probes, c.skeleton_probes, "memo misses");
+    assert_eq!(t.memo_hits, c.memo_hits, "memo hits");
+    assert!(t.memo_hits > 0, "the stream must contain repeated keys");
+}

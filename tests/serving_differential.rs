@@ -1,0 +1,246 @@
+//! Differential acceptance suite for the request/response serving loop
+//! (`wfp_skl::serve`): answers routed through the admission queue, the
+//! coalescing dispatch thread, and per-request reply channels must be
+//! byte-identical to the same probes driven straight through
+//! [`ServiceRegistry::answer_batch`] — across 10^5+ probes from four
+//! concurrent clients, under an eviction-forcing byte budget, with all
+//! six specification schemes serving and live runs frozen mid-stream
+//! through the control plane.
+
+use std::time::Duration;
+
+use workflow_provenance::model::io::{plan_to_events, RunEvent};
+use workflow_provenance::prelude::*;
+
+/// Probes per request: clients submit small vectors, as the serving API
+/// is designed for, so coalescing in the admission window is what builds
+/// the registry-sized batches.
+const PROBES_PER_REQUEST: usize = 60;
+const TOTAL_PROBES: usize = 120_000;
+const CLIENTS: usize = 4;
+
+fn replay(live: &mut LiveRun<'_, SpecScheme>, events: &[RunEvent]) {
+    for ev in events {
+        match *ev {
+            RunEvent::BeginGroup(sg) => live.begin_group(sg).unwrap(),
+            RunEvent::BeginCopy => live.begin_copy().unwrap(),
+            RunEvent::Exec(m) => {
+                live.exec(m).unwrap();
+            }
+            RunEvent::EndCopy => live.end_copy().unwrap(),
+            RunEvent::EndGroup => live.end_group().unwrap(),
+        }
+    }
+}
+
+fn mixed_spec_probes(
+    books: &[(SpecId, Vec<(RunId, usize)>)],
+    count: usize,
+    seed: u64,
+) -> Vec<(SpecId, RunId, RunVertexId, RunVertexId)> {
+    let mut rng = workflow_provenance::graph::rng::Xoshiro256::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let (spec, runs) = &books[rng.gen_usize(books.len())];
+            let (run, n) = runs[rng.gen_usize(runs.len())];
+            (
+                *spec,
+                run,
+                RunVertexId(rng.gen_usize(n) as u32),
+                RunVertexId(rng.gen_usize(n) as u32),
+            )
+        })
+        .collect()
+}
+
+/// Builds one registry from the shared payload. Both the oracle (on the
+/// test thread) and the served registry (inside the dispatch thread) are
+/// constructed by this same function, so any divergence in answers is the
+/// serving path's fault — spec ids are content-hashed and run ids are
+/// registration-ordered, hence identical on both sides.
+fn build_registry(
+    specs: &'static [Specification],
+    frozen_labels: &[Vec<Vec<RunLabel>>],
+    live_events: &[(usize, Vec<RunEvent>)],
+) -> (ServiceRegistry<'static>, Vec<SpecId>, Vec<(SpecId, RunId)>) {
+    let mut registry = ServiceRegistry::new();
+    let mut spec_ids = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let id = registry
+            .register_spec(spec, SchemeKind::ALL[i % SchemeKind::ALL.len()])
+            .unwrap();
+        for labels in &frozen_labels[i] {
+            registry.register_labels(id, labels).unwrap();
+        }
+        spec_ids.push(id);
+    }
+    let mut live = Vec::new();
+    for (i, events) in live_events {
+        let id = spec_ids[*i];
+        let rid = registry.begin_live(id, &specs[*i]).unwrap();
+        replay(registry.live_mut(id, rid).unwrap(), events);
+        live.push((id, rid));
+    }
+    (registry, spec_ids, live)
+}
+
+/// The acceptance sweep for PR 8: 120k probes, 4 clients, 6 schemes,
+/// budget-forced eviction churn, live runs frozen mid-stream.
+#[test]
+fn served_answers_equal_direct_registry_under_pressure_and_freezes() {
+    const SPECS: usize = 6; // one per scheme
+    const FROZEN_RUNS: usize = 3;
+    // live runs ride on two specs; the other four are evictable from the
+    // first batch, so the budget churns while the stream is in flight
+    const LIVE_ON: [usize; 2] = [0, 3];
+
+    let generated = generate_registry(0x5E21_7A11, SPECS, FROZEN_RUNS, 400);
+    let specs: &'static [Specification] = Box::leak(generated.specs.into_boxed_slice());
+
+    let frozen_labels: Vec<Vec<Vec<RunLabel>>> = specs
+        .iter()
+        .zip(&generated.fleets)
+        .map(|(spec, gens)| {
+            gens.iter()
+                .map(|g| label_run(spec, &g.run).unwrap().0)
+                .collect()
+        })
+        .collect();
+
+    let live_gens: Vec<(usize, GeneratedRun)> = LIVE_ON
+        .iter()
+        .map(|&i| {
+            (
+                i,
+                generate_run(
+                    &specs[i],
+                    &RunGenConfig {
+                        seed: 0xA24B_AED4 ^ (i as u64 + 1),
+                        counts: CountDistribution::GeometricMean(0.6),
+                    },
+                ),
+            )
+        })
+        .collect();
+    let live_events: Vec<(usize, Vec<RunEvent>)> = live_gens
+        .iter()
+        .map(|(i, g)| (*i, plan_to_events(&g.run, &g.plan).0))
+        .collect();
+
+    // --- oracle: same payload, no budget, probed directly ---------------
+    let (mut oracle, spec_ids, oracle_live) =
+        build_registry(specs, &frozen_labels, &live_events);
+
+    let mut books: Vec<(SpecId, Vec<(RunId, usize)>)> = Vec::new();
+    for (i, &id) in spec_ids.iter().enumerate() {
+        let mut runs: Vec<(RunId, usize)> = Vec::new();
+        let fleet = oracle.fleet(id).expect("freshly built registries are resident");
+        for rid in fleet.run_ids().collect::<Vec<_>>() {
+            let n = fleet.vertex_count(rid).unwrap();
+            if n > 0 {
+                runs.push((rid, n));
+            }
+        }
+        assert!(!runs.is_empty(), "spec {i} generated only empty runs");
+        books.push((id, runs));
+    }
+
+    let traffic = mixed_spec_probes(&books, TOTAL_PROBES, 0xF1EE_D0D0);
+    let expected = oracle.answer_batch(&traffic).unwrap();
+
+    // --- served: identical payload behind the admission loop ------------
+    let config = ServeConfig {
+        max_batch: 4096,
+        window: Duration::from_micros(150),
+        queue_cap: 64,
+        threads: 2, // drive the parallel batch path too
+    };
+    let frozen_for_builder = frozen_labels.clone();
+    let live_for_builder = live_events.clone();
+    let server = serve(config, move || {
+        let (mut registry, _, live) =
+            build_registry(specs, &frozen_for_builder, &live_for_builder);
+        // live fleets are pinned; the four live-free fleets churn at once
+        let budget = registry.resident_bytes() / 3;
+        registry.set_budget(Some(budget))?;
+        Ok((registry, live))
+    })
+    .unwrap();
+    let served_live = server.context().clone();
+    assert_eq!(
+        served_live, oracle_live,
+        "content-hashed ids must agree between oracle and served registry"
+    );
+
+    let requests: Vec<&[(SpecId, RunId, RunVertexId, RunVertexId)]> =
+        traffic.chunks(PROBES_PER_REQUEST).collect();
+    let mut served: Vec<Option<Vec<bool>>> = vec![None; requests.len()];
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let handle = server.handle();
+                let requests = &requests;
+                scope.spawn(move || {
+                    let mut answered = Vec::new();
+                    for j in (c..requests.len()).step_by(CLIENTS) {
+                        // closed loop: at most CLIENTS requests are ever
+                        // outstanding, so queue_cap 64 never sheds
+                        let answers = handle.probe_vec(requests[j].to_vec()).unwrap();
+                        answered.push((j, answers));
+                    }
+                    answered
+                })
+            })
+            .collect();
+
+        // mid-stream, through the control plane: freeze every live run
+        // while the clients are pounding the queue — answers must not move
+        for (spec, rid) in served_live {
+            std::thread::sleep(Duration::from_millis(3));
+            server
+                .control(move |reg| reg.freeze_run(spec, rid))
+                .expect("control plane alive")
+                .expect("freeze_run succeeds mid-serve");
+        }
+
+        for worker in workers {
+            for (j, answers) in worker.join().expect("client thread") {
+                served[j] = Some(answers);
+            }
+        }
+    });
+
+    let served: Vec<bool> = served
+        .into_iter()
+        .enumerate()
+        .flat_map(|(j, a)| a.unwrap_or_else(|| panic!("request {j} was never answered")))
+        .collect();
+    assert_eq!(
+        served, expected,
+        "served answers must be byte-identical to direct answer_batch"
+    );
+
+    // every answer accounted for, every scheme exercised, budget churned
+    let registry_stats = server.control(|reg| reg.stats()).unwrap();
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.probes_answered, TOTAL_PROBES as u64);
+    assert_eq!(stats.probes_failed, 0);
+    assert_eq!(stats.requests, requests.len() as u64);
+    for kind in SchemeKind::ALL {
+        assert!(
+            stats.scheme(kind).probes > 0,
+            "{kind:?} must have served probes"
+        );
+    }
+    assert!(
+        registry_stats.evictions > 0 && registry_stats.lazy_loads > 0,
+        "the budget must force eviction/reload churn while serving: {registry_stats:?}"
+    );
+
+    // post-freeze answers stay identical on the oracle as well (sanity
+    // that freezing, not the serving path, is answer-preserving)
+    for (spec, rid) in oracle_live {
+        oracle.freeze_run(spec, rid).unwrap();
+    }
+    assert_eq!(oracle.answer_batch(&traffic).unwrap(), expected);
+}
