@@ -1,4 +1,4 @@
-//! Machine-readable benchmark output (`BENCH_PR8.json`).
+//! Machine-readable benchmark output (`BENCH_PR9.json`).
 //!
 //! Every `repro` invocation serializes the tables it produced — with their
 //! per-experiment wall-clock timings and full cell grids (the `throughput`
@@ -16,7 +16,7 @@ use crate::table::Table;
 /// The file name every invocation writes under the results directory
 /// (bumped per PR so trajectories diff cleanly: PR 7 wrote
 /// `BENCH_PR7.json`).
-pub const BENCH_JSON_FILE: &str = "BENCH_PR8.json";
+pub const BENCH_JSON_FILE: &str = "BENCH_PR9.json";
 
 /// JSON string escaping (quotes, backslashes, control characters).
 fn escape(s: &str) -> String {

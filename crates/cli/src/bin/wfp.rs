@@ -31,7 +31,7 @@ usage:
   wfp serve    [spec.xml...] [--gen-specs N] [--runs K] [--target VERTICES]
                [--seed S] [--probes M] [--clients C] [--arrival PATTERN]
                [--budget BYTES] [--load DIR] [--batch N] [--window US]
-               [--queue N] [--threads N]
+               [--queue N] [--threads N] [--shards S] [--mix MIX]
 
 KIND: tcm | bfs | dfs | treecover | chain | 2hop   (default: tcm)
 vertex names use the paper's numbered form, e.g. b3 = third execution of b;
@@ -59,8 +59,13 @@ admission queue, coalesced into batches of up to --batch probes per
 --window US microseconds. PATTERN is closed (default; submit as answers
 return) or open-loop uniform:RATE | poisson:RATE | bursty:RATE:BURST in
 probes/second; overflowing an open-loop queue sheds probes (reported as
-dropped). The report shows sustained throughput, the batch-size histogram
-and per-scheme p50/p99 serve latency.";
+dropped). --shards S runs S dispatch shards, each owning the registry
+slice a deterministic spec-affinity plan routes to it (probes fan out by
+spec and reassemble in submission order); --budget splits evenly across
+the shards. MIX is uniform (default) or zipf:SKEW, which skews the spec
+mix onto a hot head shard. The report shows sustained throughput, the
+batch-size histogram, per-shard load and per-scheme p50/p99 serve
+latency.";
 
 struct Args {
     positional: Vec<String>,
@@ -277,6 +282,10 @@ fn run() -> Result<String, CliError> {
                 None => wfp_gen::Arrival::Closed,
                 Some(text) => wfp_gen::Arrival::parse(text)?,
             };
+            let mix = match args.flags.get("mix") {
+                None => wfp_gen::SpecMix::Uniform,
+                Some(text) => wfp_gen::SpecMix::parse(text)?,
+            };
             cmd_serve(&ServeOpts {
                 spec_paths: &refs,
                 gen_specs: args.num("gen-specs")?.unwrap_or(0),
@@ -292,6 +301,8 @@ fn run() -> Result<String, CliError> {
                 window_us: args.num("window")?.unwrap_or(200),
                 queue: args.num("queue")?.unwrap_or(1024),
                 threads: args.num("threads")?.unwrap_or(1),
+                shards: args.num("shards")?.unwrap_or(1),
+                mix,
             })
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),

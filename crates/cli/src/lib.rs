@@ -1076,20 +1076,27 @@ pub struct ServeOpts<'a> {
     pub queue: usize,
     /// Worker threads per registry batch (`--threads`).
     pub threads: usize,
+    /// Dispatcher shards, each owning its own registry (`--shards`).
+    pub shards: usize,
+    /// Spec mix across the probe traffic (`--mix uniform|zipf:SKEW`).
+    pub mix: wfp_gen::SpecMix,
 }
 
 /// `wfp serve [spec.xml...] [--gen-specs N] [--runs K] [--target V]
 ///  [--seed S] [--probes M] [--clients C] [--arrival PATTERN]
 ///  [--budget BYTES] [--load DIR] [--batch N] [--window US] [--queue N]
-///  [--threads T]`
+///  [--threads T] [--shards S] [--mix uniform|zipf:SKEW]`
 ///
-/// The request/response serving loop: the registry is built (or lazily
-/// opened with `--load`) *inside* the dispatch thread of
-/// [`mod@wfp_skl::serve`], then `C` client threads replay a mixed-spec probe
-/// workload through cloneable [`ServeHandle`]s. Open-loop arrival
-/// patterns ([`wfp_gen::Arrival`]) pace the submissions; the admission
-/// window coalesces them into run-sharded batches. The report shows
-/// sustained throughput, the batch-size histogram, and per-scheme
+/// The request/response serving loop: each of the `--shards` workers of
+/// [`mod@wfp_skl::serve`] builds (or lazily opens with `--load`) a
+/// registry holding only the specs the [`ShardPlan`] routes to it, then
+/// `C` client threads replay a mixed-spec probe workload through
+/// cloneable [`ServeHandle`]s on the allocation-free single-probe path.
+/// Open-loop arrival patterns ([`wfp_gen::Arrival`]) pace the
+/// submissions; the admission windows coalesce them into run-sharded
+/// batches per shard. `--mix zipf:SKEW` skews the spec mix so a head
+/// shard saturates while the tail idles. The report shows sustained
+/// throughput, the batch-size histogram, per-shard load, and per-scheme
 /// p50/p99 serve latency from [`ServeStats`]. Probes a client could not
 /// get admitted (bounded-queue overflow under open-loop overload) are
 /// counted as dropped, never silently lost; any probe the registry
@@ -1097,9 +1104,10 @@ pub struct ServeOpts<'a> {
 ///
 /// [`ServeHandle`]: wfp_skl::ServeHandle
 /// [`ServeStats`]: wfp_skl::ServeStats
+/// [`ShardPlan`]: wfp_skl::ShardPlan
 pub fn cmd_serve(opts: &ServeOpts<'_>) -> Result<String, CliError> {
     use wfp_skl::registry::ServiceRegistry;
-    use wfp_skl::{serve, Probe, ServeConfig, ServeError};
+    use wfp_skl::{serve_sharded, Probe, ServeConfig, ServeError, ShardPlan};
 
     let mut out = String::new();
 
@@ -1171,30 +1179,44 @@ pub fn cmd_serve(opts: &ServeOpts<'_>) -> Result<String, CliError> {
         queue_cap: opts.queue.max(1),
         threads: opts.threads.max(1),
     };
+    let shards = opts.shards.max(1);
     writeln!(
         out,
         "config: batch {} / window {} us / queue {} / {} registry thread(s), \
-         {} client(s), arrival {:?}",
+         {shards} shard(s), {} client(s), arrival {:?}, mix {:?}",
         config.max_batch,
         opts.window_us,
         config.queue_cap,
         config.threads,
         opts.clients.max(1),
         opts.arrival,
+        opts.mix,
     )?;
 
-    // The builder runs on the dispatch thread; its context is the probe
-    // address book the traffic generator needs.
+    // Each shard builder runs on its own worker thread and registers only
+    // the specs the plan routes there; its context is that shard's slice
+    // of the probe address book the traffic generator needs.
     type Book = Vec<(SpecId, Vec<(RunId, usize)>)>;
-    let budget = opts.budget;
+    let plan = ShardPlan::new();
+    // Split the resident-byte budget across the shard registries so the
+    // total stays what the caller asked for.
+    let shard_budget = opts.budget.map(|b| (b / shards).max(1));
     let load_dir = opts.load.map(Path::to_path_buf);
-    let server = serve(config, move || {
-        let mut registry: ServiceRegistry<'static> = if let Some(dir) = load_dir {
-            ServiceRegistry::open_dir(dir, budget)?
+    let payload = std::sync::Arc::new(payload);
+    let builder_plan = plan.clone();
+    let server = serve_sharded(config, shards, plan.clone(), move |shard, shards| {
+        let mut registry: ServiceRegistry<'static> = if let Some(dir) = &load_dir {
+            ServiceRegistry::open_dir_filtered(dir, shard_budget, |id| {
+                builder_plan.shard_of(id, shards) == shard
+            })?
         } else {
             let mut registry = ServiceRegistry::new();
-            registry.set_budget(budget)?;
-            for (spec, kind, labeled) in &payload {
+            registry.set_budget(shard_budget)?;
+            for (spec, kind, labeled) in payload.iter() {
+                let id = SpecId::of(*kind, spec.graph());
+                if builder_plan.shard_of(id, shards) != shard {
+                    continue;
+                }
                 let id = registry.register_spec(spec, *kind)?;
                 for labels in labeled {
                     registry.register_labels(id, labels)?;
@@ -1218,16 +1240,26 @@ pub fn cmd_serve(opts: &ServeOpts<'_>) -> Result<String, CliError> {
     })
     .map_err(|e| format!("cannot start serving loop: {e}"))?;
 
-    let book = server.context();
+    let book: Book = server
+        .contexts()
+        .iter()
+        .flat_map(|shard_book| shard_book.iter().cloned())
+        .collect();
     let probeable: Vec<usize> = (0..book.len()).filter(|&i| !book[i].1.is_empty()).collect();
     if opts.probes > 0 && probeable.is_empty() {
         let _ = server.shutdown();
         return Err("every run of every spec is empty: nothing to probe".into());
     }
     let mut rng = wfp_graph::rng::Xoshiro256::seed_from_u64(opts.seed ^ 0xF1EE_7BA7_C0FF_EE00);
-    let traffic: Vec<Probe> = (0..opts.probes)
-        .map(|_| {
-            let (id, runs) = &book[probeable[rng.gen_usize(probeable.len())]];
+    let picks = if opts.probes == 0 {
+        Vec::new()
+    } else {
+        wfp_gen::spec_mix_indices(opts.mix, probeable.len(), opts.probes, opts.seed)
+    };
+    let traffic: Vec<Probe> = picks
+        .into_iter()
+        .map(|s| {
+            let (id, runs) = &book[probeable[s]];
             let (run, n) = runs[rng.gen_usize(runs.len())];
             (
                 *id,
@@ -1268,11 +1300,12 @@ pub fn cmd_serve(opts: &ServeOpts<'_>) -> Result<String, CliError> {
                                 std::thread::sleep(wait);
                             }
                         }
-                        match handle.submit(vec![traffic[i]]) {
-                            Ok(ticket) if closed_loop => match ticket.wait() {
-                                Ok(answers) => {
-                                    reachable += answers.iter().filter(|&&a| a).count();
-                                }
+                        // Allocation-free single-probe path: no request
+                        // `Vec`, no reply `Vec` — the answer bit rides the
+                        // pooled slot.
+                        match handle.submit_one(traffic[i]) {
+                            Ok(ticket) if closed_loop => match ticket.wait_one() {
+                                Ok(reached) => reachable += usize::from(reached),
                                 Err(e) => {
                                     first_error.get_or_insert(e);
                                 }
@@ -1285,10 +1318,8 @@ pub fn cmd_serve(opts: &ServeOpts<'_>) -> Result<String, CliError> {
                         }
                     }
                     for ticket in tickets {
-                        match ticket.wait() {
-                            Ok(answers) => {
-                                reachable += answers.iter().filter(|&&a| a).count();
-                            }
+                        match ticket.wait_one() {
+                            Ok(reached) => reachable += usize::from(reached),
                             Err(e) => {
                                 first_error.get_or_insert(e);
                             }
@@ -1309,12 +1340,13 @@ pub fn cmd_serve(opts: &ServeOpts<'_>) -> Result<String, CliError> {
     });
     let elapsed = started.elapsed().as_secs_f64();
 
-    let stats = server
+    let sharded = server
         .shutdown()
         .map_err(|e| format!("serving loop did not shut down cleanly: {e}"))?;
     if let Some(e) = first_error {
         return Err(format!("probe failed while serving: {e}").into());
     }
+    let stats = &sharded.merged;
     let answered = stats.probes_answered;
     writeln!(
         out,
@@ -1340,6 +1372,16 @@ pub fn cmd_serve(opts: &ServeOpts<'_>) -> Result<String, CliError> {
         stats.batch_probes.quantile(0.99).unwrap_or(0),
         stats.batch_probes.max(),
     )?;
+    if shards > 1 {
+        writeln!(out, "per-shard load:")?;
+        for (i, s) in sharded.per_shard.iter().enumerate() {
+            writeln!(
+                out,
+                "  shard {i}: {:>9} probes answered in {:>6} batches, {} failed",
+                s.probes_answered, s.batches, s.probes_failed,
+            )?;
+        }
+    }
     writeln!(out, "per-scheme serve latency (submit -> reply):")?;
     for kind in SchemeKind::ALL {
         let lat = stats.scheme(kind);
@@ -1786,6 +1828,8 @@ mod tests {
             window_us: 100,
             queue: 256,
             threads: 1,
+            shards: 1,
+            mix: wfp_gen::SpecMix::Uniform,
         }
     }
 
@@ -1814,6 +1858,19 @@ mod tests {
         let out = cmd_serve(&opts).unwrap();
         assert!(out.contains("3000 probes"), "{out}");
         assert!(out.contains("0 failed"), "{out}");
+        assert!(out.contains("shutdown: clean"), "{out}");
+    }
+
+    #[test]
+    fn serve_sharded_zipf_answers_every_probe() {
+        let mut opts = serve_opts(wfp_gen::Arrival::Closed, 4_000);
+        opts.gen_specs = 4;
+        opts.shards = 4;
+        opts.mix = wfp_gen::SpecMix::Zipf { skew: 1.0 };
+        let out = cmd_serve(&opts).unwrap();
+        assert!(out.contains("4000 probes, 4000 answered"), "{out}");
+        assert!(out.contains("0 failed, 0 dropped"), "{out}");
+        assert!(out.contains("per-shard load:"), "{out}");
         assert!(out.contains("shutdown: clean"), "{out}");
     }
 

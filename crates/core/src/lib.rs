@@ -66,5 +66,8 @@ pub use orders::{generate_three_orders, ContextEncoding};
 pub use origin::{compute_origins, compute_origins_numbered, OriginError};
 pub use packed::{PackedColumns, PackedEngine};
 pub use registry::{RegistryError, RegistryStats, ServiceRegistry, SpecId};
-pub use serve::{serve, Probe, ServeConfig, ServeError, ServeHandle, ServeStats, Server};
+pub use serve::{
+    serve, serve_sharded, Histogram, Probe, SchemeLatency, ServeConfig, ServeError, ServeHandle,
+    ServeStats, Server, ShardPlan, ShardedServer, ShardedStats, Ticket,
+};
 pub use snapshot::{FormatError, SnapshotReader, SnapshotWriter};

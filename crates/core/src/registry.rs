@@ -388,6 +388,22 @@ impl<'s> ServiceRegistry<'s> {
     /// referenced `*.wfps` file exists, and registers each spec as
     /// offloaded — the fleet itself is loaded lazily on its first probe.
     pub fn open_dir(dir: impl Into<PathBuf>, budget: Option<usize>) -> Result<Self, RegistryError> {
+        Self::open_dir_filtered(dir, budget, |_| true)
+    }
+
+    /// Opens a snapshot directory like [`open_dir`](Self::open_dir), but
+    /// registers **only** the manifest entries selected by `keep` — the
+    /// shard-construction path for sharded serving: each worker opens the
+    /// same directory with `keep = |id| plan.shard_of(id, shards) == shard`
+    /// (and its own slice of the byte budget), so every spec is resident
+    /// on exactly one shard and the shards never contend for the same
+    /// snapshot bytes. Entries filtered out are not verified on disk and
+    /// cost nothing.
+    pub fn open_dir_filtered(
+        dir: impl Into<PathBuf>,
+        budget: Option<usize>,
+        mut keep: impl FnMut(SpecId) -> bool,
+    ) -> Result<Self, RegistryError> {
         let dir = dir.into();
         let manifest_path = dir.join(MANIFEST_FILE);
         let bytes = std::fs::read(&manifest_path).map_err(|e| RegistryError::Io {
@@ -397,7 +413,7 @@ impl<'s> ServiceRegistry<'s> {
         let entries = read_manifest(&bytes)?;
         let mut slots = Vec::with_capacity(entries.len());
         let mut by_id = FxHashMap::default();
-        for e in entries {
+        for e in entries.into_iter().filter(|e| keep(e.id)) {
             if !dir.join(&e.file).is_file() {
                 return Err(RegistryError::MissingSnapshot {
                     spec: e.id,
@@ -1364,6 +1380,37 @@ mod tests {
         // the full mixed batch matches byte-for-byte
         assert_eq!(loaded.answer_batch(&probes).unwrap(), want);
         assert_eq!(loaded.stats().lazy_loads, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn filtered_open_registers_only_the_kept_shard() {
+        let spec = paper_spec();
+        let (mut reg, ids, oracles) = build_registry(&spec, None);
+        let n = paper_run(&spec).vertex_count();
+        let probes = mixed_probes(&ids, n);
+        let want = expected(&probes, &ids, &oracles);
+        assert_eq!(reg.answer_batch(&probes).unwrap(), want);
+        let dir = tmp("filtered");
+        reg.save_dir(&dir).unwrap();
+
+        // keep exactly one spec; a sibling snapshot another shard owns
+        // may even be missing — this shard never looks at it
+        let keep = ids[1];
+        std::fs::remove_file(dir.join(ids[2].file_name())).unwrap();
+        let mut shard =
+            ServiceRegistry::open_dir_filtered(&dir, None, |id| id == keep).unwrap();
+        assert_eq!(shard.spec_ids().collect::<Vec<_>>(), vec![keep]);
+        assert_eq!(shard.stats().resident, 0, "filtered open is still lazy");
+        // the kept spec answers byte-identically to the full registry
+        for (i, &p) in probes.iter().enumerate().filter(|(_, p)| p.0 == keep) {
+            assert_eq!(shard.answer(p.0, p.1, p.2, p.3).unwrap(), want[i]);
+        }
+        // specs filtered away are typed unknown on this shard
+        assert!(matches!(
+            shard.answer(ids[0], RunId(0), RunVertexId(0), RunVertexId(0)),
+            Err(RegistryError::UnknownSpec(id)) if id == ids[0]
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

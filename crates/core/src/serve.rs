@@ -1,43 +1,67 @@
-//! Request/response serving loop over a [`ServiceRegistry`] — the async
-//! front-end that turns the synchronous batch kernel into a traffic server.
+//! Request/response serving loop over [`ServiceRegistry`] shards — the
+//! async front-end that turns the synchronous batch kernel into a traffic
+//! server.
 //!
 //! # Shape
 //!
-//! One **dispatch thread** owns the registry outright (the batch API takes
-//! `&mut self`, and the search schemes carry `RefCell` scratch, so the
-//! registry is deliberately not shared across threads — ownership *is* the
-//! locking design). Clients hold cheap cloneable [`ServeHandle`]s and
-//! submit `(SpecId, RunId, u, v)` probes — single ([`ServeHandle::probe`])
-//! or small vectors ([`ServeHandle::probe_vec`]) — through a bounded mpsc
-//! queue. The dispatcher coalesces concurrent submissions inside an
-//! **admission window** (flush at [`ServeConfig::max_batch`] probes or
-//! after [`ServeConfig::window`], whichever first) into one mixed-spec
-//! batch, drives [`ServiceRegistry::answer_batch`] /
-//! [`answer_batch_parallel`](ServiceRegistry::answer_batch_parallel) —
-//! which shard it per fleet and per run — and routes each caller's answers
-//! back in submission order over its own oneshot-style channel.
+//! A **router thread** plus N **shard workers**. Each worker *builds and
+//! owns* one registry shard outright (the batch API takes `&mut self`, and
+//! the search schemes carry `RefCell` scratch, so a registry is
+//! deliberately not shared across threads — ownership *is* the locking
+//! design; the shard builder runs on the worker thread itself, exactly as
+//! the single dispatcher of old). Specs are partitioned across shards by
+//! [`SpecId`] hash, or pinned explicitly through a [`ShardPlan`].
+//!
+//! Clients hold cheap cloneable [`ServeHandle`]s and submit
+//! `(SpecId, RunId, u, v)` probes — single ([`ServeHandle::probe`], which
+//! never allocates on the submission path) or vectors
+//! ([`ServeHandle::probe_vec`]) — through one bounded admission queue. The
+//! router classifies each submitted vector by spec, fans per-shard
+//! sub-batches out to bounded shard queues, and replies are reassembled in
+//! submission order through a **preallocated ticket slab**: workers write
+//! answer *bits* into disjoint index windows of the request's slot (the
+//! allocation-free idiom the column kernel established), so the reply path
+//! allocates nothing per request once the slab is warm — no oneshot
+//! channel, no per-request `Vec` churn.
+//!
+//! Each worker coalesces its sub-batches inside an **admission window**
+//! (flush at [`ServeConfig::max_batch`] probes or after
+//! [`ServeConfig::window`], whichever first) into one mixed-spec batch and
+//! drives [`ServiceRegistry::answer_batch`] /
+//! [`answer_batch_parallel`](ServiceRegistry::answer_batch_parallel).
+//! Because every spec lives on exactly one shard, each shard's memo and
+//! scratch state stay local to its worker.
 //!
 //! * **Backpressure** — the admission queue is bounded
 //!   ([`ServeConfig::queue_cap`] requests); a full queue rejects the
 //!   submission immediately with the typed [`ServeError::Overloaded`],
-//!   never blocking the client.
-//! * **Graceful shutdown** — [`Server::shutdown`] drains: every request
-//!   admitted before the queue closed is answered, then the dispatcher
-//!   stops and the final [`ServeStats`] comes back. Submissions after
-//!   shutdown get the typed [`ServeError::ShuttingDown`].
-//! * **Control plane** — [`Server::control`] runs a closure on the
-//!   dispatch thread against the registry itself (freeze a live run,
-//!   resize the budget, snapshot stats) without ever exposing the `&mut`
-//!   across threads. Controls execute between batches, so a client batch
-//!   always sees a registry in a consistent state.
-//! * **Accounting** — [`ServeStats`] snapshots per-scheme request latency
-//!   (p50/p99 over log-bucketed histograms) and the admitted batch-size
-//!   histogram, live ([`Server::stats`]) or at shutdown.
+//!   never blocking the client. Admission is atomic: a request is either
+//!   admitted whole or not at all (the router, not the client, fans out).
+//! * **Graceful shutdown** — [`ShardedServer::shutdown`] drains: every
+//!   request admitted before the queue closed is answered, then the router
+//!   and every worker stop and the final merged [`ServeStats`] (plus the
+//!   per-shard breakdown) comes back. Submissions after shutdown get the
+//!   typed [`ServeError::ShuttingDown`].
+//! * **Control plane** — [`ShardedServer::control`] broadcasts a closure
+//!   to every shard (freeze a live run, resize budgets, snapshot stats)
+//!   without ever exposing a `&mut` registry across threads;
+//!   [`ShardedServer::control_shard`] targets one shard. Controls ride the
+//!   same ordered queues as requests and execute between batches, so a
+//!   client batch always sees a registry in a consistent state.
+//! * **Fault isolation** — a registry error on one shard fails only the
+//!   submissions that touched that shard (the failing window is re-driven
+//!   per sub-batch); other shards, and other requests on the same shard,
+//!   are unaffected. A worker that panics poisons only its own shard:
+//!   every pending or future sub-batch routed to it resolves with
+//!   [`ServeError::Disconnected`] instead of hanging its client.
+//! * **Accounting** — per-shard [`ServeStats`] (batch shape, flush causes,
+//!   per-scheme p50/p99 latency over log-bucketed histograms with an exact
+//!   sub-128 range) merge into one report, live ([`ShardedServer::stats`])
+//!   or at shutdown.
 //!
-//! Because the search schemes are `!Sync`, a registry cannot be *moved*
-//! into the dispatch thread from outside — instead the caller hands
-//! [`serve`] a **builder** closure and the registry is constructed on the
-//! dispatch thread itself, living and dying there:
+//! The single-shard façade of previous revisions is intact: [`serve`]
+//! builds a one-shard server behind the same [`Server`] type, driven by
+//! the identical router/worker machinery.
 //!
 //! ```
 //! use wfp_model::fixtures;
@@ -65,9 +89,11 @@
 //! assert_eq!(stats.probes_answered, 1);
 //! ```
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use wfp_model::RunVertexId;
@@ -88,13 +114,15 @@ pub type Probe = (SpecId, RunId, RunVertexId, RunVertexId);
 /// batch sizes; latency-sensitive deployments shrink `window`.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
-    /// Flush the admission window once this many probes have coalesced.
+    /// Flush a shard's admission window once this many probes have
+    /// coalesced on it.
     pub max_batch: usize,
     /// Flush the admission window this long after its first probe arrived,
     /// even if `max_batch` was not reached.
     pub window: Duration,
-    /// Bounded admission-queue capacity in *requests*; a full queue turns
-    /// submissions into [`ServeError::Overloaded`].
+    /// Bounded queue capacity in *requests* (the admission queue, and each
+    /// per-shard queue); a full admission queue turns submissions into
+    /// [`ServeError::Overloaded`].
     pub queue_cap: usize,
     /// Worker threads per registry batch (`<= 1` serves sequentially; more
     /// drives [`ServiceRegistry::answer_batch_parallel`]).
@@ -120,13 +148,14 @@ pub enum ServeError {
     /// The server is shutting down (or already gone); the probe was not
     /// admitted.
     ShuttingDown,
-    /// The dispatch thread died before answering (a panic in a registry
-    /// builder or batch kernel — never part of normal operation).
+    /// A serving thread died before answering (a panic in a registry
+    /// builder or batch kernel — never part of normal operation). Only
+    /// submissions routed to the dead shard see this.
     Disconnected,
     /// The registry rejected this request's probes (unknown spec/run,
     /// snapshot failure...). Other requests in the same admitted batch are
-    /// unaffected: a failing batch is re-driven per request so only the
-    /// faulty submission sees its error.
+    /// unaffected: a failing shard window is re-driven per sub-batch so
+    /// only the faulty submission sees its error.
     Registry(Arc<RegistryError>),
 }
 
@@ -135,7 +164,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Overloaded => write!(f, "admission queue full (overloaded)"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
-            ServeError::Disconnected => write!(f, "dispatch thread gone"),
+            ServeError::Disconnected => write!(f, "serving thread gone"),
             ServeError::Registry(e) => write!(f, "registry: {e}"),
         }
     }
@@ -144,12 +173,59 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 // ======================================================================
+// shard placement
+// ======================================================================
+
+/// Spec-to-shard placement: every spec hashes to a home shard, with
+/// explicit pins overriding the hash for hot specs that need manual
+/// balancing. The same plan must be shared by the router and whoever
+/// builds the shard registries, so [`serve_sharded`] passes it to the
+/// builder implicitly via the shard index.
+#[derive(Clone, Debug, Default)]
+pub struct ShardPlan {
+    pins: Vec<(SpecId, usize)>,
+}
+
+impl ShardPlan {
+    /// The default hash placement with no pins.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins `spec` to `shard` (interpreted modulo the shard count),
+    /// overriding hash placement.
+    pub fn pin(mut self, spec: SpecId, shard: usize) -> Self {
+        self.pins.retain(|(id, _)| *id != spec);
+        self.pins.push((spec, shard));
+        self
+    }
+
+    /// The home shard for `spec` under `shards` shards: the explicit pin
+    /// when present, else a mix of the content hash. Deterministic, so
+    /// shard registries can be constructed to hold exactly the specs that
+    /// will be routed to them.
+    pub fn shard_of(&self, spec: SpecId, shards: usize) -> usize {
+        if shards <= 1 {
+            return 0;
+        }
+        if let Some(&(_, s)) = self.pins.iter().find(|(id, _)| *id == spec) {
+            return s % shards;
+        }
+        // SpecId is already a content hash; fold the high half in so a
+        // biased low word cannot alias every spec onto one shard
+        let h = spec.0 ^ (spec.0 >> 32) ^ (spec.0 >> 17);
+        (h % shards as u64) as usize
+    }
+}
+
+// ======================================================================
 // latency accounting
 // ======================================================================
 
-/// Log-bucketed latency/size histogram: exact below 8, then four
-/// sub-buckets per octave (≤ ~12% relative error) — enough resolution for
-/// honest p50/p99 without per-sample storage.
+/// Log-bucketed latency/size histogram: **exact below 128**, then four
+/// sub-buckets per octave (≤ ~12% relative error) — µs-scale medians come
+/// back exact, larger values with honest p50/p99 resolution and no
+/// per-sample storage.
 #[derive(Clone, Debug)]
 pub struct Histogram {
     buckets: [u64; Histogram::BUCKETS],
@@ -168,23 +244,26 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    const BUCKETS: usize = 256;
+    /// Values below this are recorded in exact unit buckets.
+    pub const EXACT: u64 = 128;
+    // 128 exact buckets + 4 sub-buckets for each octave 7..=63
+    const BUCKETS: usize = 128 + (64 - 7) * 4;
 
     fn bucket_of(v: u64) -> usize {
-        if v < 8 {
+        if v < Self::EXACT {
             return v as usize;
         }
-        let octave = 63 - v.leading_zeros() as u64; // >= 3
+        let octave = 63 - v.leading_zeros() as u64; // >= 7
         let sub = (v >> (octave - 2)) & 3;
-        (((octave - 3) * 4 + sub) as usize + 8).min(Self::BUCKETS - 1)
+        ((octave - 7) * 4 + sub) as usize + Self::EXACT as usize
     }
 
     fn bucket_floor(idx: usize) -> u64 {
-        if idx < 8 {
+        if idx < Self::EXACT as usize {
             return idx as u64;
         }
-        let octave = (idx - 8) as u64 / 4 + 3;
-        let sub = (idx - 8) as u64 % 4;
+        let octave = (idx - Self::EXACT as usize) as u64 / 4 + 7;
+        let sub = (idx - Self::EXACT as usize) as u64 % 4;
         (1u64 << octave) + (sub << (octave - 2))
     }
 
@@ -193,6 +272,16 @@ impl Histogram {
         self.buckets[Self::bucket_of(v)] += 1;
         self.count += 1;
         self.max = self.max.max(v);
+    }
+
+    /// Folds `other`'s samples into `self` (bucket-wise; exact counts stay
+    /// exact) — how per-shard digests merge into one report.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
     }
 
     /// Samples recorded.
@@ -205,8 +294,8 @@ impl Histogram {
         self.max
     }
 
-    /// The value at quantile `q` in `[0, 1]` (lower bucket bound; `None`
-    /// when empty).
+    /// The value at quantile `q` in `[0, 1]` (lower bucket bound — exact
+    /// for values below [`Histogram::EXACT`]; `None` when empty).
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -245,10 +334,11 @@ impl SchemeLatency {
 }
 
 /// A consistent snapshot of serving-loop accounting
-/// ([`Server::stats`] live, or the final state from [`Server::shutdown`]).
+/// ([`ShardedServer::stats`] live — merged across shards — or the final
+/// state from [`ShardedServer::shutdown`]).
 #[derive(Clone, Debug, Default)]
 pub struct ServeStats {
-    /// Requests admitted into the queue (each carries ≥ 1 probe).
+    /// Requests admitted into the queue (each carries ≥ 0 probes).
     pub requests: u64,
     /// Probes admitted.
     pub probes_submitted: u64,
@@ -264,7 +354,7 @@ pub struct ServeStats {
     pub batches_timer: u64,
     /// ... while draining at shutdown.
     pub batches_drain: u64,
-    /// Control closures executed on the dispatch thread.
+    /// Control closures executed on worker threads.
     pub controls: u64,
     /// Admitted batch sizes, in probes per flush.
     pub batch_probes: Histogram,
@@ -281,50 +371,346 @@ impl ServeStats {
             .expect("ALL is total");
         &self.per_scheme[i]
     }
+
+    /// Folds `other` into `self`: counters add, histograms merge
+    /// bucket-wise — how per-shard stats become the one merged report.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.requests += other.requests;
+        self.probes_submitted += other.probes_submitted;
+        self.probes_answered += other.probes_answered;
+        self.probes_failed += other.probes_failed;
+        self.batches += other.batches;
+        self.batches_full += other.batches_full;
+        self.batches_timer += other.batches_timer;
+        self.batches_drain += other.batches_drain;
+        self.controls += other.controls;
+        self.batch_probes.merge(&other.batch_probes);
+        for (mine, theirs) in self.per_scheme.iter_mut().zip(&other.per_scheme) {
+            mine.probes += theirs.probes;
+            mine.latency_us.merge(&theirs.latency_us);
+        }
+    }
+}
+
+/// The final accounting from [`ShardedServer::shutdown`]: the merged view
+/// plus the per-shard breakdown the merge came from.
+#[derive(Clone, Debug)]
+pub struct ShardedStats {
+    /// All shards (and the router's admission counters) folded together.
+    pub merged: ServeStats,
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ServeStats>,
+}
+
+// ======================================================================
+// ticket slab — the preallocated, reusable reply path
+// ======================================================================
+
+/// Completion state for one pending submission. Workers write answer bits
+/// into `bits` at each probe's original position (disjoint windows per
+/// shard — no coordination beyond the slot mutex), decrement `remaining`,
+/// and the last shard wakes the waiting client.
+struct SlotState {
+    /// Sub-batches still in flight (set by the router before fan-out).
+    remaining: u32,
+    /// Probes in the originating request.
+    nprobes: u32,
+    /// Answer bits, bit *i* = probe *i*'s verdict; length `⌈nprobes/64⌉`.
+    /// The buffer is reused across the slot's lifetimes, so a warm slab
+    /// answers without allocating.
+    bits: Vec<u64>,
+    /// First error any shard reported for this request.
+    error: Option<ServeError>,
+    /// Every sub-batch resolved; the ticket may collect.
+    done: bool,
+    /// The client dropped its ticket; whoever completes the slot frees it.
+    client_gone: bool,
+}
+
+struct ReplySlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Self {
+        ReplySlot {
+            state: Mutex::new(SlotState {
+                remaining: 0,
+                nprobes: 0,
+                bits: Vec::new(),
+                error: None,
+                done: false,
+                client_gone: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+struct SlabInner {
+    slots: Vec<Arc<ReplySlot>>,
+    free: Vec<u32>,
+}
+
+/// Grow-only slab of reusable reply slots. Slots are recycled through a
+/// free list, so steady-state traffic reuses a warm working set and the
+/// reply path stops allocating entirely.
+struct TicketSlab {
+    inner: Mutex<SlabInner>,
+}
+
+impl TicketSlab {
+    fn new(prealloc: usize) -> Self {
+        let slots: Vec<Arc<ReplySlot>> = (0..prealloc).map(|_| Arc::new(ReplySlot::new())).collect();
+        let free = (0..prealloc as u32).rev().collect();
+        TicketSlab {
+            inner: Mutex::new(SlabInner { slots, free }),
+        }
+    }
+
+    /// Claims a slot sized for `nprobes`, resetting it for a new request.
+    fn alloc(&self, nprobes: usize) -> (u32, Arc<ReplySlot>) {
+        let (idx, slot) = {
+            let mut inner = self.inner.lock().expect("slab lock");
+            match inner.free.pop() {
+                Some(idx) => {
+                    let slot = Arc::clone(&inner.slots[idx as usize]);
+                    (idx, slot)
+                }
+                None => {
+                    let idx = inner.slots.len() as u32;
+                    let slot = Arc::new(ReplySlot::new());
+                    inner.slots.push(Arc::clone(&slot));
+                    (idx, slot)
+                }
+            }
+        };
+        let mut st = slot.state.lock().expect("slot lock");
+        st.remaining = 0;
+        st.nprobes = nprobes as u32;
+        st.bits.clear();
+        st.bits.resize(nprobes.div_ceil(64), 0);
+        st.error = None;
+        st.done = false;
+        st.client_gone = false;
+        drop(st);
+        (idx, slot)
+    }
+
+    fn release(&self, idx: u32) {
+        self.inner.lock().expect("slab lock").free.push(idx);
+    }
+}
+
+/// Resolves one sub-batch against its slot: `fill` writes bits or the
+/// error, then the in-flight count drops and the last resolver either
+/// wakes the client or (client gone) recycles the slot.
+fn finish_sub(
+    slot: &ReplySlot,
+    idx: u32,
+    slab: &TicketSlab,
+    fill: impl FnOnce(&mut SlotState),
+) {
+    let mut st = slot.state.lock().expect("slot lock");
+    fill(&mut st);
+    st.remaining = st.remaining.saturating_sub(1);
+    if st.remaining == 0 && !st.done {
+        st.done = true;
+        let gone = st.client_gone;
+        drop(st);
+        if gone {
+            slab.release(idx);
+        } else {
+            slot.cv.notify_all();
+        }
+    }
+}
+
+fn fail_sub(slot: &ReplySlot, idx: u32, err: ServeError, slab: &TicketSlab) {
+    finish_sub(slot, idx, slab, move |st| {
+        if st.error.is_none() {
+            st.error = Some(err);
+        }
+    });
 }
 
 // ======================================================================
 // wire types
 // ======================================================================
 
-type Reply = Result<Vec<bool>, ServeError>;
+/// A submission's probes: the single-probe case rides inline so
+/// [`ServeHandle::probe`] never allocates on the way in.
+enum Payload {
+    One(Probe),
+    Many(Vec<Probe>),
+}
+
+impl Payload {
+    fn len(&self) -> usize {
+        match self {
+            Payload::One(_) => 1,
+            Payload::Many(v) => v.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[Probe] {
+        match self {
+            Payload::One(p) => std::slice::from_ref(p),
+            Payload::Many(v) => v,
+        }
+    }
+}
 
 struct Request {
-    probes: Vec<Probe>,
+    payload: Payload,
     submitted: Instant,
-    reply: mpsc::Sender<Reply>,
+    slot: Arc<ReplySlot>,
+    slot_idx: u32,
+}
+
+/// One shard's share of a request: probes plus their positions in the
+/// originating vector (`None` = the whole request landed on this shard,
+/// positions are the identity — the common case under spec-affine
+/// traffic, moved through without copying).
+struct SubBatch {
+    slot: Arc<ReplySlot>,
+    slot_idx: u32,
+    submitted: Instant,
+    positions: Option<Vec<u32>>,
+    probes: Payload,
 }
 
 type ControlFn = Box<dyn FnOnce(&mut ServiceRegistry<'static>) + Send>;
+/// Stamps one [`ControlFn`] per shard for a broadcast control.
+type ControlFactory = Box<dyn FnMut(usize) -> ControlFn + Send>;
 
 enum Msg {
     Request(Request),
+    ControlOne(usize, ControlFn),
+    ControlAll(ControlFactory),
+    Shutdown,
+}
+
+enum ShardMsg {
+    Batch(SubBatch),
     Control(ControlFn),
     Shutdown,
 }
 
+// ======================================================================
+// tickets
+// ======================================================================
+
 /// A pending answer: [`ServeHandle::submit`] returns immediately with a
-/// ticket; [`wait`](Ticket::wait) blocks until the dispatch thread replies.
+/// ticket; [`wait`](Ticket::wait) blocks until every shard touched by the
+/// request has written its bits.
 #[must_use = "a ticket holds the only route to this request's answers"]
 pub struct Ticket {
-    rx: Receiver<Reply>,
+    slab: Arc<TicketSlab>,
+    slot: Arc<ReplySlot>,
+    idx: u32,
+    waited: bool,
 }
 
 impl Ticket {
     /// Blocks until the answers arrive (in submission order, one `bool`
-    /// per probe). A dispatch thread that died without replying — possible
-    /// only for probes racing a shutdown's final drain — reports
-    /// [`ServeError::ShuttingDown`].
-    pub fn wait(self) -> Result<Vec<bool>, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    /// per probe).
+    pub fn wait(mut self) -> Result<Vec<bool>, ServeError> {
+        let mut out = Vec::new();
+        self.wait_into(&mut out)?;
+        Ok(out)
     }
 
-    /// Non-blocking poll: `None` while the batch is still in flight.
+    /// Blocks like [`wait`](Self::wait) but reuses the caller's buffer —
+    /// the allocation-free collection path for closed-loop clients.
+    pub fn wait_into(&mut self, out: &mut Vec<bool>) -> Result<(), ServeError> {
+        if self.waited {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut st = self.slot.state.lock().expect("slot lock");
+        while !st.done {
+            st = self.slot.cv.wait(st).expect("slot lock");
+        }
+        let verdict = st.error.take();
+        out.clear();
+        if verdict.is_none() {
+            out.reserve(st.nprobes as usize);
+            for i in 0..st.nprobes as usize {
+                out.push((st.bits[i / 64] >> (i % 64)) & 1 == 1);
+            }
+        }
+        drop(st);
+        self.waited = true;
+        self.slab.release(self.idx);
+        match verdict {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Blocks and returns the first probe's verdict without building a
+    /// `Vec` — pairs with [`ServeHandle::submit_one`] for an entirely
+    /// allocation-free round trip.
+    pub fn wait_one(mut self) -> Result<bool, ServeError> {
+        if self.waited {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut st = self.slot.state.lock().expect("slot lock");
+        while !st.done {
+            st = self.slot.cv.wait(st).expect("slot lock");
+        }
+        let verdict = st.error.take();
+        let answer = st.bits.first().is_some_and(|w| w & 1 == 1);
+        drop(st);
+        self.waited = true;
+        self.slab.release(self.idx);
+        match verdict {
+            Some(e) => Err(e),
+            None => Ok(answer),
+        }
+    }
+
+    /// Non-blocking poll: `None` while any shard's share is still in
+    /// flight.
     pub fn try_wait(&mut self) -> Option<Result<Vec<bool>, ServeError>> {
-        match self.rx.try_recv() {
-            Ok(reply) => Some(reply),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        if self.waited {
+            return Some(Err(ServeError::ShuttingDown));
+        }
+        let mut st = self.slot.state.lock().expect("slot lock");
+        if !st.done {
+            return None;
+        }
+        let verdict = st.error.take();
+        let result = match verdict {
+            Some(e) => Err(e),
+            None => {
+                let mut out = Vec::with_capacity(st.nprobes as usize);
+                for i in 0..st.nprobes as usize {
+                    out.push((st.bits[i / 64] >> (i % 64)) & 1 == 1);
+                }
+                Ok(out)
+            }
+        };
+        drop(st);
+        self.waited = true;
+        self.slab.release(self.idx);
+        Some(result)
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if self.waited {
+            return;
+        }
+        let mut st = self.slot.state.lock().expect("slot lock");
+        if st.done {
+            drop(st);
+            self.slab.release(self.idx);
+        } else {
+            // workers still hold sub-batches: the last one frees the slot
+            st.client_gone = true;
         }
     }
 }
@@ -333,34 +719,57 @@ impl Ticket {
 // client handle
 // ======================================================================
 
-/// A cloneable client endpoint. Handles are cheap (two `Arc`-sized
+/// A cloneable client endpoint. Handles are cheap (three `Arc`-sized
 /// fields); clone one per client thread.
 #[derive(Clone)]
 pub struct ServeHandle {
     tx: SyncSender<Msg>,
     closed: Arc<AtomicBool>,
+    slab: Arc<TicketSlab>,
 }
 
 impl ServeHandle {
+    fn submit_payload(&self, payload: Payload) -> Result<Ticket, ServeError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (idx, slot) = self.slab.alloc(payload.len());
+        let req = Request {
+            payload,
+            submitted: Instant::now(),
+            slot: Arc::clone(&slot),
+            slot_idx: idx,
+        };
+        match self.tx.try_send(Msg::Request(req)) {
+            Ok(()) => Ok(Ticket {
+                slab: Arc::clone(&self.slab),
+                slot,
+                idx,
+                waited: false,
+            }),
+            Err(TrySendError::Full(_)) => {
+                self.slab.release(idx);
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.slab.release(idx);
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
     /// Submits a probe vector without blocking for the answer; pair with
     /// [`Ticket::wait`]. Typed failures: [`ServeError::Overloaded`] when
     /// the bounded queue is full, [`ServeError::ShuttingDown`] after
     /// shutdown.
     pub fn submit(&self, probes: Vec<Probe>) -> Result<Ticket, ServeError> {
-        if self.closed.load(Ordering::Acquire) {
-            return Err(ServeError::ShuttingDown);
-        }
-        let (reply, rx) = mpsc::channel();
-        let req = Request {
-            probes,
-            submitted: Instant::now(),
-            reply,
-        };
-        match self.tx.try_send(Msg::Request(req)) {
-            Ok(()) => Ok(Ticket { rx }),
-            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
-        }
+        self.submit_payload(Payload::Many(probes))
+    }
+
+    /// Submits a single probe without allocating; pair with
+    /// [`Ticket::wait_one`].
+    pub fn submit_one(&self, probe: Probe) -> Result<Ticket, ServeError> {
+        self.submit_payload(Payload::One(probe))
     }
 
     /// Submits and waits: one round trip for a small probe vector.
@@ -368,7 +777,9 @@ impl ServeHandle {
         self.submit(probes)?.wait()
     }
 
-    /// Submits and waits for a single probe.
+    /// Submits and waits for a single probe. Allocation-free end to end:
+    /// the probe rides the message inline and the verdict comes back as a
+    /// bit out of the reply slot.
     pub fn probe(
         &self,
         spec: SpecId,
@@ -376,138 +787,489 @@ impl ServeHandle {
         u: RunVertexId,
         v: RunVertexId,
     ) -> Result<bool, ServeError> {
-        Ok(self.probe_vec(vec![(spec, run, u, v)])?[0])
+        self.submit_one((spec, run, u, v))?.wait_one()
     }
 }
 
 // ======================================================================
-// server
+// servers
 // ======================================================================
 
-/// The running serving loop: owns the dispatch thread, hands out
-/// [`ServeHandle`]s, exposes the control plane, and shuts down gracefully.
+/// The running sharded serving loop: owns the router and every shard
+/// worker, hands out [`ServeHandle`]s, exposes the control plane, and
+/// shuts down gracefully.
 ///
-/// `C` is whatever context the registry builder chose to surface (spec
-/// ids, run books, ...) — constructed on the dispatch thread, returned to
-/// the caller by value.
-pub struct Server<C = ()> {
+/// `C` is whatever context each shard's builder chose to surface (spec
+/// ids, run books, ...) — constructed on the worker thread, returned to
+/// the caller by value, one per shard in shard order.
+pub struct ShardedServer<C = ()> {
     tx: SyncSender<Msg>,
     closed: Arc<AtomicBool>,
-    stats: Arc<Mutex<ServeStats>>,
-    worker: std::thread::JoinHandle<()>,
-    context: C,
+    slab: Arc<TicketSlab>,
+    router_stats: Arc<Mutex<ServeStats>>,
+    shard_stats: Vec<Arc<Mutex<ServeStats>>>,
+    router: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    contexts: Vec<C>,
+    shards: usize,
 }
 
-impl<C> Server<C> {
+impl<C> ShardedServer<C> {
+    /// Number of shards serving.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// A new client endpoint.
     pub fn handle(&self) -> ServeHandle {
         ServeHandle {
             tx: self.tx.clone(),
             closed: Arc::clone(&self.closed),
+            slab: Arc::clone(&self.slab),
         }
+    }
+
+    /// The per-shard builder contexts, in shard order.
+    pub fn contexts(&self) -> &[C] {
+        &self.contexts
+    }
+
+    /// A live merged accounting snapshot across the router and every
+    /// shard (consistent per shard as of its last flush).
+    pub fn stats(&self) -> ServeStats {
+        let mut merged = self.router_stats.lock().expect("stats lock").clone();
+        for s in &self.shard_stats {
+            merged.merge(&s.lock().expect("stats lock"));
+        }
+        merged
+    }
+
+    /// A live per-shard snapshot, in shard order.
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.shard_stats
+            .iter()
+            .map(|s| s.lock().expect("stats lock").clone())
+            .collect()
+    }
+
+    /// Broadcasts `f` to every shard — each worker runs it against its own
+    /// registry between batches — and returns the results in shard order.
+    /// This is how callers freeze live runs, adjust budgets, or read
+    /// registry stats mid-serve without sharing a `&mut` registry.
+    pub fn control<R, F>(&self, f: F) -> Result<Vec<R>, ServeError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ServiceRegistry<'static>) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let (rtx, rrx) = mpsc::channel::<(usize, R)>();
+        let factory: ControlFactory = Box::new(move |shard| {
+            let f = Arc::clone(&f);
+            let rtx = rtx.clone();
+            Box::new(move |reg: &mut ServiceRegistry<'static>| {
+                let _ = rtx.send((shard, f(reg)));
+            })
+        });
+        // controls ride the same ordered queues as requests; blocking send
+        // (not try_send) — controls are rare and must not be shed
+        self.tx
+            .send(Msg::ControlAll(factory))
+            .map_err(|_| ServeError::ShuttingDown)?;
+        let mut out: Vec<(usize, R)> = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            match rrx.recv() {
+                Ok(pair) => out.push(pair),
+                Err(_) => break,
+            }
+        }
+        if out.len() != self.shards {
+            return Err(ServeError::Disconnected);
+        }
+        out.sort_by_key(|&(s, _)| s);
+        Ok(out.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// Runs `f` against one shard's registry, on that shard's worker
+    /// thread, and returns its result.
+    pub fn control_shard<R, F>(&self, shard: usize, f: F) -> Result<R, ServeError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut ServiceRegistry<'static>) -> R + Send + 'static,
+    {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let (rtx, rrx) = mpsc::channel();
+        let boxed: ControlFn = Box::new(move |reg| {
+            let _ = rtx.send(f(reg));
+        });
+        self.tx
+            .send(Msg::ControlOne(shard, boxed))
+            .map_err(|_| ServeError::ShuttingDown)?;
+        rrx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Drain-then-stop: closes admission (new submissions fail with
+    /// [`ServeError::ShuttingDown`]), answers every request already
+    /// admitted on every shard, joins the router and all workers, and
+    /// returns the final merged + per-shard stats. A thread that panicked
+    /// surfaces as [`ServeError::Disconnected`] (its pending submissions
+    /// were error-completed, never left hanging).
+    pub fn shutdown(self) -> Result<ShardedStats, ServeError> {
+        let ShardedServer {
+            tx,
+            closed,
+            router_stats,
+            shard_stats,
+            router,
+            workers,
+            ..
+        } = self;
+        closed.store(true, Ordering::Release);
+        // the marker may block while the queue drains — that is the point
+        let _ = tx.send(Msg::Shutdown);
+        drop(tx);
+        let mut panicked = router.join().is_err();
+        for w in workers {
+            panicked |= w.join().is_err();
+        }
+        if panicked {
+            return Err(ServeError::Disconnected);
+        }
+        let per_shard: Vec<ServeStats> = shard_stats
+            .iter()
+            .map(|s| s.lock().expect("stats lock").clone())
+            .collect();
+        let mut merged = router_stats.lock().expect("stats lock").clone();
+        for s in &per_shard {
+            merged.merge(s);
+        }
+        Ok(ShardedStats { merged, per_shard })
+    }
+}
+
+/// The single-shard façade: the [`serve`] entry point of previous
+/// revisions, now a thin wrapper over a one-shard [`ShardedServer`] —
+/// same router/worker machinery, same semantics, `FnOnce` builder.
+pub struct Server<C = ()> {
+    inner: ShardedServer<C>,
+}
+
+impl<C> Server<C> {
+    /// A new client endpoint.
+    pub fn handle(&self) -> ServeHandle {
+        self.inner.handle()
     }
 
     /// The builder's context value (e.g. the registered spec ids).
     pub fn context(&self) -> &C {
-        &self.context
+        &self.inner.contexts()[0]
     }
 
     /// A live accounting snapshot (consistent as of the last flush).
     pub fn stats(&self) -> ServeStats {
-        self.stats.lock().expect("stats lock").clone()
+        self.inner.stats()
     }
 
-    /// Runs `f` against the registry on the dispatch thread — between
+    /// Runs `f` against the registry on its worker thread — between
     /// batches, never concurrently with one — and returns its result.
-    /// This is how callers freeze live runs, adjust budgets, or read
-    /// registry stats mid-serve without sharing the `&mut` registry.
     pub fn control<R, F>(&self, f: F) -> Result<R, ServeError>
     where
         R: Send + 'static,
         F: FnOnce(&mut ServiceRegistry<'static>) -> R + Send + 'static,
     {
-        let (tx, rx) = mpsc::channel();
-        let boxed: ControlFn = Box::new(move |reg| {
-            let _ = tx.send(f(reg));
-        });
-        // a control rides the same ordered queue as requests; blocking
-        // send (not try_send) — controls are rare and must not be shed
-        self.tx
-            .send(Msg::Control(boxed))
-            .map_err(|_| ServeError::ShuttingDown)?;
-        rx.recv().map_err(|_| ServeError::ShuttingDown)
+        self.inner.control_shard(0, f)
     }
 
-    /// Drain-then-stop: closes admission (new submissions fail with
-    /// [`ServeError::ShuttingDown`]), answers every request already in the
-    /// queue, joins the dispatch thread, and returns the final stats. A
-    /// dispatcher that panicked surfaces as [`ServeError::Disconnected`].
+    /// Drain-then-stop; see [`ShardedServer::shutdown`].
     pub fn shutdown(self) -> Result<ServeStats, ServeError> {
-        self.closed.store(true, Ordering::Release);
-        // the marker may block while the queue drains — that is the point
-        let _ = self.tx.send(Msg::Shutdown);
-        self.worker.join().map_err(|_| ServeError::Disconnected)?;
-        let stats = self.stats.lock().expect("stats lock").clone();
-        Ok(stats)
+        self.inner.shutdown().map(|s| s.merged)
     }
 }
 
-/// Spawns the serving loop. `build` runs **on the dispatch thread** and
-/// constructs the registry there (the search schemes' scratch state is
-/// single-threaded by design, so the registry must be born where it
-/// serves); whatever context it returns next to the registry comes back in
-/// the [`Server`]. A builder error tears the loop down and is returned
-/// here instead.
+/// Spawns the sharded serving loop. `build` runs **on each worker
+/// thread** as `build(shard, shards)` and constructs that shard's
+/// registry there (the search schemes' scratch state is single-threaded
+/// by design, so a registry must be born where it serves). It must
+/// register exactly the specs that `plan` routes to `shard` — probes for
+/// a spec the home shard doesn't know come back as that shard's
+/// [`RegistryError::UnknownSpec`]. Any builder error tears the whole loop
+/// down and is returned here instead.
+pub fn serve_sharded<C, F>(
+    config: ServeConfig,
+    shards: usize,
+    plan: ShardPlan,
+    build: F,
+) -> Result<ShardedServer<C>, RegistryError>
+where
+    C: Send + 'static,
+    F: Fn(usize, usize) -> Result<(ServiceRegistry<'static>, C), RegistryError>
+        + Send
+        + Sync
+        + 'static,
+{
+    let shards = shards.max(1);
+    let queue_cap = config.queue_cap.max(1);
+    let (tx, rx) = mpsc::sync_channel::<Msg>(queue_cap);
+    let closed = Arc::new(AtomicBool::new(false));
+    let slab = Arc::new(TicketSlab::new(queue_cap.min(4096)));
+    let router_stats = Arc::new(Mutex::new(ServeStats::default()));
+    let build = Arc::new(build);
+    let (ready_tx, ready_rx) = mpsc::channel();
+
+    let mut shard_txs = Vec::with_capacity(shards);
+    let mut shard_stats = Vec::with_capacity(shards);
+    let mut workers = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let (stx, srx) = mpsc::sync_channel::<ShardMsg>(queue_cap);
+        let stats = Arc::new(Mutex::new(ServeStats::default()));
+        shard_txs.push(stx);
+        shard_stats.push(Arc::clone(&stats));
+        let build = Arc::clone(&build);
+        let ready = ready_tx.clone();
+        let slab = Arc::clone(&slab);
+        let worker = std::thread::Builder::new()
+            .name(format!("wfp-serve-{shard}"))
+            .spawn(move || {
+                let (registry, context) = match build(shard, shards) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        let _ = ready.send((shard, Err(e)));
+                        return;
+                    }
+                };
+                let _ = ready.send((shard, Ok(context)));
+                drop(ready);
+                shard_loop(registry, srx, config, stats, slab);
+            })
+            .expect("spawn shard worker");
+        workers.push(worker);
+    }
+    drop(ready_tx);
+
+    let router = {
+        let slab = Arc::clone(&slab);
+        let stats = Arc::clone(&router_stats);
+        let plan = plan.clone();
+        std::thread::Builder::new()
+            .name("wfp-serve-router".into())
+            .spawn(move || router_loop(rx, shard_txs, shards, plan, slab, stats))
+            .expect("spawn serve router")
+    };
+
+    let mut contexts: Vec<Option<C>> = (0..shards).map(|_| None).collect();
+    let mut first_err: Option<RegistryError> = None;
+    for _ in 0..shards {
+        match ready_rx.recv() {
+            Ok((shard, Ok(c))) => contexts[shard] = Some(c),
+            Ok((_, Err(e))) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+            Err(_) => {
+                // a builder panicked before reporting; surface as a
+                // format-ish error rather than poisoning the caller
+                if first_err.is_none() {
+                    first_err = Some(RegistryError::Io {
+                        path: std::path::PathBuf::from("<serve builder>"),
+                        message: "registry builder panicked".into(),
+                    });
+                }
+                break;
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        closed.store(true, Ordering::Release);
+        let _ = tx.send(Msg::Shutdown);
+        drop(tx);
+        let _ = router.join();
+        for w in workers {
+            let _ = w.join();
+        }
+        return Err(e);
+    }
+
+    Ok(ShardedServer {
+        tx,
+        closed,
+        slab,
+        router_stats,
+        shard_stats,
+        router,
+        workers,
+        contexts: contexts
+            .into_iter()
+            .map(|c| c.expect("every shard reported"))
+            .collect(),
+        shards,
+    })
+}
+
+/// Spawns a single-shard serving loop. `build` runs **on the worker
+/// thread** and constructs the registry there; whatever context it
+/// returns next to the registry comes back in the [`Server`]. A builder
+/// error tears the loop down and is returned here instead.
 pub fn serve<C, F>(config: ServeConfig, build: F) -> Result<Server<C>, RegistryError>
 where
     C: Send + 'static,
     F: FnOnce() -> Result<(ServiceRegistry<'static>, C), RegistryError> + Send + 'static,
 {
-    let (tx, rx) = mpsc::sync_channel::<Msg>(config.queue_cap.max(1));
-    let closed = Arc::new(AtomicBool::new(false));
-    let stats = Arc::new(Mutex::new(ServeStats::default()));
-    let stats_worker = Arc::clone(&stats);
-    let (ready_tx, ready_rx) = mpsc::channel();
-    let worker = std::thread::Builder::new()
-        .name("wfp-serve".into())
-        .spawn(move || {
-            let (registry, context) = match build() {
-                Ok(pair) => pair,
-                Err(e) => {
-                    let _ = ready_tx.send(Err(e));
-                    return;
+    let once = Mutex::new(Some(build));
+    let inner = serve_sharded(config, 1, ShardPlan::default(), move |_, _| {
+        let build = once
+            .lock()
+            .expect("builder lock")
+            .take()
+            .expect("a single-shard builder runs exactly once");
+        build()
+    })?;
+    Ok(Server { inner })
+}
+
+// ======================================================================
+// router
+// ======================================================================
+
+fn router_loop(
+    rx: Receiver<Msg>,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    shards: usize,
+    plan: ShardPlan,
+    slab: Arc<TicketSlab>,
+    stats: Arc<Mutex<ServeStats>>,
+) {
+    let mut draining = false;
+    loop {
+        let msg = if draining {
+            match rx.try_recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break, // every handle and the server gone
+            }
+        };
+        match msg {
+            Msg::Request(req) => route_request(req, &shard_txs, shards, &plan, &slab, &stats),
+            Msg::ControlOne(shard, c) => {
+                // a dead shard drops the closure; the caller's reply
+                // channel hangs up and control() reports ShuttingDown
+                let _ = shard_txs[shard].send(ShardMsg::Control(c));
+            }
+            Msg::ControlAll(mut factory) => {
+                for (shard, stx) in shard_txs.iter().enumerate() {
+                    let _ = stx.send(ShardMsg::Control(factory(shard)));
                 }
-            };
-            let _ = ready_tx.send(Ok(context));
-            dispatch(registry, rx, config, stats_worker);
-        })
-        .expect("spawn dispatch thread");
-    match ready_rx.recv() {
-        Ok(Ok(context)) => Ok(Server {
-            tx,
-            closed,
-            stats,
-            worker,
-            context,
-        }),
-        Ok(Err(e)) => {
-            let _ = worker.join();
-            Err(e)
+            }
+            Msg::Shutdown => draining = true,
         }
-        Err(_) => {
-            // builder panicked before reporting; surface as a format-ish
-            // error rather than poisoning the caller
-            let _ = worker.join();
-            Err(RegistryError::Io {
-                path: std::path::PathBuf::from("<serve builder>"),
-                message: "registry builder panicked".into(),
-            })
+    }
+    for stx in &shard_txs {
+        let _ = stx.send(ShardMsg::Shutdown);
+    }
+}
+
+fn route_request(
+    req: Request,
+    shard_txs: &[SyncSender<ShardMsg>],
+    shards: usize,
+    plan: &ShardPlan,
+    slab: &TicketSlab,
+    stats: &Mutex<ServeStats>,
+) {
+    let n = req.payload.len();
+    {
+        let mut s = stats.lock().expect("stats lock");
+        s.requests += 1;
+        s.probes_submitted += n as u64;
+    }
+    let Request {
+        payload,
+        submitted,
+        slot,
+        slot_idx,
+    } = req;
+    if n == 0 {
+        // an empty request completes vacuously, touching no shard
+        let mut st = slot.state.lock().expect("slot lock");
+        st.done = true;
+        let gone = st.client_gone;
+        drop(st);
+        if gone {
+            slab.release(slot_idx);
+        } else {
+            slot.cv.notify_all();
         }
+        return;
+    }
+    let probes = payload.as_slice();
+    let home = plan.shard_of(probes[0].0, shards);
+    let split = probes.iter().any(|p| plan.shard_of(p.0, shards) != home);
+    if !split {
+        // whole request on one shard: positions are the identity, the
+        // payload moves through untouched
+        slot.state.lock().expect("slot lock").remaining = 1;
+        send_sub(
+            shard_txs,
+            home,
+            SubBatch {
+                slot,
+                slot_idx,
+                submitted,
+                positions: None,
+                probes: payload,
+            },
+            slab,
+        );
+        return;
+    }
+    let Payload::Many(probes) = payload else {
+        unreachable!("a single probe lives on a single shard");
+    };
+    let mut parts: Vec<(Vec<u32>, Vec<Probe>)> =
+        (0..shards).map(|_| (Vec::new(), Vec::new())).collect();
+    for (i, p) in probes.into_iter().enumerate() {
+        let s = plan.shard_of(p.0, shards);
+        parts[s].0.push(i as u32);
+        parts[s].1.push(p);
+    }
+    let touched = parts.iter().filter(|(_, v)| !v.is_empty()).count();
+    // remaining is set before any fan-out so a fast shard cannot complete
+    // the slot while siblings are still unrouted
+    slot.state.lock().expect("slot lock").remaining = touched as u32;
+    for (shard, (positions, probes)) in parts.into_iter().enumerate() {
+        if probes.is_empty() {
+            continue;
+        }
+        send_sub(
+            shard_txs,
+            shard,
+            SubBatch {
+                slot: Arc::clone(&slot),
+                slot_idx,
+                submitted,
+                positions: Some(positions),
+                probes: Payload::Many(probes),
+            },
+            slab,
+        );
+    }
+}
+
+fn send_sub(shard_txs: &[SyncSender<ShardMsg>], shard: usize, sub: SubBatch, slab: &TicketSlab) {
+    // blocking send: workers always drain, so this only stalls under
+    // honest backpressure. A dead worker bounces the sub-batch back and
+    // its share resolves as Disconnected instead of hanging the client.
+    if let Err(mpsc::SendError(ShardMsg::Batch(sub))) = shard_txs[shard].send(ShardMsg::Batch(sub))
+    {
+        fail_sub(&sub.slot, sub.slot_idx, ServeError::Disconnected, slab);
     }
 }
 
 // ======================================================================
-// dispatch loop
+// shard workers
 // ======================================================================
 
 /// Why an admission window closed.
@@ -517,13 +1279,15 @@ enum Flush {
     Drain,
 }
 
-fn dispatch(
+fn shard_loop(
     mut registry: ServiceRegistry<'static>,
-    rx: Receiver<Msg>,
+    rx: Receiver<ShardMsg>,
     config: ServeConfig,
     stats: Arc<Mutex<ServeStats>>,
+    slab: Arc<TicketSlab>,
 ) {
     let max_batch = config.max_batch.max(1);
+    let mut flat: Vec<Probe> = Vec::new();
     let mut draining = false;
     'serve: loop {
         // idle: block for the first message of the next window
@@ -535,19 +1299,19 @@ fn dispatch(
         } else {
             match rx.recv() {
                 Ok(m) => m,
-                Err(_) => break 'serve, // every handle and the server gone
+                Err(_) => break 'serve, // router gone
             }
         };
-        let mut batch: Vec<Request> = Vec::new();
+        let mut batch: Vec<SubBatch> = Vec::new();
         let mut probes = 0usize;
         let mut controls: Vec<ControlFn> = Vec::new();
         match first {
-            Msg::Request(r) => {
-                probes += r.probes.len();
-                batch.push(r);
+            ShardMsg::Batch(b) => {
+                probes += b.probes.len();
+                batch.push(b);
             }
-            Msg::Control(c) => controls.push(c),
-            Msg::Shutdown => draining = true,
+            ShardMsg::Control(c) => controls.push(c),
+            ShardMsg::Shutdown => draining = true,
         }
         // admission window: coalesce until full, lapsed, or shutting
         // down. The window only opens for probe traffic — a lone control
@@ -560,12 +1324,12 @@ fn dispatch(
                 break;
             };
             match rx.recv_timeout(left) {
-                Ok(Msg::Request(r)) => {
-                    probes += r.probes.len();
-                    batch.push(r);
+                Ok(ShardMsg::Batch(b)) => {
+                    probes += b.probes.len();
+                    batch.push(b);
                 }
-                Ok(Msg::Control(c)) => controls.push(c),
-                Ok(Msg::Shutdown) => draining = true,
+                Ok(ShardMsg::Control(c)) => controls.push(c),
+                Ok(ShardMsg::Shutdown) => draining = true,
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
                     draining = true;
@@ -579,41 +1343,91 @@ fn dispatch(
             cause = Flush::Drain;
         }
         if !batch.is_empty() {
-            service_batch(&mut registry, batch, probes, cause, &config, &stats);
+            // a panicking kernel must not leave clients waiting on slots
+            // this worker already claimed: on unwind, every sub-batch not
+            // yet resolved is error-completed, the queue is drained the
+            // same way, and the shard retires
+            let pending: Vec<(Arc<ReplySlot>, u32)> = batch
+                .iter()
+                .map(|b| (Arc::clone(&b.slot), b.slot_idx))
+                .collect();
+            let progress = Cell::new(0usize);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                service_shard_batch(
+                    &mut registry,
+                    &mut flat,
+                    batch,
+                    probes,
+                    cause,
+                    &config,
+                    &stats,
+                    &slab,
+                    &progress,
+                );
+            }));
+            if outcome.is_err() {
+                for (slot, idx) in pending.iter().skip(progress.get()) {
+                    fail_sub(slot, *idx, ServeError::Disconnected, &slab);
+                }
+                poison_loop(&rx, &slab);
+                break 'serve;
+            }
         }
         // controls run between batches: a consistent registry, no probe
         // in flight
         if !controls.is_empty() {
-            let mut s = stats.lock().expect("stats lock");
-            s.controls += controls.len() as u64;
-            drop(s);
+            {
+                let mut s = stats.lock().expect("stats lock");
+                s.controls += controls.len() as u64;
+            }
             for c in controls {
-                c(&mut registry);
+                if catch_unwind(AssertUnwindSafe(|| c(&mut registry))).is_err() {
+                    poison_loop(&rx, &slab);
+                    break 'serve;
+                }
             }
         }
     }
-    // the queue is closed (or the server hung up): nothing left to answer
+    // the queue is closed (or the router hung up): nothing left to answer
 }
 
-fn service_batch(
+/// A poisoned shard's terminal state: fail every incoming sub-batch fast
+/// (instead of hanging its client) until the router closes the queue.
+fn poison_loop(rx: &Receiver<ShardMsg>, slab: &TicketSlab) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(sub) => {
+                fail_sub(&sub.slot, sub.slot_idx, ServeError::Disconnected, slab)
+            }
+            ShardMsg::Control(c) => drop(c), // hangs up the caller's reply
+            ShardMsg::Shutdown => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn service_shard_batch(
     registry: &mut ServiceRegistry<'static>,
-    batch: Vec<Request>,
+    flat: &mut Vec<Probe>,
+    batch: Vec<SubBatch>,
     probes: usize,
     cause: Flush,
     config: &ServeConfig,
     stats: &Arc<Mutex<ServeStats>>,
+    slab: &TicketSlab,
+    progress: &Cell<usize>,
 ) {
-    // flatten the coalesced requests into one mixed-spec batch
-    let mut flat: Vec<Probe> = Vec::with_capacity(probes);
-    for r in &batch {
-        flat.extend_from_slice(&r.probes);
+    // flatten the coalesced sub-batches into one mixed-spec batch,
+    // reusing the worker's flat buffer across windows
+    flat.clear();
+    flat.reserve(probes);
+    for b in &batch {
+        flat.extend_from_slice(b.probes.as_slice());
     }
-    let combined = registry.answer_batch_parallel(&flat, config.threads);
+    let combined = registry.answer_batch_parallel(flat, config.threads);
     let replied = Instant::now();
 
     let mut s = stats.lock().expect("stats lock");
-    s.requests += batch.len() as u64;
-    s.probes_submitted += probes as u64;
     s.batches += 1;
     match cause {
         Flush::Full => s.batches_full += 1,
@@ -625,47 +1439,80 @@ fn service_batch(
     match combined {
         Ok(answers) => {
             let mut off = 0usize;
-            for r in batch {
-                let n = r.probes.len();
-                let slice = answers[off..off + n].to_vec();
+            for b in &batch {
+                let n = b.probes.len();
+                let slice = &answers[off..off + n];
                 off += n;
-                record_latency(&mut s, registry, &r, replied);
+                record_latency(&mut s, registry, b, replied);
                 s.probes_answered += n as u64;
-                let _ = r.reply.send(Ok(slice));
+                complete_sub(b, slice, slab);
+                progress.set(progress.get() + 1);
             }
         }
         Err(_) => {
-            // one faulty request must not fail its neighbors: re-drive the
-            // batch per request so each caller gets its own verdict
+            // one faulty sub-batch must not fail its neighbors: re-drive
+            // the window per sub-batch so each submission gets its own
+            // verdict
             drop(s);
-            for r in batch {
-                let verdict = registry
-                    .answer_batch_parallel(&r.probes, config.threads)
-                    .map_err(|e| ServeError::Registry(Arc::new(e)));
+            for b in &batch {
+                let verdict = registry.answer_batch_parallel(b.probes.as_slice(), config.threads);
+                let replied = Instant::now();
                 let mut s = stats.lock().expect("stats lock");
-                match &verdict {
-                    Ok(_) => {
-                        record_latency(&mut s, registry, &r, Instant::now());
-                        s.probes_answered += r.probes.len() as u64;
+                match verdict {
+                    Ok(answers) => {
+                        record_latency(&mut s, registry, b, replied);
+                        s.probes_answered += b.probes.len() as u64;
+                        drop(s);
+                        complete_sub(b, &answers, slab);
                     }
-                    Err(_) => s.probes_failed += r.probes.len() as u64,
+                    Err(e) => {
+                        s.probes_failed += b.probes.len() as u64;
+                        drop(s);
+                        fail_sub(
+                            &b.slot,
+                            b.slot_idx,
+                            ServeError::Registry(Arc::new(e)),
+                            slab,
+                        );
+                    }
                 }
-                drop(s);
-                let _ = r.reply.send(verdict);
+                progress.set(progress.get() + 1);
             }
         }
     }
 }
 
-/// Credits `r`'s submit→reply latency to each probe's scheme.
+/// Writes one sub-batch's answers into its slot as bits at the probes'
+/// original positions — the zero-copy reply: no `Vec` is built or sent,
+/// the client reads the bits out of the shared slot.
+fn complete_sub(b: &SubBatch, answers: &[bool], slab: &TicketSlab) {
+    finish_sub(&b.slot, b.slot_idx, slab, |st| match &b.positions {
+        None => {
+            for (i, &a) in answers.iter().enumerate() {
+                if a {
+                    st.bits[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+        Some(pos) => {
+            for (&p, &a) in pos.iter().zip(answers) {
+                if a {
+                    st.bits[p as usize / 64] |= 1u64 << (p as usize % 64);
+                }
+            }
+        }
+    });
+}
+
+/// Credits `b`'s submit→reply latency to each probe's scheme.
 fn record_latency(
     s: &mut ServeStats,
     registry: &ServiceRegistry<'static>,
-    r: &Request,
+    b: &SubBatch,
     replied: Instant,
 ) {
-    let us = replied.duration_since(r.submitted).as_micros() as u64;
-    for &(spec, ..) in &r.probes {
+    let us = replied.duration_since(b.submitted).as_micros() as u64;
+    for &(spec, ..) in b.probes.as_slice() {
         let Some(kind) = registry.scheme(spec) else {
             continue;
         };
@@ -712,6 +1559,40 @@ mod tests {
         .expect("paper registry builds")
     }
 
+    /// A sharded paper server: every scheme's spec lands on its hash-home
+    /// shard, each worker registering exactly its own specs.
+    fn paper_server_sharded(
+        config: ServeConfig,
+        shards: usize,
+        kinds: &'static [SchemeKind],
+    ) -> ShardedServer<(Vec<SpecId>, usize)> {
+        let plan = ShardPlan::new();
+        serve_sharded(config, shards, plan.clone(), move |shard, shards| {
+            let spec = paper_spec();
+            let run = paper_run(&spec);
+            let n = run.vertex_count();
+            let mut reg = ServiceRegistry::new();
+            let mut ids = Vec::new();
+            for &kind in kinds {
+                let id = SpecId::of(kind, spec.graph());
+                if plan.shard_of(id, shards) != shard {
+                    continue;
+                }
+                let labels = LabeledRun::build(&spec, SpecScheme::build(kind, spec.graph()), &run)
+                    .unwrap()
+                    .labels()
+                    .to_vec();
+                let got = reg.register_spec(&spec, kind)?;
+                assert_eq!(got, id, "content-hashed ids are deterministic");
+                reg.register_labels(id, &labels)?;
+                reg.register_labels(id, &labels)?;
+                ids.push(id);
+            }
+            Ok((reg, (ids, n)))
+        })
+        .expect("sharded paper registry builds")
+    }
+
     fn all_pairs(ids: &[SpecId], n: usize) -> Vec<Probe> {
         let mut probes = Vec::new();
         for (i, &id) in ids.iter().enumerate() {
@@ -753,6 +1634,71 @@ mod tests {
         assert_eq!(stats.probes_answered, probes.len() as u64 + 40);
         assert!(stats.scheme(SchemeKind::Tcm).probes > 0);
         assert!(stats.scheme(SchemeKind::Tcm).p99_us().is_some());
+    }
+
+    #[test]
+    fn sharded_answers_match_direct_calls_across_shards() {
+        const KINDS: &[SchemeKind] = &[
+            SchemeKind::Tcm,
+            SchemeKind::Bfs,
+            SchemeKind::Dfs,
+            SchemeKind::TreeCover,
+        ];
+        const SHARDS: usize = 4;
+        let server = paper_server_sharded(ServeConfig::default(), SHARDS, KINDS);
+        let mut ids = Vec::new();
+        let mut n = 0;
+        for (shard_ids, vn) in server.contexts() {
+            ids.extend_from_slice(shard_ids);
+            n = *vn;
+        }
+        assert_eq!(ids.len(), KINDS.len(), "every spec found a home shard");
+        let probes = all_pairs(&ids, n);
+        // oracle: one direct registry holding everything
+        let mut direct = ServiceRegistry::new();
+        let spec = paper_spec();
+        let run = paper_run(&spec);
+        for &kind in KINDS {
+            let labels = LabeledRun::build(&spec, SpecScheme::build(kind, spec.graph()), &run)
+                .unwrap()
+                .labels()
+                .to_vec();
+            let id = direct.register_spec(&spec, kind).unwrap();
+            direct.register_labels(id, &labels).unwrap();
+            direct.register_labels(id, &labels).unwrap();
+        }
+        let want = direct.answer_batch(&probes).unwrap();
+        let handle = server.handle();
+        // the mixed-spec vector splits across shards and reassembles in
+        // submission order
+        let got = handle.probe_vec(probes.clone()).unwrap();
+        assert_eq!(got, want, "cross-shard reassembly is order-preserving");
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.merged.probes_failed, 0);
+        assert_eq!(stats.merged.probes_answered, probes.len() as u64);
+        assert_eq!(stats.per_shard.len(), SHARDS);
+        let shards_hit = stats
+            .per_shard
+            .iter()
+            .filter(|s| s.probes_answered > 0)
+            .count();
+        assert!(shards_hit >= 2, "traffic spread across shards");
+    }
+
+    #[test]
+    fn broadcast_control_reaches_every_shard() {
+        const KINDS: &[SchemeKind] = &[SchemeKind::Tcm, SchemeKind::Bfs, SchemeKind::Dfs];
+        const SHARDS: usize = 3;
+        let server = paper_server_sharded(ServeConfig::default(), SHARDS, KINDS);
+        let lens = server.control(|reg| reg.len()).unwrap();
+        assert_eq!(lens.len(), SHARDS);
+        assert_eq!(
+            lens.iter().sum::<usize>(),
+            KINDS.len(),
+            "each spec registered on exactly one shard"
+        );
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.merged.controls, SHARDS as u64);
     }
 
     #[test]
@@ -810,9 +1756,9 @@ mod tests {
         );
         let (ids, _) = server.context().clone();
         let handle = server.handle();
-        // stall the dispatcher inside a control closure (issued from a
+        // stall the worker inside a control closure (issued from a
         // helper thread — `control` blocks until executed) so the bounded
-        // queue visibly backs up
+        // queues visibly back up
         let (started_tx, started_rx) = mpsc::channel::<()>();
         let (hold_tx, hold_rx) = mpsc::channel::<()>();
         let mut admitted = Vec::new();
@@ -825,13 +1771,13 @@ mod tests {
                 })
                 .unwrap();
             });
-            started_rx.recv().expect("dispatcher reached the control");
-            // the dispatcher is stalled: fill the 1-slot queue, then
+            started_rx.recv().expect("worker reached the control");
+            // the worker is stalled: fill the 1-slot queues, then
             // observe an immediate typed rejection — never a block
-            let one = vec![(ids[0], RunId(0), RunVertexId(0), RunVertexId(0))];
+            let one = (ids[0], RunId(0), RunVertexId(0), RunVertexId(0));
             let mut saw_overload = false;
             for _ in 0..512 {
-                match handle.submit(one.clone()) {
+                match handle.submit_one(one) {
                     Ok(t) => admitted.push(t),
                     Err(ServeError::Overloaded) => {
                         saw_overload = true;
@@ -842,14 +1788,14 @@ mod tests {
             }
             assert!(
                 saw_overload,
-                "a 1-slot queue behind a stalled dispatcher must shed load"
+                "a 1-slot queue behind a stalled worker must shed load"
             );
-            hold_tx.send(()).expect("release the dispatcher");
+            hold_tx.send(()).expect("release the worker");
         });
         // no deadlock: every admitted ticket still resolves (reflexive
         // probe → true)
         for t in admitted {
-            assert!(t.wait().unwrap()[0]);
+            assert!(t.wait_one().unwrap());
         }
         let stats = server.shutdown().unwrap();
         assert_eq!(stats.controls, 1);
@@ -888,11 +1834,68 @@ mod tests {
     }
 
     #[test]
+    fn cross_shard_request_with_one_faulty_shard_reports_the_error() {
+        const KINDS: &[SchemeKind] = &[
+            SchemeKind::Tcm,
+            SchemeKind::Bfs,
+            SchemeKind::Dfs,
+            SchemeKind::TreeCover,
+        ];
+        const SHARDS: usize = 4;
+        let server = paper_server_sharded(ServeConfig::default(), SHARDS, KINDS);
+        let mut ids = Vec::new();
+        let mut n = 0;
+        for (shard_ids, vn) in server.contexts() {
+            ids.extend_from_slice(shard_ids);
+            n = *vn;
+        }
+        let handle = server.handle();
+        // pick two specs with *different* home shards so the bad request
+        // provably spans shards, with the fault confined to one of them
+        let plan = ShardPlan::new();
+        let (a, b) = ids
+            .iter()
+            .flat_map(|&x| ids.iter().map(move |&y| (x, y)))
+            .find(|&(x, y)| plan.shard_of(x, SHARDS) != plan.shard_of(y, SHARDS))
+            .expect("specs spread over at least two shards");
+        // a healthy cross-shard request and one whose probes include a
+        // bogus run on a single shard
+        let good = all_pairs(&ids, n);
+        let bad = vec![
+            (a, RunId(0), RunVertexId(0), RunVertexId(0)),
+            (b, RunId(99), RunVertexId(0), RunVertexId(0)),
+        ];
+        let t_good = handle.submit(good).unwrap();
+        let t_bad = handle.submit(bad).unwrap();
+        assert!(t_good.wait().is_ok(), "healthy request unaffected");
+        assert!(matches!(t_bad.wait(), Err(ServeError::Registry(_))));
+        let stats = server.shutdown().unwrap();
+        // only the faulty sub-batch's probes count as failed
+        assert_eq!(stats.merged.probes_failed, 1);
+    }
+
+    #[test]
     fn builder_errors_surface_to_the_caller() {
         let bogus = SpecId(0xDEAD);
         let err = serve(ServeConfig::default(), move || {
             let mut reg = ServiceRegistry::new();
             reg.ensure_resident(bogus)?;
+            Ok((reg, ()))
+        });
+        assert!(matches!(
+            err.map(|_| ()),
+            Err(RegistryError::UnknownSpec(id)) if id == bogus
+        ));
+    }
+
+    #[test]
+    fn sharded_builder_error_on_one_shard_tears_down_cleanly() {
+        let bogus = SpecId(0xDEAD);
+        let err = serve_sharded(ServeConfig::default(), 4, ShardPlan::new(), move |shard, _| {
+            let mut reg = ServiceRegistry::new();
+            if shard == 2 {
+                reg.ensure_resident(bogus)?;
+            }
             Ok((reg, ()))
         });
         assert!(matches!(
@@ -921,5 +1924,133 @@ mod tests {
         }
         assert_eq!(small.quantile(0.0).unwrap(), 0);
         assert_eq!(small.quantile(1.0).unwrap(), 7);
+    }
+
+    #[test]
+    fn histogram_is_exact_below_128() {
+        // every value below EXACT sits in its own bucket: quantiles over
+        // the 0..128 ramp come back exactly
+        let mut h = Histogram::default();
+        for v in 0..Histogram::EXACT {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0).unwrap(), 0);
+        assert_eq!(h.quantile(0.25).unwrap(), 31);
+        assert_eq!(h.quantile(0.5).unwrap(), 63);
+        assert_eq!(h.quantile(0.75).unwrap(), 95);
+        assert_eq!(h.quantile(1.0).unwrap(), 127);
+        // µs-scale medians: a pile at 97 reports exactly 97, not a bucket
+        // floor 12% away
+        let mut m = Histogram::default();
+        for _ in 0..101 {
+            m.record(97);
+        }
+        assert_eq!(m.quantile(0.5).unwrap(), 97);
+        assert_eq!(m.quantile(0.99).unwrap(), 97);
+    }
+
+    #[test]
+    fn histogram_boundary_at_128_enters_the_log_range() {
+        // 127 is the last exact bucket; 128 opens octave 7
+        let mut h = Histogram::default();
+        h.record(127);
+        h.record(128);
+        h.record(159); // still the first sub-bucket of octave 7 (128..160)
+        h.record(160); // second sub-bucket
+        assert_eq!(h.quantile(0.25).unwrap(), 127, "exact side of the seam");
+        assert_eq!(h.quantile(0.5).unwrap(), 128, "first log bucket floor");
+        assert_eq!(h.quantile(0.75).unwrap(), 128, "159 shares 128's bucket");
+        assert_eq!(h.quantile(1.0).unwrap(), 160, "next sub-bucket floor");
+        // the top of u64 still lands in a real bucket (floor reported,
+        // capped by the exact max)
+        let mut top = Histogram::default();
+        top.record(u64::MAX);
+        assert!(top.quantile(1.0).unwrap() >= 1 << 63);
+        assert_eq!(top.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histograms_and_stats_merge_bucketwise() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [5u64, 100, 1000] {
+            a.record(v);
+        }
+        for v in [5u64, 7, 100_000] {
+            b.record(v);
+        }
+        let mut whole = Histogram::default();
+        for v in [5u64, 100, 1000, 5, 7, 100_000] {
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "quantile {q}");
+        }
+        // ServeStats::merge folds counters and digests
+        let mut s1 = ServeStats {
+            requests: 3,
+            probes_submitted: 10,
+            probes_answered: 9,
+            probes_failed: 1,
+            ..ServeStats::default()
+        };
+        let s2 = ServeStats {
+            requests: 2,
+            probes_submitted: 5,
+            probes_answered: 5,
+            controls: 4,
+            ..ServeStats::default()
+        };
+        s1.merge(&s2);
+        assert_eq!(s1.requests, 5);
+        assert_eq!(s1.probes_submitted, 15);
+        assert_eq!(s1.probes_answered, 14);
+        assert_eq!(s1.probes_failed, 1);
+        assert_eq!(s1.controls, 4);
+    }
+
+    #[test]
+    fn shard_plan_pins_override_the_hash() {
+        let a = SpecId(0x1111_2222_3333_4444);
+        let b = SpecId(0x5555_6666_7777_8888);
+        let plan = ShardPlan::new().pin(a, 3);
+        assert_eq!(plan.shard_of(a, 4), 3);
+        let hashed = ShardPlan::new().shard_of(b, 4);
+        assert_eq!(plan.shard_of(b, 4), hashed, "unpinned specs still hash");
+        assert_eq!(plan.shard_of(a, 1), 0, "one shard takes everything");
+        // re-pinning replaces, and pins wrap modulo the shard count
+        let plan = plan.pin(a, 9);
+        assert_eq!(plan.shard_of(a, 4), 1);
+    }
+
+    #[test]
+    fn dropped_tickets_recycle_their_slots() {
+        const KINDS: &[SchemeKind] = &[SchemeKind::Tcm];
+        let server = paper_server(ServeConfig::default(), KINDS);
+        let (ids, _) = server.context().clone();
+        let handle = server.handle();
+        let one = (ids[0], RunId(0), RunVertexId(0), RunVertexId(0));
+        // fire-and-forget: drop every ticket unwaited; slots must come
+        // back to the free list and the server must drain cleanly
+        for _ in 0..256 {
+            let _ = handle.submit_one(one).unwrap();
+        }
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.probes_answered, 256);
+        assert_eq!(stats.probes_failed, 0);
+        let free = server_slab_free_len(&handle);
+        let total = server_slab_len(&handle);
+        assert_eq!(free, total, "every slot returned to the free list");
+    }
+
+    fn server_slab_free_len(handle: &ServeHandle) -> usize {
+        handle.slab.inner.lock().unwrap().free.len()
+    }
+
+    fn server_slab_len(handle: &ServeHandle) -> usize {
+        handle.slab.inner.lock().unwrap().slots.len()
     }
 }

@@ -26,7 +26,7 @@ pub mod specgen;
 pub mod workload;
 
 pub use queries::random_pairs;
-pub use workload::{arrival_offsets_us, Arrival};
+pub use workload::{arrival_offsets_us, spec_mix_indices, Arrival, SpecMix};
 pub use real::{real_workflows, stand_in, RealWorkflow};
 pub use rungen::{
     generate_fleet, generate_registry, generate_run, generate_run_bounded,

@@ -129,6 +129,82 @@ pub fn arrival_offsets_us(arrival: Arrival, requests: usize, seed: u64) -> Vec<u
     }
 }
 
+/// Which spec each request targets — the *mix* axis of a serving
+/// workload, orthogonal to [`Arrival`] (the *when* axis). A uniform mix
+/// spreads load evenly over shards; a zipfian mix concentrates it on a
+/// few hot specs, which is what makes hot-shard imbalance generatable
+/// and benchmarkable rather than hypothetical.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpecMix {
+    /// Every spec equally likely.
+    Uniform,
+    /// Spec ranked `r` (0-based) drawn with weight `1 / (r + 1)^skew`.
+    /// `skew = 0` degenerates to uniform; `skew ≈ 1` is the classic
+    /// web-trace shape; larger values pile onto the head harder.
+    Zipf {
+        /// The Zipf exponent `s ≥ 0`.
+        skew: f64,
+    },
+}
+
+impl SpecMix {
+    /// Parses the CLI spelling: `uniform`, `zipf:SKEW`.
+    pub fn parse(text: &str) -> Result<SpecMix, String> {
+        let mut parts = text.split(':');
+        let mix = match parts.next().unwrap_or_default() {
+            "uniform" => SpecMix::Uniform,
+            "zipf" => {
+                let skew: f64 = parts
+                    .next()
+                    .ok_or_else(|| format!("{text:?}: missing SKEW"))?
+                    .parse()
+                    .map_err(|_| format!("{text:?}: bad SKEW"))?;
+                if !(skew >= 0.0 && skew.is_finite()) {
+                    return Err(format!("{text:?}: SKEW must be finite and >= 0"));
+                }
+                SpecMix::Zipf { skew }
+            }
+            other => {
+                return Err(format!(
+                    "unknown spec mix {other:?} (uniform | zipf:SKEW)"
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(format!("{text:?}: trailing mix components"));
+        }
+        Ok(mix)
+    }
+}
+
+/// The spec index each of `requests` submissions targets, drawn from
+/// `mix` over `specs` specs — deterministic in `(mix, specs, seed)`.
+/// Indices are ranks: under [`SpecMix::Zipf`], index 0 is the hottest
+/// spec. Addressing (which `SpecId` rank `i` maps to) is composed by
+/// the caller, keeping this crate free of `wfp-skl` types.
+pub fn spec_mix_indices(mix: SpecMix, specs: usize, requests: usize, seed: u64) -> Vec<usize> {
+    assert!(specs > 0, "spec mix over zero specs");
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xC2B2_AE3D_27D4_EB4F);
+    match mix {
+        SpecMix::Uniform => (0..requests).map(|_| rng.gen_usize(specs)).collect(),
+        SpecMix::Zipf { skew } => {
+            // cumulative weights once, then inverse-CDF per draw
+            let mut cdf = Vec::with_capacity(specs);
+            let mut total = 0.0f64;
+            for r in 0..specs {
+                total += 1.0 / ((r + 1) as f64).powf(skew);
+                cdf.push(total);
+            }
+            (0..requests)
+                .map(|_| {
+                    let u = rng.gen_f64() * total;
+                    cdf.partition_point(|&c| c < u).min(specs - 1)
+                })
+                .collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +263,56 @@ mod tests {
             assert!(group.iter().all(|&o| o == group[0]));
         }
         assert_ne!(offsets[0], offsets[10]);
+    }
+
+    #[test]
+    fn zipf_mix_concentrates_on_the_head() {
+        let n = 50_000;
+        let specs = 8;
+        let uni = spec_mix_indices(SpecMix::Uniform, specs, n, 11);
+        let hot = spec_mix_indices(SpecMix::Zipf { skew: 1.2 }, specs, n, 11);
+        assert_eq!(uni.len(), n);
+        assert_eq!(hot.len(), n);
+        assert!(uni.iter().all(|&i| i < specs));
+        assert!(hot.iter().all(|&i| i < specs));
+        // deterministic
+        assert_eq!(hot, spec_mix_indices(SpecMix::Zipf { skew: 1.2 }, specs, n, 11));
+        let count = |v: &[usize], i: usize| v.iter().filter(|&&x| x == i).count();
+        // uniform: every spec near n/specs
+        for i in 0..specs {
+            let c = count(&uni, i) as f64;
+            assert!(
+                (c - n as f64 / specs as f64).abs() < n as f64 * 0.02,
+                "uniform spec {i} drew {c}"
+            );
+        }
+        // zipf: rank 0 dominates and counts decay down the ranks
+        let c0 = count(&hot, 0);
+        let c_last = count(&hot, specs - 1);
+        assert!(
+            c0 as f64 > 2.5 * (n as f64 / specs as f64),
+            "head rank drew {c0} of {n}"
+        );
+        assert!(c0 > 4 * c_last, "tail rank {c_last} vs head {c0}");
+        // skew 0 degenerates to a uniform draw
+        let flat = spec_mix_indices(SpecMix::Zipf { skew: 0.0 }, specs, n, 11);
+        for i in 0..specs {
+            let c = count(&flat, i) as f64;
+            assert!((c - n as f64 / specs as f64).abs() < n as f64 * 0.02);
+        }
+    }
+
+    #[test]
+    fn spec_mix_parse_round_trips() {
+        assert_eq!(SpecMix::parse("uniform").unwrap(), SpecMix::Uniform);
+        assert_eq!(
+            SpecMix::parse("zipf:1.1").unwrap(),
+            SpecMix::Zipf { skew: 1.1 }
+        );
+        assert_eq!(SpecMix::parse("zipf:0").unwrap(), SpecMix::Zipf { skew: 0.0 });
+        for bad in ["nope", "zipf", "zipf:-1", "zipf:inf", "zipf:x", "uniform:3"] {
+            assert!(SpecMix::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]
