@@ -15,7 +15,7 @@ use wfp_bench::{ReproOptions, Table};
 const EXPERIMENTS: &[&str] = &[
     "table1", "table2", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
     "fig20", "baseline", "throughput", "live_ingest", "fleet", "persistence", "registry",
-    "kernel", "serving",
+    "reload", "kernel", "serving",
 ];
 
 fn usage() -> ! {
@@ -46,6 +46,7 @@ fn run_one(name: &str, opts: &ReproOptions) -> (f64, Table) {
         "fleet" => experiments::fleet(opts),
         "persistence" => experiments::persistence(opts),
         "registry" => experiments::registry(opts),
+        "reload" => experiments::reload(opts),
         "kernel" => experiments::kernel(opts),
         "serving" => experiments::serving(opts),
         other => {

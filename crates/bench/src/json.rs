@@ -1,4 +1,4 @@
-//! Machine-readable benchmark output (`BENCH_PR9.json`).
+//! Machine-readable benchmark output (`BENCH_PR10.json`).
 //!
 //! Every `repro` invocation serializes the tables it produced — with their
 //! per-experiment wall-clock timings and full cell grids (the `throughput`
@@ -14,9 +14,9 @@ use std::path::Path;
 use crate::table::Table;
 
 /// The file name every invocation writes under the results directory
-/// (bumped per PR so trajectories diff cleanly: PR 7 wrote
-/// `BENCH_PR7.json`).
-pub const BENCH_JSON_FILE: &str = "BENCH_PR9.json";
+/// (bumped per PR so trajectories diff cleanly: PR 9 wrote
+/// `BENCH_PR9.json`).
+pub const BENCH_JSON_FILE: &str = "BENCH_PR10.json";
 
 /// JSON string escaping (quotes, backslashes, control characters).
 fn escape(s: &str) -> String {

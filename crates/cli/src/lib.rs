@@ -857,6 +857,10 @@ pub struct RegistryOpts<'a> {
     /// Resident-byte budget across all fleets (`--budget`, parsed by
     /// [`parse_budget`]); `None` disables pressure eviction.
     pub budget: Option<usize>,
+    /// Seal every fleet's frozen runs into bit-packed columns before
+    /// probing (`--packed`): snapshots then carry aligned columns, so a
+    /// later `--load` faults fleets in zero-copy.
+    pub packed: bool,
     /// Persist the registry as a snapshot directory after answering.
     pub save: Option<&'a Path>,
     /// Open a saved snapshot directory (lazy: fleets load on first probe)
@@ -865,7 +869,8 @@ pub struct RegistryOpts<'a> {
 }
 
 /// `wfp registry [spec.xml...] [--gen-specs N] [--runs K] [--target V]
-///  [--seed S] [--probes M] [--budget BYTES] [--save DIR] [--load DIR]`
+///  [--seed S] [--probes M] [--budget BYTES] [--packed] [--save DIR]
+///  [--load DIR]`
 ///
 /// The multi-spec serving scenario: each specification (loaded from XML
 /// and/or generated) gets its own fleet of `K` runs, all behind one
@@ -956,6 +961,14 @@ pub fn cmd_registry(opts: &RegistryOpts<'_>) -> Result<String, CliError> {
                 .join("/"),
         )?;
         writeln!(out, "labeled + registered in {label_ms:.1} ms")?;
+        if opts.packed {
+            let ids: Vec<_> = registry.spec_ids().collect();
+            let mut sealed = 0usize;
+            for id in ids {
+                sealed += registry.seal_packed(id)?;
+            }
+            writeln!(out, "sealed {sealed} runs into bit-packed columns")?;
+        }
         registry
     };
 
@@ -965,6 +978,7 @@ pub fn cmd_registry(opts: &RegistryOpts<'_>) -> Result<String, CliError> {
     let mut books: Vec<Vec<(RunId, usize)>> = Vec::with_capacity(ids.len());
     for &id in &ids {
         let cold = !registry.resident(id);
+        let before = registry.stats();
         let started = std::time::Instant::now();
         registry.ensure_resident(id)?;
         let fleet = registry.fleet(id).expect("just made resident");
@@ -974,11 +988,18 @@ pub fn cmd_registry(opts: &RegistryOpts<'_>) -> Result<String, CliError> {
             .filter(|&(_, n)| n > 0)
             .collect();
         if cold {
+            let after = registry.stats();
             writeln!(
                 out,
-                "  spec {id} ({}): lazy-loaded {} runs in {:.1} ms",
+                "  spec {id} ({}): lazy-loaded {} runs, {} ({}) in {:.1} ms",
                 registry.scheme(id).expect("registered"),
                 registry.run_count(id)?,
+                fmt_bytes((after.reload_bytes - before.reload_bytes) as usize),
+                if after.zero_copy_loads > before.zero_copy_loads {
+                    "zero-copy"
+                } else {
+                    "decoded"
+                },
                 started.elapsed().as_secs_f64() * 1e3,
             )?;
         }
@@ -1019,7 +1040,7 @@ pub fn cmd_registry(opts: &RegistryOpts<'_>) -> Result<String, CliError> {
     write!(
         out,
         "residency: {}/{} fleets in memory, {} resident{}; \
-         {} evictions, {} lazy loads",
+         {} evictions, {} lazy loads ({} zero-copy, {} read, {:.1} ms)",
         stats.resident,
         stats.specs,
         fmt_bytes(stats.resident_bytes),
@@ -1029,6 +1050,9 @@ pub fn cmd_registry(opts: &RegistryOpts<'_>) -> Result<String, CliError> {
         },
         stats.evictions,
         stats.lazy_loads,
+        stats.zero_copy_loads,
+        fmt_bytes(stats.reload_bytes as usize),
+        stats.decode_ms,
     )?;
 
     if let Some(dir) = opts.save {

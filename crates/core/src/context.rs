@@ -46,7 +46,7 @@ use wfp_speclabel::SpecIndex;
 
 use crate::engine::SoaLabels;
 use crate::label::RunLabel;
-use crate::packed::PackedColumns;
+use crate::packed::{PackedColumns, PackedStore};
 
 /// Cell states of the warm snapshot tier.
 const MEMO_UNKNOWN: u8 = 0;
@@ -475,13 +475,15 @@ impl std::fmt::Debug for RunHandle {
 }
 
 /// A [`RunHandle`] whose label columns stay bit-packed
-/// ([`PackedColumns`]): the packed-resident form a fleet serves when a
+/// ([`PackedStore`]): the packed-resident form a fleet serves when a
 /// run is sealed cold ([`crate::fleet::FleetEngine::seal_packed`]) or the
-/// registry's packed tier compresses it under memory pressure. Queries
+/// registry's packed tier compresses it under memory pressure. The store
+/// is either decoded heap frames ([`PackedColumns`]) or a zero-copy view
+/// into a shared snapshot buffer ([`crate::PackedColumnsView`]). Queries
 /// decode inside the sweep kernel's gather — answers and counters are
 /// byte-identical to the raw handle, at a fraction of the footprint.
 pub struct PackedRunHandle {
-    cols: PackedColumns,
+    cols: PackedStore,
     context_only: AtomicU64,
     skeleton_queries: AtomicU64,
 }
@@ -495,9 +497,14 @@ impl PackedRunHandle {
         packed
     }
 
-    /// Wraps already-packed columns (fresh counters — the snapshot layer
-    /// restores persisted counters separately).
+    /// Wraps already-packed owned columns (fresh counters — the snapshot
+    /// layer restores persisted counters separately).
     pub fn from_columns(cols: PackedColumns) -> Self {
+        Self::from_store(PackedStore::Owned(cols))
+    }
+
+    /// Wraps either resident form of packed columns (fresh counters).
+    pub fn from_store(cols: PackedStore) -> Self {
         PackedRunHandle {
             cols,
             context_only: AtomicU64::new(0),
@@ -518,8 +525,8 @@ impl PackedRunHandle {
         self.cols.len()
     }
 
-    /// The packed label columns.
-    pub fn columns(&self) -> &PackedColumns {
+    /// The packed label columns (owned or zero-copy).
+    pub fn columns(&self) -> &PackedStore {
         &self.cols
     }
 

@@ -65,7 +65,7 @@ use crate::label::{context_fast_path, LabeledRun, QueryPath, RunLabel};
 /// order-maintenance tags of the three bracket lists, which compare — and
 /// therefore decide πr — exactly like positions. Indexed by
 /// [`RunVertexId`], exactly like [`LabeledRun::labels`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SoaColumns<Q> {
     q1: Vec<Q>,
     q2: Vec<Q>,

@@ -173,6 +173,10 @@ pub struct FleetStats {
     pub spec_bytes_if_per_run: usize,
     /// Bytes of per-run label columns across all active runs.
     pub run_bytes: usize,
+    /// Packed runs served **zero-copy** out of a shared snapshot buffer
+    /// ([`crate::PackedColumnsView`]) rather than from decoded heap
+    /// frames — a subset of [`packed`](Self::packed).
+    pub zero_copy: usize,
     /// Decision counters summed over all runs; memo counters are the
     /// shared context's.
     pub engine: EngineStats,
@@ -686,6 +690,9 @@ impl<'s, S: SpecIndex> FleetEngine<'s, S> {
                 }
                 Slot::FrozenPacked(h) => {
                     stats.packed += 1;
+                    if h.columns().is_zero_copy() {
+                        stats.zero_copy += 1;
+                    }
                     stats.run_bytes += h.memory_bytes();
                     stats.engine.context_only += h.context_only();
                     stats.engine.skeleton += h.skeleton_queries();
@@ -719,6 +726,29 @@ const SLOT_FROZEN: u8 = 1;
 /// segment (PR 7); readers that predate the state fail with
 /// "unknown slot state" instead of misreading segments.
 const SLOT_FROZEN_PACKED: u8 = 2;
+/// A frozen run stored as an **aligned** bit-packed
+/// [`snapshot::seg::PACKED_COLUMNS_ALIGNED`] segment (PR 10): loadable
+/// either by decoding (copy path) or by binding a zero-copy
+/// [`crate::PackedColumnsView`] straight over the validated load buffer
+/// ([`FleetEngine::load_shared`]). New snapshots write this state; old
+/// state-2 snapshots keep decoding unchanged.
+const SLOT_FROZEN_PACKED_ALIGNED: u8 = 3;
+
+/// How a fleet's runs came back from a snapshot: how many bound
+/// **zero-copy** to the shared load buffer versus being **decoded** into
+/// owned columns, and the total snapshot bytes behind the load. Returned
+/// by [`FleetEngine::load_shared`] so the registry can attribute reload
+/// cost ([`crate::RegistryStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetLoadProfile {
+    /// Runs bound as zero-copy views over the load buffer.
+    pub zero_copy_runs: usize,
+    /// Runs decoded into owned columns (raw, legacy packed, or aligned
+    /// loads without a shareable buffer).
+    pub decoded_runs: usize,
+    /// Total snapshot bytes the load was served from.
+    pub bytes: usize,
+}
 
 impl<'s> FleetEngine<'s, SpecScheme> {
     /// Appends this fleet's segments to a container: the spec record
@@ -753,7 +783,7 @@ impl<'s> FleetEngine<'s, SpecScheme> {
                     snapshot::put_varint(&mut manifest, h.skeleton_queries());
                 }
                 Slot::FrozenPacked(h) => {
-                    manifest.push(SLOT_FROZEN_PACKED);
+                    manifest.push(SLOT_FROZEN_PACKED_ALIGNED);
                     snapshot::put_varint(&mut manifest, h.context_only());
                     snapshot::put_varint(&mut manifest, h.skeleton_queries());
                 }
@@ -768,9 +798,11 @@ impl<'s> FleetEngine<'s, SpecScheme> {
                     snapshot::seg::RUN_COLUMNS,
                     snapshot::write_run_columns(h.columns()),
                 ),
+                // the aligned layout since PR 10; a zero-copy view hands
+                // its validated payload back verbatim (still no decode)
                 Slot::FrozenPacked(h) => w.push(
-                    snapshot::seg::PACKED_COLUMNS,
-                    snapshot::write_packed_columns(h.columns()),
+                    snapshot::seg::PACKED_COLUMNS_ALIGNED,
+                    h.columns().to_aligned_payload(),
                 ),
                 _ => {}
             }
@@ -797,26 +829,43 @@ impl<'s> FleetEngine<'s, SpecScheme> {
     pub fn read_snapshot(
         r: &snapshot::SnapshotReader<'_>,
     ) -> Result<(Self, wfp_graph::DiGraph), snapshot::FormatError> {
+        Self::read_snapshot_with(r, None).map(|(fleet, graph, _)| (fleet, graph))
+    }
+
+    /// [`read_snapshot`](Self::read_snapshot), optionally binding aligned
+    /// packed runs **zero-copy** over `bind` — the shared buffer the
+    /// reader's payloads borrow from. With `bind`, every
+    /// [`snapshot::seg::PACKED_COLUMNS_ALIGNED`] segment becomes a
+    /// [`crate::PackedColumnsView`] over the buffer (O(header) per run);
+    /// without it, the segment decodes into owned columns. The returned
+    /// [`FleetLoadProfile`] says which path each run took.
+    fn read_snapshot_with(
+        r: &snapshot::SnapshotReader<'_>,
+        bind: Option<&Arc<[u8]>>,
+    ) -> Result<(Self, wfp_graph::DiGraph, FleetLoadProfile), snapshot::FormatError> {
         let (ctx, graph) = snapshot::read_spec_context(r)?;
         let mut cur = snapshot::Cursor::new(r.first(snapshot::seg::FLEET_MANIFEST)?);
         // each slot costs at least one state byte
         let slot_count = cur.guarded_count(1)?;
         let mut fleet = FleetEngine::new(ctx.shared());
+        let mut profile = FleetLoadProfile::default();
         let mut runs = r.all(snapshot::seg::RUN_COLUMNS);
         let mut packed_runs = r.all(snapshot::seg::PACKED_COLUMNS);
+        let mut aligned_runs = r.all(snapshot::seg::PACKED_COLUMNS_ALIGNED);
         for _ in 0..slot_count {
             let state = cur.u8()?;
             match state {
-                SLOT_FROZEN | SLOT_FROZEN_PACKED => {
+                SLOT_FROZEN | SLOT_FROZEN_PACKED | SLOT_FROZEN_PACKED_ALIGNED => {
                     let context_only = cur.varint()?;
                     let skeleton_queries = cur.varint()?;
-                    // raw and packed runs ride separate segment kinds, so
-                    // each manifest state consumes from its own stream and
-                    // old raw-only snapshots keep decoding unchanged
-                    let payload = if state == SLOT_FROZEN {
-                        runs.next()
-                    } else {
-                        packed_runs.next()
+                    // raw, legacy-packed and aligned runs ride separate
+                    // segment kinds, so each manifest state consumes from
+                    // its own stream and old snapshots keep decoding
+                    // unchanged
+                    let payload = match state {
+                        SLOT_FROZEN => runs.next(),
+                        SLOT_FROZEN_PACKED => packed_runs.next(),
+                        _ => aligned_runs.next(),
                     }
                     .ok_or(snapshot::FormatError::Malformed(
                         "manifest promises more runs than stored",
@@ -824,26 +873,62 @@ impl<'s> FleetEngine<'s, SpecScheme> {
                     // origins index the skeleton's per-module arrays; a
                     // forged column must be a typed error, not an
                     // out-of-bounds panic on the first skeleton probe
-                    if state == SLOT_FROZEN {
-                        let cols = snapshot::read_run_columns(payload)?;
-                        if cols.origin_bound() as usize > graph.vertex_count() {
-                            return Err(snapshot::FormatError::Malformed(
+                    let check_bound = |bound: u32| {
+                        if bound as usize > graph.vertex_count() {
+                            Err(snapshot::FormatError::Malformed(
                                 "run origin outside the specification graph",
-                            ));
+                            ))
+                        } else {
+                            Ok(())
                         }
-                        let handle = RunHandle::from_columns(cols);
-                        handle.count(context_only, skeleton_queries);
-                        fleet.push(Slot::Frozen(handle));
-                    } else {
-                        let cols = snapshot::read_packed_columns(payload)?;
-                        if cols.origin_bound() as usize > graph.vertex_count() {
-                            return Err(snapshot::FormatError::Malformed(
-                                "run origin outside the specification graph",
-                            ));
+                    };
+                    match state {
+                        SLOT_FROZEN => {
+                            let cols = snapshot::read_run_columns(payload)?;
+                            check_bound(cols.origin_bound())?;
+                            let handle = RunHandle::from_columns(cols);
+                            handle.count(context_only, skeleton_queries);
+                            profile.decoded_runs += 1;
+                            fleet.push(Slot::Frozen(handle));
                         }
-                        let handle = PackedRunHandle::from_columns(cols);
-                        handle.count(context_only, skeleton_queries);
-                        fleet.push(Slot::FrozenPacked(handle));
+                        SLOT_FROZEN_PACKED => {
+                            let cols = snapshot::read_packed_columns(payload)?;
+                            check_bound(cols.origin_bound())?;
+                            let handle = PackedRunHandle::from_columns(cols);
+                            handle.count(context_only, skeleton_queries);
+                            profile.decoded_runs += 1;
+                            fleet.push(Slot::FrozenPacked(handle));
+                        }
+                        _ => {
+                            let store = match bind {
+                                Some(buf) => {
+                                    // the reader borrowed this payload from
+                                    // the same allocation `buf` owns, so
+                                    // the offset arithmetic cannot escape
+                                    // the buffer
+                                    let off =
+                                        payload.as_ptr() as usize - buf.as_ptr() as usize;
+                                    debug_assert!(off + payload.len() <= buf.len());
+                                    let view = crate::packed::PackedColumnsView::bind(
+                                        Arc::clone(buf),
+                                        off,
+                                        payload.len(),
+                                    )?;
+                                    profile.zero_copy_runs += 1;
+                                    crate::packed::PackedStore::View(view)
+                                }
+                                None => {
+                                    let cols =
+                                        snapshot::read_packed_columns_aligned(payload)?;
+                                    profile.decoded_runs += 1;
+                                    crate::packed::PackedStore::Owned(cols)
+                                }
+                            };
+                            check_bound(store.origin_bound())?;
+                            let handle = PackedRunHandle::from_store(store);
+                            handle.count(context_only, skeleton_queries);
+                            fleet.push(Slot::FrozenPacked(handle));
+                        }
                     }
                 }
                 SLOT_EVICTED => {
@@ -854,18 +939,87 @@ impl<'s> FleetEngine<'s, SpecScheme> {
             }
         }
         cur.finish()?;
-        if runs.next().is_some() || packed_runs.next().is_some() {
+        if runs.next().is_some() || packed_runs.next().is_some() || aligned_runs.next().is_some()
+        {
             return Err(snapshot::FormatError::Malformed(
                 "stored runs exceed the manifest",
             ));
         }
-        Ok((fleet, graph))
+        Ok((fleet, graph, profile))
     }
 
     /// Parses and restores a [`save`](Self::save)d fleet. See
     /// [`read_snapshot`](Self::read_snapshot).
     pub fn load(bytes: &[u8]) -> Result<(Self, wfp_graph::DiGraph), snapshot::FormatError> {
         Self::read_snapshot(&snapshot::SnapshotReader::parse(bytes)?)
+    }
+
+    /// [`load`](Self::load) from a shared buffer, binding every aligned
+    /// packed run **zero-copy** over it: the container is fully validated
+    /// (structure + payload CRCs), then each
+    /// [`snapshot::seg::PACKED_COLUMNS_ALIGNED`] segment is served
+    /// straight out of `bytes` through a [`crate::PackedColumnsView`] —
+    /// no per-word decode, no per-run allocation proportional to the run.
+    /// Raw and legacy-packed segments still decode via the copy path. The
+    /// profile reports the split and the buffer size.
+    pub fn load_shared(
+        bytes: Arc<[u8]>,
+    ) -> Result<(Self, wfp_graph::DiGraph, FleetLoadProfile), snapshot::FormatError> {
+        let r = snapshot::SnapshotReader::parse(&bytes)?;
+        let (fleet, graph, mut profile) = Self::read_snapshot_with(&r, Some(&bytes))?;
+        profile.bytes = bytes.len();
+        Ok((fleet, graph, profile))
+    }
+
+    /// [`load_shared`](Self::load_shared) minus the per-payload CRC pass
+    /// ([`snapshot::SnapshotReader`]'s trusted parse): for callers that
+    /// can attest this *identical* buffer already passed a fully-validated
+    /// load — the registry rebinding a retained `Arc` on an
+    /// evict→reload cycle of an unmodified fleet, where the reload then
+    /// costs O(segments) instead of O(bytes).
+    pub(crate) fn load_shared_trusted(
+        bytes: Arc<[u8]>,
+    ) -> Result<(Self, wfp_graph::DiGraph, FleetLoadProfile), snapshot::FormatError> {
+        let r = snapshot::SnapshotReader::parse_trusted(&bytes)?;
+        let (fleet, graph, mut profile) = Self::read_snapshot_with(&r, Some(&bytes))?;
+        profile.bytes = bytes.len();
+        Ok((fleet, graph, profile))
+    }
+
+    /// Every slot's decision counters `(context_only, skeleton_queries)`,
+    /// in slot order (zeros for live and evicted slots) — captured by the
+    /// registry before dropping a resident fleet so a later reload can
+    /// restore counter continuity without re-serializing.
+    pub(crate) fn slot_counters(&self) -> Vec<(u64, u64)> {
+        self.slots
+            .iter()
+            .map(|slot| match slot {
+                Slot::Frozen(h) => (h.context_only(), h.skeleton_queries()),
+                Slot::FrozenPacked(h) => (h.context_only(), h.skeleton_queries()),
+                Slot::Live(_) | Slot::Evicted => (0, 0),
+            })
+            .collect()
+    }
+
+    /// Re-applies counters captured by [`slot_counters`](Self::slot_counters)
+    /// on top of whatever the snapshot restored: counters only grow, so
+    /// the saturating delta per slot brings the reloaded fleet back to
+    /// the captured values without double-counting what the snapshot
+    /// already carried.
+    pub(crate) fn restore_counters(&self, saved: &[(u64, u64)]) {
+        for (slot, &(ctx_saved, skel_saved)) in self.slots.iter().zip(saved) {
+            match slot {
+                Slot::Frozen(h) => h.count(
+                    ctx_saved.saturating_sub(h.context_only()),
+                    skel_saved.saturating_sub(h.skeleton_queries()),
+                ),
+                Slot::FrozenPacked(h) => h.count(
+                    ctx_saved.saturating_sub(h.context_only()),
+                    skel_saved.saturating_sub(h.skeleton_queries()),
+                ),
+                Slot::Live(_) | Slot::Evicted => {}
+            }
+        }
     }
 }
 
@@ -1269,5 +1423,87 @@ mod tests {
         let (loaded, _) = FleetEngine::load(&fleet.save(spec.graph()).unwrap()).unwrap();
         assert_eq!(loaded.stats().frozen, 1);
         assert_eq!(loaded.stats().evicted, 1);
+    }
+
+    /// A pre-PR 10 snapshot — one raw [`snapshot::seg::RUN_COLUMNS`] run
+    /// and one legacy [`snapshot::seg::PACKED_COLUMNS`] run, hand-written
+    /// the way the old fleet writer laid them out — still loads through
+    /// both public paths: labels come back byte-identical, answers match
+    /// the live fleet, and the shared load honestly reports the legacy
+    /// segments as *decoded* (the zero-copy bind is aligned-only).
+    #[test]
+    fn legacy_packed_and_raw_snapshots_still_round_trip() {
+        let spec = paper_spec();
+        let mut fleet =
+            FleetEngine::for_spec(&spec, SpecScheme::build(SchemeKind::Tcm, spec.graph()));
+        let raw = fleet.register_labels(&labels(&spec, SchemeKind::Tcm));
+        let packed = fleet.register_labels(&labels(&spec, SchemeKind::Tcm));
+        fleet.seal_packed(packed).unwrap();
+        let n = labels(&spec, SchemeKind::Tcm).len();
+
+        // the old container: same spec record and manifest shape, but the
+        // sealed run serialized as a legacy PACKED_COLUMNS payload under a
+        // SLOT_FROZEN_PACKED state byte
+        let mut w = snapshot::SnapshotWriter::new();
+        snapshot::write_spec_context(&mut w, &fleet.ctx, spec.graph());
+        let mut manifest = Vec::new();
+        snapshot::put_varint(&mut manifest, fleet.slots.len() as u64);
+        for slot in &fleet.slots {
+            match slot {
+                Slot::Frozen(h) => {
+                    manifest.push(SLOT_FROZEN);
+                    snapshot::put_varint(&mut manifest, h.context_only());
+                    snapshot::put_varint(&mut manifest, h.skeleton_queries());
+                }
+                Slot::FrozenPacked(h) => {
+                    manifest.push(SLOT_FROZEN_PACKED);
+                    snapshot::put_varint(&mut manifest, h.context_only());
+                    snapshot::put_varint(&mut manifest, h.skeleton_queries());
+                }
+                _ => unreachable!("both runs are frozen"),
+            }
+        }
+        w.push(snapshot::seg::FLEET_MANIFEST, manifest);
+        for slot in &fleet.slots {
+            match slot {
+                Slot::Frozen(h) => w.push(
+                    snapshot::seg::RUN_COLUMNS,
+                    snapshot::write_run_columns(h.columns()),
+                ),
+                Slot::FrozenPacked(h) => w.push(
+                    snapshot::seg::PACKED_COLUMNS,
+                    crate::PackedColumns::pack(&h.columns().unpack()).to_payload(),
+                ),
+                _ => unreachable!("both runs are frozen"),
+            }
+        }
+        let legacy = w.finish();
+
+        let probes = [raw, packed]
+            .iter()
+            .flat_map(|&r| all_probes(r, n))
+            .collect::<Vec<_>>();
+        let want = fleet.answer_batch(&probes).unwrap();
+        let columns_of = |f: &FleetEngine<'_, SpecScheme>| -> Vec<crate::engine::SoaLabels> {
+            f.slots
+                .iter()
+                .map(|slot| match slot {
+                    Slot::Frozen(h) => h.columns().clone(),
+                    Slot::FrozenPacked(h) => h.columns().unpack(),
+                    _ => unreachable!("both runs are frozen"),
+                })
+                .collect()
+        };
+        let want_columns = columns_of(&fleet);
+
+        let (owned, _) = FleetEngine::load(&legacy).unwrap();
+        assert_eq!(owned.answer_batch(&probes).unwrap(), want);
+        let (shared, _, profile) =
+            FleetEngine::load_shared(std::sync::Arc::from(legacy.as_slice())).unwrap();
+        assert_eq!(profile.decoded_runs, 2, "legacy segments ride the copy path");
+        assert_eq!(profile.zero_copy_runs, 0);
+        assert_eq!(shared.answer_batch(&probes).unwrap(), want);
+        assert_eq!(columns_of(&owned), want_columns, "owned legacy labels diverged");
+        assert_eq!(columns_of(&shared), want_columns, "shared legacy labels diverged");
     }
 }

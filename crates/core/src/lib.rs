@@ -55,7 +55,7 @@ pub use construct::{
 };
 pub use context::{PackedRunHandle, RunHandle, SharedMemo, SpecContext};
 pub use engine::{predicate_memo, EngineStats, QueryEngine, SoaColumns, SoaLabels};
-pub use fleet::{FleetEngine, FleetError, FleetStats, RunId};
+pub use fleet::{FleetEngine, FleetError, FleetLoadProfile, FleetStats, RunId};
 pub use live::{LiveRun, LiveStats};
 pub use label::{
     label_run, predicate, predicate_traced, DecodeError, EncodedLabels, LabeledRun, QueryPath,
@@ -64,7 +64,7 @@ pub use label::{
 pub use online::{OnlineError, OnlineLabeler};
 pub use orders::{generate_three_orders, ContextEncoding};
 pub use origin::{compute_origins, compute_origins_numbered, OriginError};
-pub use packed::{PackedColumns, PackedEngine};
+pub use packed::{PackedColumns, PackedColumnsView, PackedEngine, PackedStore};
 pub use registry::{RegistryError, RegistryStats, ServiceRegistry, SpecId};
 pub use serve::{
     serve, serve_sharded, Histogram, Probe, SchemeLatency, ServeConfig, ServeError, ServeHandle,

@@ -42,6 +42,16 @@ use crate::snapshot::{put_varint, Cursor, FormatError};
 /// whole snapshots.
 pub const PACKED_VERSION: u8 = 1;
 
+/// Version byte leading every *aligned* packed-columns payload
+/// ([`seg::PACKED_COLUMNS_ALIGNED`](crate::snapshot::seg::PACKED_COLUMNS_ALIGNED)).
+pub const PACKED_ALIGNED_VERSION: u8 = 1;
+
+/// Fixed size of the aligned payload header: version byte, four
+/// `(base, width)` column frames, zero padding to an 8-byte boundary, the
+/// vertex count, the origin bound, and trailing zero padding — so every
+/// column's word region starts at a multiple of 8 from the payload start.
+const ALIGNED_HEADER_BYTES: usize = 40;
+
 /// One frame-of-reference packed column: `base + deltas` at a fixed bit
 /// width, deltas stored little-endian-contiguous in 64-bit words.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -282,6 +292,191 @@ impl PackedColumns {
             origin_bound,
         })
     }
+
+    /// Serializes as a [`seg::PACKED_COLUMNS_ALIGNED`] payload: a fixed
+    /// 40-byte header (version, four `(base, width)` frames, zero padding,
+    /// vertex count, origin bound, zero padding), then each column's packed
+    /// words *including* its trailing zero pad word — so every column
+    /// region is a multiple of 8 bytes, starts 8-byte-aligned relative to
+    /// the payload, and a borrowed two-word straddling read at the last
+    /// element stays inside the region. This is the layout
+    /// [`PackedColumnsView`] serves without decoding.
+    ///
+    /// [`seg::PACKED_COLUMNS_ALIGNED`]: crate::snapshot::seg::PACKED_COLUMNS_ALIGNED
+    pub(crate) fn to_aligned_payload(&self) -> Vec<u8> {
+        let cols = [&self.q1, &self.q2, &self.q3, &self.origin];
+        let words: usize = cols
+            .iter()
+            .map(|c| PackedColumn::word_count(self.len as u64, c.width) + 1)
+            .sum();
+        let mut out = Vec::with_capacity(ALIGNED_HEADER_BYTES + words * 8);
+        out.push(PACKED_ALIGNED_VERSION);
+        for c in cols {
+            out.extend_from_slice(&c.base.to_le_bytes());
+            out.push(c.width as u8);
+        }
+        out.extend_from_slice(&[0u8; 3]);
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        out.extend_from_slice(&self.origin_bound.to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]);
+        for c in cols {
+            let exact = PackedColumn::word_count(self.len as u64, c.width);
+            for &w in &c.words[..exact] {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.extend_from_slice(&0u64.to_le_bytes()); // pad word
+        }
+        out
+    }
+
+    /// Parses a [`to_aligned_payload`](Self::to_aligned_payload) buffer
+    /// into **owned** columns — the decode path for callers without a
+    /// shareable load buffer (and the baseline the zero-copy bind is
+    /// benchmarked against). On top of the header validation shared with
+    /// [`PackedColumnsView::bind`], the origin bound is recomputed from the
+    /// decoded deltas and must match the stored one, since the owned
+    /// gather path has no per-probe clamp.
+    pub(crate) fn from_aligned_payload(payload: &[u8]) -> Result<Self, FormatError> {
+        let h = parse_aligned_header(payload)?;
+        let col = |slot: usize| -> PackedColumn {
+            let (base, width) = h.frames[slot];
+            let exact = PackedColumn::word_count(h.len as u64, width);
+            let raw = &payload[h.col_offs[slot]..h.col_offs[slot] + exact * 8];
+            let mut words = Vec::with_capacity(exact + 1);
+            words.extend(
+                raw.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
+            );
+            words.push(0);
+            PackedColumn { base, width, words }
+        };
+        let origin = col(3);
+        let honest = if h.len == 0 {
+            0
+        } else if origin.width == 0 {
+            origin.base.saturating_add(1)
+        } else {
+            (0..h.len)
+                .map(|i| origin.get(i).saturating_add(1))
+                .max()
+                .unwrap_or(0)
+        };
+        if honest != h.origin_bound {
+            return Err(FormatError::Malformed(
+                "aligned origin bound does not match the stored column",
+            ));
+        }
+        Ok(PackedColumns {
+            len: h.len,
+            q1: col(0),
+            q2: col(1),
+            q3: col(2),
+            origin,
+            origin_bound: h.origin_bound,
+        })
+    }
+}
+
+/// A validated aligned-payload header: per-column `(base, width)` frames,
+/// the vertex count and origin bound, and each column's byte offset
+/// relative to the payload start.
+struct AlignedHeader {
+    frames: [(u32, u32); 4],
+    len: usize,
+    origin_bound: u32,
+    col_offs: [usize; 4],
+    total: usize,
+}
+
+/// Validates an aligned payload's fixed header and exact layout without
+/// touching the packed words (beyond each column's pad word): version,
+/// frame ranges, zero padding, a range-checked origin bound, and the total
+/// size implied by `len × widths` matching the buffer byte for byte. Both
+/// the owned decode and the zero-copy bind go through this, so a forged
+/// header is the same typed error on either path.
+fn parse_aligned_header(payload: &[u8]) -> Result<AlignedHeader, FormatError> {
+    if payload.len() < ALIGNED_HEADER_BYTES {
+        return Err(FormatError::Truncated {
+            offset: payload.len(),
+        });
+    }
+    let version = payload[0];
+    if version != PACKED_ALIGNED_VERSION {
+        return Err(FormatError::UnsupportedVersion(u16::from(version)));
+    }
+    let mut frames = [(0u32, 0u32); 4];
+    for (slot, f) in frames.iter_mut().enumerate() {
+        let at = 1 + slot * 5;
+        let base = u32::from_le_bytes(payload[at..at + 4].try_into().expect("4 bytes"));
+        let width = u32::from(payload[at + 4]);
+        if width > 32 {
+            return Err(FormatError::Malformed("packed column width exceeds 32 bits"));
+        }
+        let mask = if width == 0 { 0 } else { (1u64 << width) - 1 };
+        if u64::from(base) + mask > u64::from(u32::MAX) {
+            return Err(FormatError::Malformed("packed column range overflows u32"));
+        }
+        *f = (base, width);
+    }
+    if payload[21..24] != [0, 0, 0] || payload[36..40] != [0, 0, 0, 0] {
+        return Err(FormatError::Malformed("aligned header padding is not zero"));
+    }
+    let len = u64::from_le_bytes(payload[24..32].try_into().expect("8 bytes"));
+    if len > u64::from(u32::MAX) {
+        return Err(FormatError::Malformed(
+            "packed columns exceed the vertex id space",
+        ));
+    }
+    let origin_bound = u32::from_le_bytes(payload[32..36].try_into().expect("4 bytes"));
+    // Range-check the stored origin bound instead of recomputing it: the
+    // zero-copy bind must stay O(columns), and [`PackedColumnsView`]'s
+    // per-probe clamp makes any in-range bound safe to serve under.
+    let (obase, owidth) = frames[3];
+    let omask = if owidth == 0 { 0 } else { (1u64 << owidth) - 1 };
+    let bound_ok = if len == 0 {
+        origin_bound == 0
+    } else if owidth == 0 {
+        origin_bound == obase.saturating_add(1)
+    } else {
+        u64::from(origin_bound) > u64::from(obase)
+            && u64::from(origin_bound) <= u64::from(obase) + omask + 1
+    };
+    if !bound_ok {
+        return Err(FormatError::Malformed("aligned origin bound out of range"));
+    }
+    let mut col_offs = [0usize; 4];
+    let mut total = ALIGNED_HEADER_BYTES as u64;
+    for (slot, &(_, width)) in frames.iter().enumerate() {
+        col_offs[slot] = total as usize;
+        total += (PackedColumn::word_count(len, width) as u64 + 1) * 8;
+    }
+    match (payload.len() as u64).cmp(&total) {
+        std::cmp::Ordering::Less => {
+            return Err(FormatError::Truncated {
+                offset: payload.len(),
+            })
+        }
+        std::cmp::Ordering::Greater => {
+            return Err(FormatError::TrailingBytes {
+                extra: (payload.len() as u64 - total) as usize,
+            })
+        }
+        std::cmp::Ordering::Equal => {}
+    }
+    let total = total as usize;
+    for (slot, &(_, width)) in frames.iter().enumerate() {
+        let pad = col_offs[slot] + PackedColumn::word_count(len, width) * 8;
+        if payload[pad..pad + 8] != [0u8; 8] {
+            return Err(FormatError::Malformed("aligned column padding is not zero"));
+        }
+    }
+    Ok(AlignedHeader {
+        frames,
+        len: len as usize,
+        origin_bound,
+        col_offs,
+        total,
+    })
 }
 
 impl ColumnGather for PackedColumns {
@@ -308,6 +503,358 @@ impl ColumnGather for PackedColumns {
     }
 }
 
+/// One column of a [`PackedColumnsView`]: the frame header plus the
+/// column's absolute byte offset inside the shared buffer.
+#[derive(Clone, Copy, Debug)]
+struct ViewCol {
+    base: u32,
+    width: u32,
+    /// Absolute byte offset of the column's first packed word in `buf`.
+    off: usize,
+}
+
+/// A **zero-copy view** over an aligned packed-columns payload
+/// ([`seg::PACKED_COLUMNS_ALIGNED`]): the same four frame-of-reference
+/// columns as [`PackedColumns`], except the packed `u64` words stay in the
+/// shared load buffer they were validated in. Binding costs O(header) —
+/// no per-word decode, no allocation proportional to the run — so a
+/// snapshot fault-in through this type is read + checksum, and an
+/// evict→reload cycle of an unmodified fleet can rebind the retained
+/// buffer without touching storage at all.
+///
+/// Trust posture: [`bind`](Self::bind) validates the header exactly like
+/// the owned decode (version, frame ranges, padding, byte-exact layout)
+/// and *range-checks* the stored origin bound against the origin column's
+/// frame instead of rescanning every element — rescanning would
+/// reintroduce the O(n) pass the view exists to avoid. Every origin
+/// served out of the view is then clamped under that bound, so honest
+/// payloads (whose origins are always below their bound) are unaffected,
+/// while a forged in-range bound can only yield wrong answers for the
+/// forged payload, never an out-of-range index into the sweep's probe
+/// table.
+///
+/// [`seg::PACKED_COLUMNS_ALIGNED`]: crate::snapshot::seg::PACKED_COLUMNS_ALIGNED
+#[derive(Clone)]
+pub struct PackedColumnsView {
+    buf: Arc<[u8]>,
+    start: usize,
+    total: usize,
+    len: usize,
+    cols: [ViewCol; 4],
+    origin_bound: u32,
+}
+
+impl PackedColumnsView {
+    /// Binds a view to the aligned payload at `buf[start .. start + len_bytes]`,
+    /// validating the header and exact layout without decoding any words.
+    /// The caller vouches that the buffer's *contents* passed container
+    /// CRC; this constructor re-establishes every structural invariant the
+    /// gather path relies on, so a corrupt or forged payload is a typed
+    /// [`FormatError`], never a panic or wild read.
+    pub fn bind(buf: Arc<[u8]>, start: usize, len_bytes: usize) -> Result<Self, FormatError> {
+        let end = start
+            .checked_add(len_bytes)
+            .filter(|&e| e <= buf.len())
+            .ok_or(FormatError::Truncated { offset: buf.len() })?;
+        let h = parse_aligned_header(&buf[start..end])?;
+        let mut cols = [ViewCol {
+            base: 0,
+            width: 0,
+            off: 0,
+        }; 4];
+        for (slot, c) in cols.iter_mut().enumerate() {
+            let (base, width) = h.frames[slot];
+            *c = ViewCol {
+                base,
+                width,
+                off: start + h.col_offs[slot],
+            };
+        }
+        Ok(PackedColumnsView {
+            buf,
+            start,
+            total: h.total,
+            len: h.len,
+            cols,
+            origin_bound: h.origin_bound,
+        })
+    }
+
+    /// Decodes element `i` of one column straight out of the shared
+    /// buffer with a single unaligned 8-byte load: the element starts at
+    /// in-byte shift `bit & 7` (at most 7) and is at most 32 bits wide,
+    /// so it always fits inside the `u64` loaded at byte `bit / 8`. The
+    /// trailing pad word keeps that load inside the column region for
+    /// every `i < len`, and `u64::from_le_bytes` makes machine alignment
+    /// irrelevant.
+    #[inline(always)]
+    fn col_get(&self, c: ViewCol, i: usize) -> u32 {
+        if c.width == 0 {
+            return c.base;
+        }
+        let bit = i * c.width as usize;
+        let at = c.off + (bit >> 3);
+        let word = u64::from_le_bytes(self.buf[at..at + 8].try_into().expect("8 bytes"));
+        let mask = (1u64 << c.width) - 1;
+        c.base + ((word >> (bit & 7)) & mask) as u32
+    }
+
+    /// Number of labels served by the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no labels are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive upper bound on the served origin ids (0 when empty).
+    pub fn origin_bound(&self) -> u32 {
+        self.origin_bound
+    }
+
+    /// The four per-column bit widths `(q1, q2, q3, origin)`.
+    pub fn widths(&self) -> (u32, u32, u32, u32) {
+        (
+            self.cols[0].width,
+            self.cols[1].width,
+            self.cols[2].width,
+            self.cols[3].width,
+        )
+    }
+
+    /// Re-gathers the label of vertex `v` from the shared buffer. The
+    /// origin is clamped under the validated bound (see the type docs).
+    pub fn label(&self, v: RunVertexId) -> RunLabel {
+        let i = v.index();
+        assert!(i < self.len, "query vertex out of range");
+        let origin = self
+            .col_get(self.cols[3], i)
+            .min(self.origin_bound.saturating_sub(1));
+        RunLabel {
+            q1: self.col_get(self.cols[0], i),
+            q2: self.col_get(self.cols[1], i),
+            q3: self.col_get(self.cols[2], i),
+            origin: wfp_model::ModuleId(origin),
+        }
+    }
+
+    /// Bytes of the shared buffer this view spans (header + columns) —
+    /// the resident cost attributed to the run while the buffer is held.
+    pub fn memory_bytes(&self) -> usize {
+        self.total
+    }
+
+    /// The exact aligned payload this view was bound to.
+    pub(crate) fn payload_bytes(&self) -> &[u8] {
+        &self.buf[self.start..self.start + self.total]
+    }
+
+    /// Decodes back to raw `u32` columns, byte-identical to what the
+    /// owned decode of the same payload would unpack.
+    pub fn unpack(&self) -> SoaLabels {
+        let col = |c: ViewCol| (0..self.len).map(|i| self.col_get(c, i)).collect::<Vec<u32>>();
+        // origins ride through the same clamp as `origin_of`: a forged
+        // in-range bound must not let an out-of-bound origin escape into
+        // decoded form either
+        let cap = self.origin_bound.saturating_sub(1);
+        let origins = (0..self.len)
+            .map(|i| self.col_get(self.cols[3], i).min(cap))
+            .collect::<Vec<u32>>();
+        SoaLabels::from_raw_columns(
+            col(self.cols[0]),
+            col(self.cols[1]),
+            col(self.cols[2]),
+            origins,
+        )
+        .expect("view columns share one length")
+    }
+}
+
+impl std::fmt::Debug for PackedColumnsView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedColumnsView")
+            .field("len", &self.len)
+            .field("origin_bound", &self.origin_bound)
+            .field("widths", &self.widths())
+            .field("payload_bytes", &self.total)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ColumnGather for PackedColumnsView {
+    type Coord = u32;
+
+    #[inline(always)]
+    fn lane_count(&self) -> usize {
+        self.len
+    }
+
+    #[inline(always)]
+    fn coords(&self, i: usize) -> (u32, u32, u32) {
+        (
+            self.col_get(self.cols[0], i),
+            self.col_get(self.cols[1], i),
+            self.col_get(self.cols[2], i),
+        )
+    }
+
+    #[inline(always)]
+    fn origin_of(&self, i: usize) -> u32 {
+        // Clamp under the validated bound so a forged payload can never
+        // index past the sweep's probe table; honest origins are always
+        // below the bound and pass through unchanged.
+        self.col_get(self.cols[3], i)
+            .min(self.origin_bound.saturating_sub(1))
+    }
+
+    #[inline(always)]
+    fn origin_bound(&self) -> u32 {
+        self.origin_bound
+    }
+}
+
+/// Either resident form of one frozen run's packed label columns:
+/// **owned** (decoded `Vec<u64>` frames, [`PackedColumns`]) or a
+/// **zero-copy view** into a shared snapshot buffer
+/// ([`PackedColumnsView`]). Fleet slots, the registry, and the serving
+/// loops handle both through one type, and the sweep kernel runs the same
+/// monomorphized block bodies for each — answers are byte-identical by
+/// construction.
+#[derive(Clone, Debug)]
+pub enum PackedStore {
+    /// Decoded, heap-owned packed columns.
+    Owned(PackedColumns),
+    /// Borrowed packed words in a validated shared snapshot buffer.
+    View(PackedColumnsView),
+}
+
+impl PackedStore {
+    /// Number of packed labels.
+    pub fn len(&self) -> usize {
+        match self {
+            PackedStore::Owned(c) => c.len(),
+            PackedStore::View(v) => v.len(),
+        }
+    }
+
+    /// Whether no labels are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exclusive upper bound on the stored origin ids (0 when empty).
+    pub fn origin_bound(&self) -> u32 {
+        match self {
+            PackedStore::Owned(c) => c.origin_bound(),
+            PackedStore::View(v) => v.origin_bound(),
+        }
+    }
+
+    /// The four per-column bit widths `(q1, q2, q3, origin)`.
+    pub fn widths(&self) -> (u32, u32, u32, u32) {
+        match self {
+            PackedStore::Owned(c) => c.widths(),
+            PackedStore::View(v) => v.widths(),
+        }
+    }
+
+    /// Re-gathers the label of vertex `v`.
+    pub fn label(&self, v: RunVertexId) -> RunLabel {
+        match self {
+            PackedStore::Owned(c) => c.label(v),
+            PackedStore::View(v_) => v_.label(v),
+        }
+    }
+
+    /// Resident bytes attributed to the run: heap frames when owned, the
+    /// spanned slice of the shared buffer when viewed.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            PackedStore::Owned(c) => c.memory_bytes(),
+            PackedStore::View(v) => v.memory_bytes(),
+        }
+    }
+
+    /// Whether the run is served zero-copy out of a shared snapshot
+    /// buffer rather than from decoded heap frames.
+    pub fn is_zero_copy(&self) -> bool {
+        matches!(self, PackedStore::View(_))
+    }
+
+    /// Decodes back to raw `u32` columns.
+    pub fn unpack(&self) -> SoaLabels {
+        match self {
+            PackedStore::Owned(c) => c.unpack(),
+            PackedStore::View(v) => v.unpack(),
+        }
+    }
+
+    /// The aligned snapshot payload for this store: a view hands back its
+    /// validated payload verbatim (still no decode), owned columns encode
+    /// their frames.
+    pub(crate) fn to_aligned_payload(&self) -> Vec<u8> {
+        match self {
+            PackedStore::Owned(c) => c.to_aligned_payload(),
+            PackedStore::View(v) => v.payload_bytes().to_vec(),
+        }
+    }
+}
+
+impl From<PackedColumns> for PackedStore {
+    fn from(cols: PackedColumns) -> Self {
+        PackedStore::Owned(cols)
+    }
+}
+
+impl From<PackedColumnsView> for PackedStore {
+    fn from(view: PackedColumnsView) -> Self {
+        PackedStore::View(view)
+    }
+}
+
+impl ColumnGather for PackedStore {
+    type Coord = u32;
+
+    #[inline(always)]
+    fn lane_count(&self) -> usize {
+        self.len()
+    }
+
+    #[inline(always)]
+    fn coords(&self, i: usize) -> (u32, u32, u32) {
+        match self {
+            PackedStore::Owned(c) => c.coords(i),
+            PackedStore::View(v) => v.coords(i),
+        }
+    }
+
+    #[inline(always)]
+    fn origin_of(&self, i: usize) -> u32 {
+        match self {
+            PackedStore::Owned(c) => c.origin_of(i),
+            PackedStore::View(v) => v.origin_of(i),
+        }
+    }
+
+    #[inline(always)]
+    fn origin_bound(&self) -> u32 {
+        PackedStore::origin_bound(self)
+    }
+
+    /// Delegates whole 64-lane blocks to the inner store, so the enum is
+    /// matched once per block and the monomorphized inner loop stays pure
+    /// straight-line arithmetic — no per-lane dispatch.
+    #[inline]
+    fn block_masks(&self, chunk: &[(RunVertexId, RunVertexId)]) -> (u64, u64) {
+        match self {
+            PackedStore::Owned(c) => c.block_masks(chunk),
+            PackedStore::View(v) => v.block_masks(chunk),
+        }
+    }
+}
+
 /// A batched reachability engine over one **packed** run — the
 /// [`QueryEngine`] counterpart for packed-resident serving: same shared
 /// [`SpecContext`], same two-phase sweep kernel, same counters, with the
@@ -328,8 +875,8 @@ impl<S: SpecIndex> PackedEngine<S> {
         self.run.vertex_count()
     }
 
-    /// The packed label columns.
-    pub fn columns(&self) -> &PackedColumns {
+    /// The packed label columns (owned or zero-copy).
+    pub fn columns(&self) -> &PackedStore {
         self.run.columns()
     }
 
@@ -397,7 +944,7 @@ impl<S: SpecIndex> PackedEngine<S> {
 /// labels, then the same memoized predicate as the raw path.
 #[inline]
 pub(crate) fn answer_one_packed<S: SpecIndex>(
-    cols: &PackedColumns,
+    cols: &PackedStore,
     ctx: &SpecContext<S>,
     u: RunVertexId,
     v: RunVertexId,
@@ -532,6 +1079,236 @@ mod tests {
         let mut bad = good.clone();
         bad.push(0);
         assert!(PackedColumns::from_payload(&bad).is_err());
+    }
+
+    #[test]
+    fn aligned_payload_round_trips_every_scheme() {
+        for &kind in &SchemeKind::ALL {
+            let cols = paper_columns(kind);
+            let packed = PackedColumns::pack(&cols);
+            let bytes = packed.to_aligned_payload();
+            assert_eq!(bytes.len() % 8, 0, "{kind}: payload not word-sized");
+            let decoded = PackedColumns::from_aligned_payload(&bytes).unwrap();
+            assert_eq!(decoded, packed, "{kind}");
+            assert_eq!(decoded.unpack().raw_columns(), cols.raw_columns(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn view_serves_byte_identical_to_owned() {
+        for &kind in &SchemeKind::ALL {
+            let cols = paper_columns(kind);
+            let packed = PackedColumns::pack(&cols);
+            let buf: Arc<[u8]> = Arc::from(packed.to_aligned_payload());
+            let view = PackedColumnsView::bind(Arc::clone(&buf), 0, buf.len()).unwrap();
+            assert_eq!(view.len(), packed.len());
+            assert_eq!(view.origin_bound(), packed.origin_bound());
+            assert_eq!(view.widths(), packed.widths());
+            assert_eq!(view.memory_bytes(), buf.len());
+            assert_eq!(view.unpack().raw_columns(), cols.raw_columns(), "{kind}");
+            for i in 0..packed.len() {
+                let v = RunVertexId(i as u32);
+                assert_eq!(view.label(v), packed.label(v), "{kind} label {i}");
+                assert_eq!(view.coords(i), packed.coords(i), "{kind} coords {i}");
+                assert_eq!(view.origin_of(i), packed.origin_of(i), "{kind} origin {i}");
+            }
+            // A view handed back as a store re-serializes verbatim.
+            let store = PackedStore::from(view);
+            assert!(store.is_zero_copy());
+            assert_eq!(store.to_aligned_payload(), &buf[..]);
+        }
+    }
+
+    #[test]
+    fn view_binds_at_nonzero_offset_inside_a_larger_buffer() {
+        let cols = paper_columns(SchemeKind::Hop2);
+        let packed = PackedColumns::pack(&cols);
+        let payload = packed.to_aligned_payload();
+        let mut framed = vec![0xAAu8; 16];
+        framed.extend_from_slice(&payload);
+        framed.extend_from_slice(&[0xBB; 24]);
+        let buf: Arc<[u8]> = Arc::from(framed);
+        let view = PackedColumnsView::bind(Arc::clone(&buf), 16, payload.len()).unwrap();
+        assert_eq!(view.unpack().raw_columns(), cols.raw_columns());
+        assert_eq!(view.payload_bytes(), &payload[..]);
+        // A span that runs past the buffer is a typed error, not a panic.
+        assert_eq!(
+            PackedColumnsView::bind(Arc::clone(&buf), 16, buf.len()).unwrap_err(),
+            FormatError::Truncated { offset: buf.len() }
+        );
+        assert_eq!(
+            PackedColumnsView::bind(buf.clone(), usize::MAX, 8).unwrap_err(),
+            FormatError::Truncated { offset: buf.len() }
+        );
+    }
+
+    #[test]
+    fn aligned_degenerate_widths_and_empty() {
+        let n = 130u32;
+        let q1: Vec<u32> = (0..n).collect();
+        let q2: Vec<u32> = (0..n).map(|i| 7 + (i & 1)).collect();
+        let q3: Vec<u32> = (0..n).map(|i| if i == 13 { u32::MAX } else { 0 }).collect();
+        let origin: Vec<u32> = vec![5; n as usize];
+        let cols = SoaLabels::from_raw_columns(q1, q2, q3, origin).expect("equal lengths");
+        let packed = PackedColumns::pack(&cols);
+        let bytes = packed.to_aligned_payload();
+        let plen = bytes.len();
+        let decoded = PackedColumns::from_aligned_payload(&bytes).unwrap();
+        assert_eq!(decoded.unpack().raw_columns(), cols.raw_columns());
+        let view = PackedColumnsView::bind(Arc::from(bytes), 0, plen).unwrap();
+        assert_eq!(view.unpack().raw_columns(), cols.raw_columns());
+        assert_eq!(view.origin_bound(), 6);
+
+        let empty = PackedColumns::pack(&SoaLabels::new());
+        let bytes = empty.to_aligned_payload();
+        // Empty columns are header + four pad words only.
+        assert_eq!(bytes.len(), 40 + 4 * 8);
+        let decoded = PackedColumns::from_aligned_payload(&bytes).unwrap();
+        assert_eq!(decoded.len(), 0);
+        let view = PackedColumnsView::bind(Arc::from(bytes), 0, 72).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.origin_bound(), 0);
+    }
+
+    #[test]
+    fn aligned_forged_headers_are_typed_errors_on_both_paths() {
+        let cols = paper_columns(SchemeKind::Dfs);
+        let packed = PackedColumns::pack(&cols);
+        let good = packed.to_aligned_payload();
+        let both = |bytes: &[u8]| {
+            let owned = PackedColumns::from_aligned_payload(bytes);
+            let bound = PackedColumnsView::bind(Arc::from(bytes.to_vec()), 0, bytes.len())
+                .map(|v| v.unpack());
+            (owned, bound)
+        };
+
+        // Unknown payload version.
+        let mut bad = good.clone();
+        bad[0] = PACKED_ALIGNED_VERSION + 1;
+        let want = FormatError::UnsupportedVersion(u16::from(PACKED_ALIGNED_VERSION + 1));
+        let (owned, view) = both(&bad);
+        assert_eq!(owned.unwrap_err(), want);
+        assert_eq!(view.unwrap_err(), want);
+
+        // Width beyond 32 bits (first frame's width byte).
+        let mut bad = good.clone();
+        bad[5] = 33;
+        let (owned, view) = both(&bad);
+        assert_eq!(
+            owned.unwrap_err(),
+            FormatError::Malformed("packed column width exceeds 32 bits")
+        );
+        assert_eq!(
+            view.unwrap_err(),
+            FormatError::Malformed("packed column width exceeds 32 bits")
+        );
+
+        // base + mask overflowing the u32 value space.
+        let mut bad = good.clone();
+        bad[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        let (owned, view) = both(&bad);
+        assert_eq!(
+            owned.unwrap_err(),
+            FormatError::Malformed("packed column range overflows u32")
+        );
+        assert_eq!(
+            view.unwrap_err(),
+            FormatError::Malformed("packed column range overflows u32")
+        );
+
+        // Non-zero header padding (both pad runs).
+        for at in [21usize, 22, 23, 36, 37, 38, 39] {
+            let mut bad = good.clone();
+            bad[at] = 1;
+            let (owned, view) = both(&bad);
+            assert_eq!(
+                owned.unwrap_err(),
+                FormatError::Malformed("aligned header padding is not zero"),
+                "pad byte {at}"
+            );
+            assert_eq!(
+                view.unwrap_err(),
+                FormatError::Malformed("aligned header padding is not zero"),
+                "pad byte {at}"
+            );
+        }
+
+        // Non-zero column pad word (corrupt the last 8 bytes: every
+        // column region ends in its pad word, the last one ends the
+        // payload).
+        let mut bad = good.clone();
+        let end = bad.len();
+        bad[end - 1] = 0x80;
+        let (owned, view) = both(&bad);
+        assert_eq!(
+            owned.unwrap_err(),
+            FormatError::Malformed("aligned column padding is not zero")
+        );
+        assert_eq!(
+            view.unwrap_err(),
+            FormatError::Malformed("aligned column padding is not zero")
+        );
+
+        // Origin bound outside the frame's representable range: rejected
+        // by the shared header check on both paths.
+        let mut bad = good.clone();
+        bad[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        let (owned, view) = both(&bad);
+        assert_eq!(
+            owned.unwrap_err(),
+            FormatError::Malformed("aligned origin bound out of range")
+        );
+        assert_eq!(
+            view.unwrap_err(),
+            FormatError::Malformed("aligned origin bound out of range")
+        );
+
+        // Origin bound in range but *wrong*: the owned decode's honest
+        // rescan rejects it; the view accepts (it cannot afford the scan)
+        // but clamps, so every served origin still lands under the forged
+        // bound. Synthetic columns keep the frame's slack explicit:
+        // origins {3,5} pack at width 2 (mask 3), honest bound 6, so 7 is
+        // in range but a lie.
+        let synth = SoaLabels::from_raw_columns(
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![2, 1, 0],
+            vec![3, 5, 3],
+        )
+        .expect("equal lengths");
+        let synth_packed = PackedColumns::pack(&synth);
+        assert_eq!(synth_packed.origin_bound(), 6);
+        let synth_good = synth_packed.to_aligned_payload();
+        for forged in [7u32, 4] {
+            let mut bad = synth_good.clone();
+            bad[32..36].copy_from_slice(&forged.to_le_bytes());
+            let (owned, view) = both(&bad);
+            assert_eq!(
+                owned.unwrap_err(),
+                FormatError::Malformed("aligned origin bound does not match the stored column"),
+                "forged bound {forged}"
+            );
+            let served = view.expect("in-range bound binds");
+            assert!(
+                served.raw_columns().3.iter().all(|&o| o < forged),
+                "forged bound {forged}: a served origin escaped the clamp"
+            );
+        }
+
+        // Truncation at every offset: typed error, never a panic, on both
+        // paths.
+        for cut in 0..good.len() {
+            let (owned, view) = both(&good[..cut]);
+            assert!(owned.is_err(), "owned decoded a prefix of {cut} bytes");
+            assert!(view.is_err(), "view bound a prefix of {cut} bytes");
+        }
+
+        // Trailing bytes are rejected with the exact surplus.
+        let mut bad = good.clone();
+        bad.extend_from_slice(&[0u8; 8]);
+        let (owned, view) = both(&bad);
+        assert_eq!(owned.unwrap_err(), FormatError::TrailingBytes { extra: 8 });
+        assert_eq!(view.unwrap_err(), FormatError::TrailingBytes { extra: 8 });
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //! silently empty registry.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use wfp_graph::{DiGraph, FxHashMap, FxHashSet};
 use wfp_model::{RunVertexId, Specification};
@@ -48,8 +50,11 @@ use crate::snapshot::{
 pub const MANIFEST_FILE: &str = "registry.manifest";
 
 /// Version byte of the manifest payload layout (inside the container's
-/// own versioned framing).
-pub const MANIFEST_VERSION: u8 = 1;
+/// own versioned framing). Version 2 adds each entry's snapshot byte
+/// size, so [`ServiceRegistry::open_dir`] can seed its budget accounting
+/// before the first fault-in; version 1 manifests still read (size 0,
+/// reconciled on first load).
+pub const MANIFEST_VERSION: u8 = 2;
 
 // ====================================================================
 // Spec identity
@@ -199,6 +204,11 @@ pub struct ManifestEntry {
     /// Runs the fleet held when the manifest was written (informational —
     /// the snapshot itself is authoritative).
     pub runs: usize,
+    /// Size of the snapshot file in bytes when the manifest was written
+    /// (v2; zero for v1 manifests). Seeds the registry's pre-load budget
+    /// estimate and is reconciled against actual resident bytes on the
+    /// first fault-in.
+    pub bytes: usize,
 }
 
 /// Serializes manifest entries as a standalone snapshot container holding
@@ -213,6 +223,7 @@ pub fn write_manifest(entries: &[ManifestEntry]) -> Vec<u8> {
         payload.push(snapshot::scheme_tag(e.kind));
         put_str(&mut payload, &e.file);
         put_varint(&mut payload, e.runs as u64);
+        put_varint(&mut payload, e.bytes as u64);
     }
     let mut w = SnapshotWriter::new();
     w.push(seg::REGISTRY_MANIFEST, payload);
@@ -227,7 +238,7 @@ pub fn read_manifest(bytes: &[u8]) -> Result<Vec<ManifestEntry>, FormatError> {
     let r = SnapshotReader::parse(bytes)?;
     let mut cur = Cursor::new(r.first(seg::REGISTRY_MANIFEST)?);
     let version = cur.u8()?;
-    if version != MANIFEST_VERSION {
+    if version != 1 && version != MANIFEST_VERSION {
         return Err(FormatError::UnsupportedVersion(version as u16));
     }
     // each entry costs at least 8 (id) + 1 (tag) + 2 (min file) + 1 (runs)
@@ -243,6 +254,9 @@ pub fn read_manifest(bytes: &[u8]) -> Result<Vec<ManifestEntry>, FormatError> {
         if runs > u32::MAX as u64 {
             return Err(FormatError::Malformed("manifest run count exceeds u32"));
         }
+        // v1 predates per-entry sizes; the estimate is reconciled on the
+        // first fault-in either way
+        let bytes = if version >= 2 { cur.varint()? } else { 0 };
         if !seen.insert(id.0) {
             return Err(FormatError::Malformed("duplicate spec id in manifest"));
         }
@@ -251,6 +265,7 @@ pub fn read_manifest(bytes: &[u8]) -> Result<Vec<ManifestEntry>, FormatError> {
             kind,
             file: file.to_string(),
             runs: runs as usize,
+            bytes: bytes as usize,
         });
     }
     cur.finish()?;
@@ -280,9 +295,11 @@ fn validate_file_name(file: &str) -> Result<(), FormatError> {
 
 /// Where offloaded fleets park their snapshot bytes.
 enum Store {
-    /// In-process: eviction keeps the (compact) snapshot in a map. The
-    /// default for registries built with [`ServiceRegistry::new`].
-    Memory(FxHashMap<u64, Vec<u8>>),
+    /// In-process: eviction keeps the (compact) snapshot in a shared
+    /// buffer — the same `Arc` the zero-copy fault-in binds to, so an
+    /// evict→reload cycle of an unmodified fleet is a pointer rebind.
+    /// The default for registries built with [`ServiceRegistry::new`].
+    Memory(FxHashMap<u64, Arc<[u8]>>),
     /// A snapshot directory ([`ServiceRegistry::open_dir`]): eviction
     /// writes the fleet's `*.wfps` back and reload reads it.
     Dir(PathBuf),
@@ -307,13 +324,33 @@ struct Slot<'s> {
     /// Cached run count (kept in sync on every mutation / offload), so
     /// offloaded specs still report their size without a load.
     runs: usize,
+    /// Estimated resident bytes of this fleet while offloaded: seeded
+    /// from the manifest's snapshot size ([`ManifestEntry::bytes`]) and
+    /// reconciled to the fleet's actual resident footprint on every
+    /// load/offload — pre-load budget pressure evicts on this number.
+    est_bytes: usize,
+    /// Whether the resident fleet's *content* (runs, slot states) has
+    /// diverged from the snapshot in the backing store. A clean fleet
+    /// offloads without re-serializing; decision counters are carried
+    /// across separately (`saved_counters`), so probing stays clean.
+    dirty: bool,
+    /// Per-slot decision counters captured at a clean offload, re-applied
+    /// on the next load so counter continuity survives the skipped
+    /// serialization.
+    saved_counters: Option<Vec<(u64, u64)>>,
+    /// The exact buffer a previous fault-in fully validated. When the
+    /// next fetch returns this *identical* `Arc` (memory store, clean
+    /// cycle), the reload may skip the per-payload CRC pass — rebind, not
+    /// re-read. Directory stores drop this on offload: a file can change
+    /// underneath us, so it is always re-read and re-checked.
+    validated: Option<Arc<[u8]>>,
     /// Logical LRU stamp: higher = more recently used.
     last_used: u64,
     state: State<'s>,
 }
 
 /// Aggregate registry accounting. See [`ServiceRegistry::stats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RegistryStats {
     /// Registered specs (resident + offloaded).
     pub specs: usize,
@@ -330,9 +367,22 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Lifetime lazy reloads from the backing snapshot.
     pub lazy_loads: u64,
+    /// Lifetime lazy reloads whose packed runs all bound **zero-copy** to
+    /// the shared snapshot buffer (no per-word decode) — a subset of
+    /// [`lazy_loads`](Self::lazy_loads).
+    pub zero_copy_loads: u64,
+    /// Lifetime snapshot bytes read (or rebound) by lazy reloads.
+    pub reload_bytes: u64,
+    /// Lifetime wall-clock milliseconds spent inside lazy reloads
+    /// (parse + bind/decode), so benches can attribute reload cost.
+    pub decode_ms: f64,
     /// Frozen runs currently serving in bit-packed form, summed over the
     /// resident fleets (see [`ServiceRegistry::set_packed_tier`]).
     pub packed_runs: usize,
+    /// Packed runs served zero-copy out of a shared snapshot buffer,
+    /// summed over the resident fleets — a subset of
+    /// [`packed_runs`](Self::packed_runs).
+    pub zero_copy_runs: usize,
 }
 
 /// A registry of [`FleetEngine`]s keyed by [`SpecId`] — the multi-spec
@@ -352,6 +402,9 @@ pub struct ServiceRegistry<'s> {
     clock: u64,
     evictions: u64,
     lazy_loads: u64,
+    zero_copy_loads: u64,
+    reload_bytes: u64,
+    decode_ms: f64,
 }
 
 impl Default for ServiceRegistry<'_> {
@@ -372,6 +425,9 @@ impl<'s> ServiceRegistry<'s> {
             clock: 0,
             evictions: 0,
             lazy_loads: 0,
+            zero_copy_loads: 0,
+            reload_bytes: 0,
+            decode_ms: 0.0,
         }
     }
 
@@ -426,6 +482,13 @@ impl<'s> ServiceRegistry<'s> {
                 kind: e.kind,
                 file: e.file,
                 runs: e.runs,
+                // seed the budget estimate from the manifest's snapshot
+                // size; the first fault-in reconciles it to the fleet's
+                // actual resident footprint
+                est_bytes: e.bytes,
+                dirty: false,
+                saved_counters: None,
+                validated: None,
                 last_used: 0,
                 state: State::Offloaded,
             });
@@ -439,6 +502,9 @@ impl<'s> ServiceRegistry<'s> {
             clock: 0,
             evictions: 0,
             lazy_loads: 0,
+            zero_copy_loads: 0,
+            reload_bytes: 0,
+            decode_ms: 0.0,
         })
     }
 
@@ -466,6 +532,11 @@ impl<'s> ServiceRegistry<'s> {
             kind,
             file: id.file_name(),
             runs: 0,
+            est_bytes: 0,
+            // nothing in the backing store describes this fleet yet
+            dirty: true,
+            saved_counters: None,
+            validated: None,
             last_used: self.clock,
             state: State::Resident {
                 fleet,
@@ -544,6 +615,7 @@ impl<'s> ServiceRegistry<'s> {
             (fleet.register_labels(labels), fleet.run_count())
         };
         self.slots[idx].runs = count;
+        self.slots[idx].dirty = true;
         self.enforce_budget(Some(idx))?;
         Ok(run)
     }
@@ -571,6 +643,7 @@ impl<'s> ServiceRegistry<'s> {
             (fleet.begin_live(spec_ref), fleet.run_count())
         };
         self.slots[idx].runs = count;
+        self.slots[idx].dirty = true;
         Ok(run)
     }
 
@@ -598,7 +671,9 @@ impl<'s> ServiceRegistry<'s> {
         let (fleet, _) = self.resident_or_err(idx, run)?;
         fleet
             .freeze_run(run)
-            .map_err(|error| RegistryError::Fleet { spec, error })
+            .map_err(|error| RegistryError::Fleet { spec, error })?;
+        self.slots[idx].dirty = true;
+        Ok(())
     }
 
     // ---------------- probes ----------------
@@ -758,6 +833,25 @@ impl<'s> ServiceRegistry<'s> {
         self.packed_tier = on;
     }
 
+    /// Seals every raw frozen run of `spec` into bit-packed columns in
+    /// place ([`FleetEngine::seal_packed_all`]), reloading the fleet first
+    /// if it was offloaded. Returns the number of runs sealed. The next
+    /// offload re-serializes (the fleet now diverges from its stored
+    /// snapshot), after which reloads ride the aligned zero-copy path.
+    pub fn seal_packed(&mut self, spec: SpecId) -> Result<usize, RegistryError> {
+        let idx = self.index_of(spec)?;
+        self.touch(idx)?;
+        let sealed = {
+            let (fleet, _) = self.resident_mut(idx);
+            fleet.seal_packed_all()
+        };
+        if sealed > 0 {
+            self.slots[idx].dirty = true;
+        }
+        self.enforce_budget(Some(idx))?;
+        Ok(sealed)
+    }
+
     /// Bytes currently held by resident fleets (the [`FleetStats`] spec +
     /// run memory signal, summed).
     ///
@@ -790,14 +884,17 @@ impl<'s> ServiceRegistry<'s> {
             .iter()
             .filter(|s| matches!(s.state, State::Resident { .. }))
             .count();
-        let packed_runs = self
+        let (packed_runs, zero_copy_runs) = self
             .slots
             .iter()
             .map(|s| match &s.state {
-                State::Resident { fleet, .. } => fleet.stats().packed,
-                State::Offloaded => 0,
+                State::Resident { fleet, .. } => {
+                    let st = fleet.stats();
+                    (st.packed, st.zero_copy)
+                }
+                State::Offloaded => (0, 0),
             })
-            .sum();
+            .fold((0, 0), |(p, z), (dp, dz)| (p + dp, z + dz));
         RegistryStats {
             specs: self.slots.len(),
             resident,
@@ -807,6 +904,10 @@ impl<'s> ServiceRegistry<'s> {
             evictions: self.evictions,
             lazy_loads: self.lazy_loads,
             packed_runs,
+            zero_copy_loads: self.zero_copy_loads,
+            reload_bytes: self.reload_bytes,
+            decode_ms: self.decode_ms,
+            zero_copy_runs,
         }
     }
 
@@ -824,12 +925,12 @@ impl<'s> ServiceRegistry<'s> {
         })?;
         let mut entries = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
-            let (bytes, runs) = match &slot.state {
+            let (bytes, runs): (Arc<[u8]>, usize) = match &slot.state {
                 State::Resident { fleet, graph } => (
-                    fleet.save(graph).map_err(|error| RegistryError::Fleet {
+                    Arc::from(fleet.save(graph).map_err(|error| RegistryError::Fleet {
                         spec: slot.id,
                         error,
-                    })?,
+                    })?),
                     fleet.run_count(),
                 ),
                 State::Offloaded => (self.fetch(slot)?, slot.runs),
@@ -844,6 +945,7 @@ impl<'s> ServiceRegistry<'s> {
                 kind: slot.kind,
                 file: slot.file.clone(),
                 runs,
+                bytes: bytes.len(),
             });
         }
         let manifest_path = dir.join(MANIFEST_FILE);
@@ -905,7 +1007,26 @@ impl<'s> ServiceRegistry<'s> {
             return Ok(());
         }
         let bytes = self.fetch(&self.slots[idx])?;
-        let (fleet, graph) = FleetEngine::load(&bytes)?;
+        // with the snapshot bytes in hand, make room *before* the fleet
+        // faults in, using its size estimate (manifest-seeded, reconciled
+        // on every load/offload): the LRU byte math must see the incoming
+        // load, not discover it afterwards — and a fetch that failed above
+        // never evicted anyone
+        self.reserve(idx)?;
+        // pointer identity with a buffer this registry fully validated
+        // earlier attests the content unchanged, so the reload may skip
+        // the per-payload checksum pass and just rebind
+        let trusted = self.slots[idx]
+            .validated
+            .as_ref()
+            .is_some_and(|v| Arc::ptr_eq(v, &bytes));
+        let started = Instant::now();
+        let (fleet, graph, profile) = if trusted {
+            FleetEngine::load_shared_trusted(Arc::clone(&bytes))?
+        } else {
+            FleetEngine::load_shared(Arc::clone(&bytes))?
+        };
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
         let loaded = SpecId::of(fleet.context().skeleton().kind(), &graph);
         let slot = &mut self.slots[idx];
         if loaded != slot.id {
@@ -922,16 +1043,31 @@ impl<'s> ServiceRegistry<'s> {
                 "manifest scheme tag does not match snapshot",
             )));
         }
+        if let Some(saved) = slot.saved_counters.take() {
+            fleet.restore_counters(&saved);
+        }
         slot.runs = fleet.run_count();
+        let st = fleet.stats();
+        slot.est_bytes = st.spec_bytes + st.run_bytes;
         slot.state = State::Resident { fleet, graph };
+        slot.validated = Some(Arc::clone(&bytes));
+        slot.dirty = false;
         self.lazy_loads += 1;
+        self.reload_bytes += profile.bytes as u64;
+        self.decode_ms += elapsed_ms;
+        if profile.zero_copy_runs > 0 && profile.decoded_runs == 0 {
+            self.zero_copy_loads += 1;
+        }
         self.clock += 1;
         self.slots[idx].last_used = self.clock;
         Ok(())
     }
 
-    /// Reads `slot`'s snapshot bytes from the backing store.
-    fn fetch(&self, slot: &Slot<'s>) -> Result<Vec<u8>, RegistryError> {
+    /// Reads `slot`'s snapshot bytes from the backing store. The memory
+    /// store hands out its shared buffer (preserving pointer identity for
+    /// the trusted-rebind check in [`touch`](Self::touch)); the directory
+    /// store reads the file into a fresh shared allocation.
+    fn fetch(&self, slot: &Slot<'s>) -> Result<Arc<[u8]>, RegistryError> {
         match &self.store {
             Store::Memory(map) => {
                 map.get(&slot.id.0)
@@ -943,7 +1079,7 @@ impl<'s> ServiceRegistry<'s> {
             }
             Store::Dir(dir) => {
                 let path = dir.join(&slot.file);
-                std::fs::read(&path).map_err(|e| {
+                std::fs::read(&path).map(Arc::from).map_err(|e| {
                     if e.kind() == std::io::ErrorKind::NotFound {
                         RegistryError::MissingSnapshot {
                             spec: slot.id,
@@ -962,20 +1098,54 @@ impl<'s> ServiceRegistry<'s> {
 
     /// Snapshots the fleet at `idx` into the backing store and drops it
     /// from memory. No-op if already offloaded.
+    ///
+    /// A *clean* fleet (`dirty == false`: content still matches its stored
+    /// snapshot) skips serialization entirely — only its probe counters
+    /// are carried across in `saved_counters`, and the later fault-in is a
+    /// checksum (or, for the memory store, a pointer-identity rebind) of
+    /// the bytes already in the store.
     fn offload(&mut self, idx: usize) -> Result<(), RegistryError> {
         let spec = self.slots[idx].id;
-        let (bytes, runs) = match &self.slots[idx].state {
-            State::Offloaded => return Ok(()),
-            State::Resident { fleet, graph } => (
+        if matches!(self.slots[idx].state, State::Offloaded) {
+            return Ok(());
+        }
+        if !self.slots[idx].dirty {
+            let slot = &mut self.slots[idx];
+            let State::Resident { fleet, .. } = &slot.state else {
+                unreachable!("checked resident above");
+            };
+            let st = fleet.stats();
+            slot.saved_counters = Some(fleet.slot_counters());
+            slot.runs = fleet.run_count();
+            slot.est_bytes = st.spec_bytes + st.run_bytes;
+            if matches!(self.store, Store::Dir(_)) {
+                // a directory can change under us between offload and
+                // reload; drop the attestation so the fault-in re-reads
+                // and re-checksums the file
+                slot.validated = None;
+            }
+            slot.state = State::Offloaded;
+            self.evictions += 1;
+            return Ok(());
+        }
+        let (bytes, runs, est) = {
+            let State::Resident { fleet, graph } = &self.slots[idx].state else {
+                unreachable!("checked resident above");
+            };
+            let st = fleet.stats();
+            let bytes: Arc<[u8]> = Arc::from(
                 fleet
                     .save(graph)
                     .map_err(|error| RegistryError::Fleet { spec, error })?,
-                fleet.run_count(),
-            ),
+            );
+            (bytes, fleet.run_count(), st.spec_bytes + st.run_bytes)
         };
         match &mut self.store {
             Store::Memory(map) => {
-                map.insert(spec.0, bytes);
+                map.insert(spec.0, Arc::clone(&bytes));
+                // our own serialization just went in: the next fault-in of
+                // this exact buffer may skip the per-payload checksum pass
+                self.slots[idx].validated = Some(bytes);
             }
             Store::Dir(dir) => {
                 let path = dir.join(&self.slots[idx].file);
@@ -983,10 +1153,14 @@ impl<'s> ServiceRegistry<'s> {
                     path: path.clone(),
                     message: e.to_string(),
                 })?;
+                self.slots[idx].validated = None;
             }
         }
         let slot = &mut self.slots[idx];
         slot.runs = runs;
+        slot.est_bytes = est;
+        slot.dirty = false;
+        slot.saved_counters = None;
         slot.state = State::Offloaded;
         self.evictions += 1;
         Ok(())
@@ -1003,11 +1177,27 @@ impl<'s> ServiceRegistry<'s> {
     /// a middle tier between fully resident and offloaded — and only an
     /// all-packed victim is dropped to its snapshot.
     fn enforce_budget(&mut self, keep: Option<usize>) -> Result<(), RegistryError> {
+        self.pressure(keep, 0)
+    }
+
+    /// Makes room for the offloaded fleet at `idx` *before* it faults in:
+    /// budget pressure is applied against the slot's size estimate so the
+    /// eviction decision happens on the corrected byte math, not after the
+    /// load has already overshot.
+    fn reserve(&mut self, idx: usize) -> Result<(), RegistryError> {
+        let extra = self.slots[idx].est_bytes;
+        self.pressure(Some(idx), extra)
+    }
+
+    /// [`enforce_budget`](Self::enforce_budget) generalized over `extra`
+    /// incoming bytes that are not resident yet (see
+    /// [`reserve`](Self::reserve)).
+    fn pressure(&mut self, keep: Option<usize>, extra: usize) -> Result<(), RegistryError> {
         let Some(budget) = self.budget else {
             return Ok(());
         };
         loop {
-            if self.resident_bytes() <= budget {
+            if self.resident_bytes().saturating_add(extra) <= budget {
                 return Ok(());
             }
             let victim = self
@@ -1029,8 +1219,10 @@ impl<'s> ServiceRegistry<'s> {
             if self.packed_tier {
                 if let State::Resident { fleet, .. } = &mut self.slots[i].state {
                     if fleet.seal_packed_all() > 0 {
-                        // the victim shrank in place; re-check the budget
+                        // the victim shrank in place (and now diverges
+                        // from its stored snapshot); re-check the budget
                         // before deciding whether it must leave memory too
+                        self.slots[i].dirty = true;
                         continue;
                     }
                 }
@@ -1445,6 +1637,7 @@ mod tests {
             kind: SchemeKind::Tcm,
             file: file.to_string(),
             runs: 0,
+            bytes: 0,
         };
         // the empty name dies in the count guard (Oversized) rather than
         // name validation — either way a typed error, never acceptance
@@ -1467,8 +1660,11 @@ mod tests {
             kind: SchemeKind::Hop2,
             file: "07.wfps".into(),
             runs: 3,
+            bytes: 4096,
         }]);
-        assert_eq!(read_manifest(&ok).unwrap().len(), 1);
+        let read = read_manifest(&ok).unwrap();
+        assert_eq!(read.len(), 1);
+        assert_eq!(read[0].bytes, 4096, "v2 snapshot size round-trips");
     }
 
     /// Induced mid-batch failures — missing snapshot, swapped (mismatched)
@@ -1593,5 +1789,136 @@ mod tests {
         reg.set_budget(Some(0)).unwrap();
         assert_eq!(reg.answer_batch_parallel(&probes, 3).unwrap(), want);
         assert!(reg.stats().evictions > 0);
+    }
+
+    /// Regression for the budget-accounting drift: `open_dir` seeds each
+    /// slot's size estimate from the manifest's snapshot bytes, the first
+    /// fault-in reserves on that conservative number, and every
+    /// load/offload reconciles the estimate to the fleet's actual resident
+    /// footprint — so later eviction decisions run on the corrected
+    /// number, not the (larger) serialized size.
+    #[test]
+    fn manifest_seeded_estimates_reconcile_to_resident_bytes() {
+        let spec = paper_spec();
+        let (reg, ids, _) = build_registry(&spec, None);
+        let dir = tmp("estimate-reconcile");
+        reg.save_dir(&dir).unwrap();
+
+        // measure the actual resident footprint of fleets A and B
+        let mut probe = ServiceRegistry::open_dir(&dir, None).unwrap();
+        probe.ensure_resident(ids[0]).unwrap();
+        let r_a = probe.resident_bytes();
+        probe.ensure_resident(ids[1]).unwrap();
+        let r_b = probe.resident_bytes() - r_a;
+        drop(probe);
+
+        // the serialized snapshot (manifest estimate) is strictly larger
+        // than the resident footprint — that gap IS the drift under test
+        let manifest = std::fs::read(dir.join(MANIFEST_FILE)).unwrap();
+        let m_b = read_manifest(&manifest)
+            .unwrap()
+            .iter()
+            .find(|e| e.id == ids[1])
+            .expect("B is in the manifest")
+            .bytes;
+        assert!(m_b > r_b, "fixture: serialized {m_b} <= resident {r_b}");
+
+        // a budget that fits both fleets by the corrected numbers but NOT
+        // by A-resident + B's manifest estimate
+        let budget = r_a + (r_b + m_b) / 2;
+        let mut reg = ServiceRegistry::open_dir(&dir, Some(budget)).unwrap();
+        reg.ensure_resident(ids[0]).unwrap();
+        // B's first fault-in reserves on the seeded manifest estimate:
+        // r_a + m_b overshoots, so A is evicted *before* the load
+        reg.ensure_resident(ids[1]).unwrap();
+        assert!(!reg.resident(ids[0]), "seeded estimate forced eviction");
+        assert!(reg.resident(ids[1]));
+        assert_eq!(reg.stats().evictions, 1);
+        // A's estimate was reconciled to its resident footprint when it
+        // loaded (and kept through its clean offload): by the corrected
+        // numbers both fleets fit, so re-loading A evicts nothing
+        reg.ensure_resident(ids[0]).unwrap();
+        assert!(
+            reg.resident(ids[0]) && reg.resident(ids[1]),
+            "corrected estimates fit both fleets in the budget"
+        );
+        assert_eq!(reg.stats().evictions, 1, "no spurious eviction");
+        assert!(reg.resident_bytes() <= budget);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Evict→reload of an unmodified, all-packed fleet in the memory store
+    /// is a pointer rebind of the retained snapshot buffer: the reload is
+    /// counted zero-copy, answers stay identical, and the probe counters
+    /// carry across without re-serialization.
+    #[test]
+    fn clean_evict_reload_is_zero_copy_and_keeps_counters() {
+        let spec = paper_spec();
+        let mut reg = ServiceRegistry::new();
+        let id = reg.register_spec(&spec, SchemeKind::Tcm).unwrap();
+        let l = labels(&spec, SchemeKind::Tcm);
+        reg.register_labels(id, &l).unwrap();
+        assert_eq!(reg.seal_packed(id).unwrap(), 1, "the run seals packed");
+
+        let n = paper_run(&spec).vertex_count();
+        let mut want = Vec::new();
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                want.push(
+                    reg.answer(id, RunId(0), RunVertexId(u), RunVertexId(v))
+                        .unwrap(),
+                );
+            }
+        }
+        let before = reg.fleet(id).unwrap().stats().engine;
+
+        // first evict: the fleet diverged from the (absent) stored
+        // snapshot, so this serializes; the reload then rides the aligned
+        // zero-copy path over the buffer the offload just stored
+        reg.evict(id).unwrap();
+        assert!(!reg.resident(id));
+        let again = reg
+            .answer(id, RunId(0), RunVertexId(0), RunVertexId(1))
+            .unwrap();
+        assert_eq!(again, want[1]);
+        let stats = reg.stats();
+        assert_eq!(stats.lazy_loads, 1);
+        assert_eq!(stats.zero_copy_loads, 1, "all runs bound as views");
+        assert_eq!(stats.zero_copy_runs, 1, "the packed run is a view");
+        assert!(stats.reload_bytes > 0, "reload volume is accounted");
+        let engine = reg.fleet(id).unwrap().stats().engine;
+        assert_eq!(
+            engine.context_only + engine.skeleton,
+            before.context_only + before.skeleton + 1,
+            "probe counters carry across the evict/reload cycle"
+        );
+
+        // second evict: nothing changed since the load, so the offload
+        // skips serialization and the reload is a trusted pointer rebind
+        reg.evict(id).unwrap();
+        let replay: Vec<bool> = (0..n as u32)
+            .flat_map(|u| (0..n as u32).map(move |v| (u, v)))
+            .map(|(u, v)| {
+                reg.answer(id, RunId(0), RunVertexId(u), RunVertexId(v))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(replay, want, "rebind answers byte-identically");
+        let stats = reg.stats();
+        assert_eq!(stats.lazy_loads, 2);
+        assert_eq!(stats.zero_copy_loads, 2);
+
+        // mutating the fleet re-dirties it: the next cycle re-serializes
+        // (a raw frozen run decodes, so the load is no longer all-views)
+        reg.register_labels(id, &l).unwrap();
+        reg.evict(id).unwrap();
+        assert!(reg
+            .answer(id, RunId(1), RunVertexId(0), RunVertexId(1))
+            .is_ok());
+        let stats = reg.stats();
+        assert_eq!(stats.lazy_loads, 3);
+        assert_eq!(stats.zero_copy_loads, 2, "mixed load is not zero-copy");
+        assert_eq!(stats.zero_copy_runs, 1, "but the sealed run still binds");
+        assert_eq!(reg.run_count(id).unwrap(), 2);
     }
 }

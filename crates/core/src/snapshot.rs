@@ -74,6 +74,14 @@ pub mod seg {
     /// [`RUN_COLUMNS`]; readers that predate it skip the segment and fail
     /// on the manifest slot state instead of misreading bits.
     pub const PACKED_COLUMNS: u16 = 0x0009;
+    /// One frozen run's bit-packed label columns in the **8-byte-aligned**
+    /// layout (`wfp_skl::PackedColumnsView`): a fixed header, then each
+    /// column's `u64` words plus a zero pad word, every region a multiple
+    /// of 8 from the payload start — directly serveable out of the load
+    /// buffer with zero per-word decode. The successor of
+    /// [`PACKED_COLUMNS`] for fleet persistence; old snapshots still
+    /// decode via the copy path.
+    pub const PACKED_COLUMNS_ALIGNED: u16 = 0x000A;
 }
 
 // ====================================================================
@@ -164,10 +172,10 @@ impl std::error::Error for FormatError {}
 // CRC-32 (IEEE), dependency-free
 // ====================================================================
 
-/// Slicing-by-8 lookup tables: `TABLES[0]` is the classic byte-at-a-time
+/// Slicing-by-16 lookup tables: `TABLES[0]` is the classic byte-at-a-time
 /// table, `TABLES[k][j]` advances `j` through `k` further zero bytes.
-const fn crc_tables() -> [[u32; 256]; 8] {
-    let mut tables = [[0u32; 256]; 8];
+const fn crc_tables() -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -180,7 +188,7 @@ const fn crc_tables() -> [[u32; 256]; 8] {
         i += 1;
     }
     let mut k = 1;
-    while k < 8 {
+    while k < 16 {
         let mut j = 0;
         while j < 256 {
             let prev = tables[k - 1][j];
@@ -192,25 +200,35 @@ const fn crc_tables() -> [[u32; 256]; 8] {
     tables
 }
 
-static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
+static CRC_TABLES: [[u32; 256]; 16] = crc_tables();
 
 /// CRC-32 (IEEE 802.3 polynomial) of `bytes` — the per-segment checksum.
-/// Slicing-by-8: snapshot loads checksum megabytes of label columns, and
-/// the classic byte-at-a-time loop would dominate the whole load path.
+/// Slicing-by-16: snapshot loads checksum megabytes of label columns, and
+/// with zero-copy binds (no decode pass) this checksum *is* the fault-in
+/// cost, so the two 8-byte lanes per iteration buy real reload latency.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let t = &CRC_TABLES;
     let mut c = 0xFFFF_FFFFu32;
-    let mut chunks = bytes.chunks_exact(8);
+    let mut chunks = bytes.chunks_exact(16);
     for chunk in &mut chunks {
-        let d = u64::from_le_bytes(chunk.try_into().expect("8 bytes")) ^ c as u64;
-        c = t[7][(d & 0xFF) as usize]
-            ^ t[6][((d >> 8) & 0xFF) as usize]
-            ^ t[5][((d >> 16) & 0xFF) as usize]
-            ^ t[4][((d >> 24) & 0xFF) as usize]
-            ^ t[3][((d >> 32) & 0xFF) as usize]
-            ^ t[2][((d >> 40) & 0xFF) as usize]
-            ^ t[1][((d >> 48) & 0xFF) as usize]
-            ^ t[0][(d >> 56) as usize];
+        let lo = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes")) ^ c as u64;
+        let hi = u64::from_le_bytes(chunk[8..].try_into().expect("8 bytes"));
+        c = t[15][(lo & 0xFF) as usize]
+            ^ t[14][((lo >> 8) & 0xFF) as usize]
+            ^ t[13][((lo >> 16) & 0xFF) as usize]
+            ^ t[12][((lo >> 24) & 0xFF) as usize]
+            ^ t[11][((lo >> 32) & 0xFF) as usize]
+            ^ t[10][((lo >> 40) & 0xFF) as usize]
+            ^ t[9][((lo >> 48) & 0xFF) as usize]
+            ^ t[8][(lo >> 56) as usize]
+            ^ t[7][(hi & 0xFF) as usize]
+            ^ t[6][((hi >> 8) & 0xFF) as usize]
+            ^ t[5][((hi >> 16) & 0xFF) as usize]
+            ^ t[4][((hi >> 24) & 0xFF) as usize]
+            ^ t[3][((hi >> 32) & 0xFF) as usize]
+            ^ t[2][((hi >> 40) & 0xFF) as usize]
+            ^ t[1][((hi >> 48) & 0xFF) as usize]
+            ^ t[0][(hi >> 56) as usize];
     }
     for &b in chunks.remainder() {
         c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
@@ -418,6 +436,21 @@ impl<'a> SnapshotReader<'a> {
     /// Parses and fully validates a container: header, section table,
     /// exact total length, and one CRC pass over every payload.
     pub fn parse(bytes: &'a [u8]) -> Result<Self, FormatError> {
+        Self::parse_with(bytes, true)
+    }
+
+    /// [`parse`](Self::parse) minus the per-payload CRC pass. Structure
+    /// validation (magic, version, table, structure CRC, exact total
+    /// length) still runs; only the payload checksums are skipped. For
+    /// callers that can attest the *identical* buffer already passed a
+    /// full [`parse`](Self::parse) — e.g. the registry rebinding a
+    /// retained `Arc` it validated on a previous fault-in — so a reload
+    /// of an unmodified fleet costs O(segments), not O(bytes).
+    pub(crate) fn parse_trusted(bytes: &'a [u8]) -> Result<Self, FormatError> {
+        Self::parse_with(bytes, false)
+    }
+
+    fn parse_with(bytes: &'a [u8], verify_payloads: bool) -> Result<Self, FormatError> {
         let mut cur = Cursor::new(bytes);
         if cur.bytes(4).map_err(|_| FormatError::BadMagic)? != MAGIC {
             return Err(FormatError::BadMagic);
@@ -470,7 +503,7 @@ impl<'a> SnapshotReader<'a> {
         let mut segments = Vec::with_capacity(table.len());
         for (kind, len, crc) in table {
             let payload = cur.bytes(len as usize)?;
-            if crc32(payload) != crc {
+            if verify_payloads && crc32(payload) != crc {
                 return Err(FormatError::ChecksumMismatch { kind });
             }
             segments.push((kind, payload));
@@ -667,6 +700,22 @@ pub fn write_packed_columns(cols: &PackedColumns) -> Vec<u8> {
 /// stored words cannot back) before sizing any allocation.
 pub fn read_packed_columns(payload: &[u8]) -> Result<PackedColumns, FormatError> {
     PackedColumns::from_payload(payload)
+}
+
+/// Serializes one run's bit-packed label columns as a
+/// [`seg::PACKED_COLUMNS_ALIGNED`] payload: the same per-column frames as
+/// [`write_packed_columns`], laid out so every column's `u64` words start
+/// 8-byte-aligned relative to the payload — the layout
+/// [`crate::PackedColumnsView`] serves straight from the load buffer.
+pub fn write_packed_columns_aligned(cols: &PackedColumns) -> Vec<u8> {
+    cols.to_aligned_payload()
+}
+
+/// Parses a [`write_packed_columns_aligned`] payload into **owned**
+/// columns — the copy path, for callers without a shareable load buffer.
+/// Zero-copy callers bind a [`crate::PackedColumnsView`] instead.
+pub fn read_packed_columns_aligned(payload: &[u8]) -> Result<PackedColumns, FormatError> {
+    PackedColumns::from_aligned_payload(payload)
 }
 
 /// Parses a [`write_run_columns`] payload.

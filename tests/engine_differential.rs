@@ -397,14 +397,18 @@ proptest! {
             reader
                 .segments()
                 .iter()
-                .any(|&(kind, _)| kind == snapshot::seg::PACKED_COLUMNS),
-            "snapshot carries no packed segments"
+                .any(|&(kind, _)| kind == snapshot::seg::PACKED_COLUMNS_ALIGNED),
+            "snapshot carries no aligned packed segments"
         );
 
         for len in 0..bytes.len() {
             prop_assert!(
                 FleetEngine::load(&bytes[..len]).is_err(),
                 "prefix of {} bytes loaded", len
+            );
+            prop_assert!(
+                FleetEngine::load_shared(std::sync::Arc::from(&bytes[..len])).is_err(),
+                "prefix of {} bytes bound zero-copy", len
             );
         }
         for byte in 0..bytes.len() {
@@ -415,14 +419,19 @@ proptest! {
                     FleetEngine::load(&fuzzed).is_err(),
                     "flip at {}:{} went undetected", byte, bit
                 );
+                prop_assert!(
+                    FleetEngine::load_shared(std::sync::Arc::from(fuzzed.as_slice())).is_err(),
+                    "flip at {}:{} went undetected by the zero-copy bind", byte, bit
+                );
             }
         }
     }
 }
 
-/// Rebuilds a packed snapshot with the first `PACKED_COLUMNS` payload
-/// replaced by `mutate(original)` — CRCs recomputed, so only the packed
-/// reader's own structural guards stand between the forgery and the fleet.
+/// Rebuilds a packed snapshot with the first `PACKED_COLUMNS_ALIGNED`
+/// payload replaced by `mutate(original)` — CRCs recomputed, so only the
+/// aligned reader's own structural guards stand between the forgery and
+/// the fleet.
 fn forge_packed_payload(bytes: &[u8], mutate: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
     let reader = SnapshotReader::parse(bytes).unwrap();
     let mut segments: Vec<(u16, Vec<u8>)> = reader
@@ -432,7 +441,7 @@ fn forge_packed_payload(bytes: &[u8], mutate: impl FnOnce(&mut Vec<u8>)) -> Vec<
         .collect();
     let target = segments
         .iter_mut()
-        .find(|(kind, _)| *kind == snapshot::seg::PACKED_COLUMNS)
+        .find(|(kind, _)| *kind == snapshot::seg::PACKED_COLUMNS_ALIGNED)
         .expect("no packed segment to forge");
     mutate(&mut target.1);
     let mut writer = snapshot::SnapshotWriter::new();
@@ -442,7 +451,7 @@ fn forge_packed_payload(bytes: &[u8], mutate: impl FnOnce(&mut Vec<u8>)) -> Vec<
     writer.finish()
 }
 
-/// Forged `PACKED_COLUMNS` headers — CRC-consistent, structurally rotten —
+/// Forged `PACKED_COLUMNS_ALIGNED` headers — CRC-consistent, structurally rotten —
 /// are rejected by the payload reader's guards through the public load
 /// path: oversized widths, bases whose range overflows `u32`, unsupported
 /// versions, counts the stored words cannot back, and width headers
@@ -478,11 +487,33 @@ fn forged_packed_width_headers_are_rejected() {
             "width header inconsistent with stored words",
             Box::new(|p: &mut Vec<u8>| p[5] = 0),
         ),
+        // the aligned header's two padding runs ([21..24] and [36..40])
+        // and every column's trailing pad word must be zero — a payload
+        // that misaligns them is structurally rotten even though the
+        // frames parse
+        (
+            "nonzero header padding after the frames",
+            Box::new(|p: &mut Vec<u8>| p[22] = 1),
+        ),
+        (
+            "nonzero header padding after the origin bound",
+            Box::new(|p: &mut Vec<u8>| p[37] = 1),
+        ),
+        (
+            "nonzero trailing column pad word",
+            Box::new(|p: &mut Vec<u8>| *p.last_mut().unwrap() = 1),
+        ),
     ];
     for (what, mutate) in forgeries {
         let forged = forge_packed_payload(&bytes, mutate);
-        let err = FleetEngine::load(&forged);
-        assert!(err.is_err(), "{what}: forged packed payload loaded");
+        assert!(
+            FleetEngine::load(&forged).is_err(),
+            "{what}: forged packed payload loaded"
+        );
+        assert!(
+            FleetEngine::load_shared(std::sync::Arc::from(forged.as_slice())).is_err(),
+            "{what}: forged packed payload bound zero-copy"
+        );
     }
 
     // and the reader's error is a *typed* FormatError, not a panic

@@ -35,6 +35,7 @@ fn sample_manifest() -> Vec<u8> {
                 kind,
                 file: id.file_name(),
                 runs: 3,
+                bytes: 4096,
             }
         })
         .collect();
@@ -105,12 +106,16 @@ fn forged_crc_consistent_manifests_are_rejected() {
         p
     };
 
-    // future manifest version
+    // future manifest version (v1 and v2 are the accepted set)
     let e = entry(id, 0, "a.wfps", 1);
     assert!(matches!(
-        read_manifest(&forged(body(2, std::slice::from_ref(&e)))),
-        Err(FormatError::UnsupportedVersion(2))
+        read_manifest(&forged(body(3, std::slice::from_ref(&e)))),
+        Err(FormatError::UnsupportedVersion(3))
     ));
+
+    // a v2 manifest whose entry is missing the snapshot-size field is
+    // framing-truncated, not silently defaulted
+    assert!(read_manifest(&forged(body(2, std::slice::from_ref(&e)))).is_err());
 
     // unknown scheme tag
     assert!(matches!(
